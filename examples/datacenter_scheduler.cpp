@@ -1,0 +1,106 @@
+// Example: QoS-driven VM scheduling in a datacenter (the paper's motivating
+// setting: Ackermann et al.'s "Distributed algorithms for QoS load
+// balancing" is the direct ancestor of the user-controlled protocol).
+//
+// Scenario: 200 hypervisors; a burst of VM launch requests of mixed sizes
+// (CPU-share weights) lands on a handful of ingest hosts. Each VM is a
+// selfish user: if its host is over the QoS threshold, it re-launches on a
+// random other host with the paper's probability — no scheduler in the
+// loop. We trace the worst host load and the potential over time, then
+// compare the above-average and tight QoS thresholds.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "tlb/core/potential.hpp"
+#include "tlb/core/threshold.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/weights.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace {
+
+using namespace tlb;
+
+/// VM sizes in CPU shares: lots of small instances, some medium, few large.
+tasks::TaskSet make_vm_burst(std::size_t count, util::Rng& rng) {
+  std::vector<double> w;
+  w.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double roll = rng.uniform01();
+    if (roll < 0.70) {
+      w.push_back(1.0);  // small
+    } else if (roll < 0.95) {
+      w.push_back(4.0);  // medium
+    } else {
+      w.push_back(16.0);  // large
+    }
+  }
+  return tasks::TaskSet(std::move(w));
+}
+
+void run_scenario(const char* label, const tasks::TaskSet& vms,
+                  graph::Node hosts, double threshold, double alpha,
+                  const tasks::Placement& start) {
+  core::UserProtocolConfig cfg;
+  cfg.threshold = threshold;
+  cfg.alpha = alpha;
+  util::Rng rng(7);
+  core::UserControlledEngine engine(vms, hosts, cfg);
+  engine.reset(start);
+
+  std::printf("\n--- %s (QoS threshold %.1f CPU shares) ---\n", label,
+              threshold);
+  std::printf("%6s  %12s  %12s  %10s\n", "round", "worst host", "overloaded",
+              "potential");
+  long round = 0;
+  while (!engine.balanced() && round < 100000) {
+    if (round % 20 == 0) {
+      std::printf("%6ld  %12.1f  %12u  %10.1f\n", round,
+                  engine.state().max_load(),
+                  engine.state().overloaded_count(threshold),
+                  core::user_potential(engine.state(), threshold));
+    }
+    engine.step(rng);
+    ++round;
+  }
+  std::printf("%6ld  %12.1f  %12u  %10.1f  <- balanced\n", round,
+              engine.state().max_load(),
+              engine.state().overloaded_count(threshold),
+              core::user_potential(engine.state(), threshold));
+}
+
+}  // namespace
+
+int main() {
+  using namespace tlb;
+
+  const graph::Node hosts = 200;
+  util::Rng rng(2024);
+  const tasks::TaskSet vms = make_vm_burst(2000, rng);
+  std::printf("datacenter: %u hypervisors, %zu VMs, total %.0f CPU shares, "
+              "largest VM %.0f, average load %.1f\n",
+              hosts, vms.size(), vms.total_weight(), vms.max_weight(),
+              vms.total_weight() / hosts);
+
+  // The burst lands on 4 ingest hosts.
+  const tasks::Placement start = tasks::round_robin(vms, hosts, 4);
+
+  // Above-average QoS: ~20% headroom over the perfect split.
+  const double qos_generous = core::threshold_value(
+      core::ThresholdKind::kAboveAverage, vms, hosts, 0.2);
+  run_scenario("generous QoS (ε = 0.2)", vms, hosts, qos_generous, 1.0, start);
+
+  // Tight QoS: W/n + w_max — the hardest guarantee the protocol supports.
+  const double qos_tight =
+      core::threshold_value(core::ThresholdKind::kTightUser, vms, hosts);
+  run_scenario("tight QoS", vms, hosts, qos_tight, 1.0, start);
+
+  std::printf(
+      "\nTakeaway: with 20%% headroom the burst drains in a handful of "
+      "rounds; the tight threshold still converges (Theorem 12) but needs "
+      "more rounds — the price of guaranteeing max load within one VM of "
+      "the perfect split.\n");
+  return 0;
+}

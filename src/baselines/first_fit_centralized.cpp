@@ -1,0 +1,18 @@
+#include "tlb/baselines/first_fit_centralized.hpp"
+
+namespace tlb::baselines {
+
+CentralizedResult first_fit_centralized(const tasks::TaskSet& ts,
+                                        graph::Node n) {
+  CentralizedResult out;
+  out.assignment = tasks::first_fit(ts, n);
+  out.run.rounds = 1;
+  out.run.balanced = true;
+  out.run.migrations = ts.size();
+  out.run.final_max_load = out.assignment.max_load;
+  out.run.threshold =
+      ts.total_weight() / static_cast<double>(n) + ts.max_weight();
+  return out;
+}
+
+}  // namespace tlb::baselines

@@ -1,0 +1,74 @@
+#include "tlb/baselines/selfish_realloc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlb::baselines {
+
+SelfishReallocEngine::SelfishReallocEngine(const tasks::TaskSet& ts,
+                                           graph::Node n, SelfishConfig config)
+    : tasks_(&ts), config_(config), n_(n) {
+  if (n < 2) throw std::invalid_argument("SelfishReallocEngine: need n >= 2");
+  if (config_.stop_threshold <= 0.0) {
+    throw std::invalid_argument("SelfishReallocEngine: stop_threshold > 0");
+  }
+}
+
+void SelfishReallocEngine::reset(const tasks::Placement& placement) {
+  if (placement.size() != tasks_->size()) {
+    throw std::invalid_argument("SelfishReallocEngine::reset: size mismatch");
+  }
+  task_location_ = placement;
+  loads_.assign(n_, 0.0);
+  for (tasks::TaskId i = 0; i < placement.size(); ++i) {
+    loads_[placement[i]] += tasks_->weight(i);
+  }
+}
+
+std::size_t SelfishReallocEngine::step(util::Rng& rng) {
+  // All decisions read the round-start loads; moves land afterwards.
+  const std::vector<double> snapshot = loads_;
+  std::size_t migrations = 0;
+  for (tasks::TaskId i = 0; i < task_location_.size(); ++i) {
+    const graph::Node src = task_location_[i];
+    const auto dst = static_cast<graph::Node>(rng.uniform_below(n_));
+    if (dst == src || snapshot[src] <= 0.0) continue;
+    const double move_prob =
+        std::max(0.0, 1.0 - snapshot[dst] / snapshot[src]);
+    if (move_prob > 0.0 && rng.bernoulli(move_prob)) {
+      const double w = tasks_->weight(i);
+      loads_[src] -= w;
+      loads_[dst] += w;
+      task_location_[i] = dst;
+      ++migrations;
+    }
+  }
+  return migrations;
+}
+
+bool SelfishReallocEngine::balanced() const {
+  return std::all_of(loads_.begin(), loads_.end(), [&](double x) {
+    return x <= config_.stop_threshold;
+  });
+}
+
+core::RunResult SelfishReallocEngine::run(util::Rng& rng) {
+  core::RunResult result;
+  result.threshold = config_.stop_threshold;
+  const auto& opt = config_.options;
+  while (!balanced() && result.rounds < opt.max_rounds) {
+    result.migrations += step(rng);
+    ++result.rounds;
+  }
+  result.balanced = balanced();
+  result.final_max_load = *std::max_element(loads_.begin(), loads_.end());
+  return result;
+}
+
+core::RunResult SelfishReallocEngine::run(const tasks::Placement& placement,
+                                          util::Rng& rng) {
+  reset(placement);
+  return run(rng);
+}
+
+}  // namespace tlb::baselines

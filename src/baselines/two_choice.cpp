@@ -1,0 +1,28 @@
+#include "tlb/baselines/two_choice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlb::baselines {
+
+SequentialAllocResult greedy_d_choice(const tasks::TaskSet& ts, graph::Node n,
+                                      int choices, util::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("greedy_d_choice: need n >= 1");
+  if (choices < 1) throw std::invalid_argument("greedy_d_choice: choices >= 1");
+  SequentialAllocResult out;
+  out.loads.assign(n, 0.0);
+  for (tasks::TaskId i = 0; i < ts.size(); ++i) {
+    graph::Node best = static_cast<graph::Node>(rng.uniform_below(n));
+    for (int c = 1; c < choices; ++c) {
+      const auto candidate = static_cast<graph::Node>(rng.uniform_below(n));
+      if (out.loads[candidate] < out.loads[best]) best = candidate;
+    }
+    out.loads[best] += ts.weight(i);
+  }
+  out.max_load = *std::max_element(out.loads.begin(), out.loads.end());
+  out.average = ts.total_weight() / static_cast<double>(n);
+  out.gap = out.max_load - out.average;
+  return out;
+}
+
+}  // namespace tlb::baselines

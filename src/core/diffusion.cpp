@@ -1,0 +1,62 @@
+#include "tlb/core/diffusion.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tlb::core {
+
+namespace {
+
+double max_abs_error(const std::vector<double>& xs, double target) {
+  double worst = 0.0;
+  for (double x : xs) worst = std::max(worst, std::fabs(x - target));
+  return worst;
+}
+
+}  // namespace
+
+DiffusionResult diffuse(const randomwalk::TransitionModel& walk,
+                        const std::vector<double>& initial, long rounds) {
+  if (initial.size() != walk.num_nodes()) {
+    throw std::invalid_argument("diffuse: initial size != node count");
+  }
+  const double average =
+      std::accumulate(initial.begin(), initial.end(), 0.0) /
+      static_cast<double>(initial.size());
+  DiffusionResult result;
+  result.estimates = initial;
+  std::vector<double> next;
+  for (long t = 0; t < rounds; ++t) {
+    // P is symmetric, so "receive along each edge" is exactly evolve().
+    walk.evolve(result.estimates, next);
+    result.estimates.swap(next);
+  }
+  result.rounds = rounds;
+  result.max_error = max_abs_error(result.estimates, average);
+  return result;
+}
+
+DiffusionResult diffuse_until(const randomwalk::TransitionModel& walk,
+                              const std::vector<double>& initial,
+                              double tolerance, long max_rounds) {
+  if (initial.size() != walk.num_nodes()) {
+    throw std::invalid_argument("diffuse_until: initial size != node count");
+  }
+  const double average =
+      std::accumulate(initial.begin(), initial.end(), 0.0) /
+      static_cast<double>(initial.size());
+  DiffusionResult result;
+  result.estimates = initial;
+  std::vector<double> next;
+  result.max_error = max_abs_error(result.estimates, average);
+  while (result.max_error > tolerance && result.rounds < max_rounds) {
+    walk.evolve(result.estimates, next);
+    result.estimates.swap(next);
+    ++result.rounds;
+    result.max_error = max_abs_error(result.estimates, average);
+  }
+  return result;
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,222 @@
+#include "tlb/core/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tlb/util/binomial.hpp"
+
+namespace tlb::core {
+
+DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
+    : config_(std::move(config)) {
+  if (config_.n < 2) throw std::invalid_argument("DynamicUserEngine: n >= 2");
+  if (config_.arrival_rate < 0.0 || config_.completion_rate < 0.0 ||
+      config_.completion_rate > 1.0) {
+    throw std::invalid_argument("DynamicUserEngine: bad arrival/completion rate");
+  }
+  if (config_.crash_rate < 0.0 || config_.crash_rate > 1.0) {
+    throw std::invalid_argument("DynamicUserEngine: crash_rate in [0, 1]");
+  }
+  if (config_.eps <= 0.0 || config_.alpha <= 0.0) {
+    throw std::invalid_argument("DynamicUserEngine: eps, alpha > 0");
+  }
+  if (config_.classes.empty()) {
+    throw std::invalid_argument("DynamicUserEngine: need >= 1 weight class");
+  }
+  // Normalise and sort the class table (ascending weights, CDF for sampling).
+  std::sort(config_.classes.begin(), config_.classes.end(),
+            [](const auto& a, const auto& b) { return a.weight < b.weight; });
+  double total_p = 0.0;
+  for (const auto& c : config_.classes) {
+    if (c.weight < 1.0 || c.probability <= 0.0) {
+      throw std::invalid_argument(
+          "DynamicUserEngine: class weights >= 1, probabilities > 0");
+    }
+    total_p += c.probability;
+  }
+  double acc = 0.0;
+  for (const auto& c : config_.classes) {
+    class_weights_.push_back(c.weight);
+    acc += c.probability / total_p;
+    class_cdf_.push_back(acc);
+    w_max_ = std::max(w_max_, c.weight);
+  }
+  class_cdf_.back() = 1.0;
+
+  counts_.assign(static_cast<std::size_t>(config_.n) * class_weights_.size(), 0);
+  loads_.assign(config_.n, 0.0);
+  task_counts_.assign(config_.n, 0);
+  recompute_threshold();
+}
+
+void DynamicUserEngine::recompute_threshold() {
+  // Above-average threshold against the *current* total weight; the +w_max
+  // term uses the static class bound (resources know the workload's class
+  // table, not the transient maximum).
+  threshold_ = (1.0 + config_.eps) * total_weight_ /
+                   static_cast<double>(config_.n) +
+               w_max_;
+}
+
+void DynamicUserEngine::do_arrivals(util::Rng& rng) {
+  // Dispersed arrival count with the right mean: Binomial(2λ, 1/2).
+  const auto budget = static_cast<std::uint64_t>(
+      std::llround(2.0 * config_.arrival_rate));
+  const std::uint64_t count = util::binomial(rng, budget, 0.5);
+  const std::size_t C = class_weights_.size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const double u = rng.uniform01();
+    std::size_t cls = 0;
+    while (cls + 1 < C && u > class_cdf_[cls]) ++cls;
+    const graph::Node dst =
+        config_.hotspot_arrivals
+            ? 0
+            : static_cast<graph::Node>(rng.uniform_below(config_.n));
+    ++counts_[static_cast<std::size_t>(dst) * C + cls];
+    loads_[dst] += class_weights_[cls];
+    ++task_counts_[dst];
+    total_weight_ += class_weights_[cls];
+    ++population_;
+    if (metrics_) ++metrics_->arrivals;
+  }
+}
+
+void DynamicUserEngine::do_completions(util::Rng& rng) {
+  if (config_.completion_rate <= 0.0) return;
+  const std::size_t C = class_weights_.size();
+  for (graph::Node r = 0; r < config_.n; ++r) {
+    for (std::size_t c = 0; c < C; ++c) {
+      auto& slot = counts_[static_cast<std::size_t>(r) * C + c];
+      if (slot == 0) continue;
+      const auto done = static_cast<std::uint32_t>(
+          util::binomial(rng, slot, config_.completion_rate));
+      if (done == 0) continue;
+      slot -= done;
+      loads_[r] -= static_cast<double>(done) * class_weights_[c];
+      task_counts_[r] -= done;
+      total_weight_ -= static_cast<double>(done) * class_weights_[c];
+      population_ -= done;
+      if (metrics_) metrics_->completions += done;
+    }
+  }
+}
+
+void DynamicUserEngine::do_crash(util::Rng& rng) {
+  if (config_.crash_rate <= 0.0 || !rng.bernoulli(config_.crash_rate)) return;
+  const auto victim = static_cast<graph::Node>(rng.uniform_below(config_.n));
+  const std::size_t C = class_weights_.size();
+  // Fail-over: every task on the victim scatters to a uniform resource
+  // (possibly re-landing anywhere but the victim, which rejoins empty).
+  for (std::size_t c = 0; c < C; ++c) {
+    auto& slot = counts_[static_cast<std::size_t>(victim) * C + c];
+    while (slot > 0) {
+      --slot;
+      auto dst = static_cast<graph::Node>(rng.uniform_below(config_.n - 1));
+      if (dst >= victim) ++dst;
+      ++counts_[static_cast<std::size_t>(dst) * C + c];
+      loads_[dst] += class_weights_[c];
+      ++task_counts_[dst];
+    }
+  }
+  loads_[victim] = 0.0;
+  task_counts_[victim] = 0;
+  if (metrics_) ++metrics_->crashes;
+}
+
+std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
+  // One grouped Algorithm 6.1 round against the current threshold.
+  const std::size_t C = class_weights_.size();
+  struct Departure {
+    graph::Node src;
+    std::uint32_t cls;
+    std::uint32_t count;
+  };
+  static thread_local std::vector<Departure> departures;
+  departures.clear();
+  for (graph::Node r = 0; r < config_.n; ++r) {
+    if (loads_[r] <= threshold_ || task_counts_[r] == 0) continue;
+    const double phi = phi_of(r);
+    if (phi <= 0.0) continue;
+    const double p =
+        std::min(1.0, config_.alpha * std::ceil(phi / w_max_) /
+                          static_cast<double>(task_counts_[r]));
+    for (std::size_t c = 0; c < C; ++c) {
+      const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
+      if (k == 0) continue;
+      const auto leavers = static_cast<std::uint32_t>(util::binomial(rng, k, p));
+      if (leavers > 0) departures.push_back({r, static_cast<std::uint32_t>(c), leavers});
+    }
+  }
+  std::size_t migrations = 0;
+  for (const auto& d : departures) {
+    counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
+    loads_[d.src] -= static_cast<double>(d.count) * class_weights_[d.cls];
+    task_counts_[d.src] -= d.count;
+  }
+  for (const auto& d : departures) {
+    for (std::uint32_t i = 0; i < d.count; ++i) {
+      const auto dst = static_cast<graph::Node>(rng.uniform_below(config_.n));
+      ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
+      loads_[dst] += class_weights_[d.cls];
+      ++task_counts_[dst];
+      ++migrations;
+    }
+  }
+  return migrations;
+}
+
+double DynamicUserEngine::phi_of(graph::Node r) const {
+  if (loads_[r] <= threshold_) return 0.0;
+  // Canonical ascending stacking, as in GroupedUserEngine.
+  const std::size_t C = class_weights_.size();
+  double h = 0.0;
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
+    if (k == 0) continue;
+    const double w = class_weights_[c];
+    if (h + w > threshold_) break;
+    const double room = std::floor((threshold_ - h) / w);
+    const auto fit = static_cast<std::uint32_t>(
+        std::min<double>(room, static_cast<double>(k)));
+    h += static_cast<double>(fit) * w;
+    if (fit < k) break;
+  }
+  return loads_[r] - h;
+}
+
+void DynamicUserEngine::step(util::Rng& rng) {
+  do_arrivals(rng);
+  do_completions(rng);
+  do_crash(rng);
+  recompute_threshold();
+  last_migrations_ = do_protocol_step(rng);
+
+  if (metrics_) {
+    graph::Node over = 0;
+    double max_load = 0.0;
+    for (graph::Node r = 0; r < config_.n; ++r) {
+      over += loads_[r] > threshold_;
+      max_load = std::max(max_load, loads_[r]);
+    }
+    metrics_->overloaded_fraction.add(static_cast<double>(over) /
+                                      static_cast<double>(config_.n));
+    const double avg = total_weight_ / static_cast<double>(config_.n);
+    metrics_->max_over_avg.add(avg > 0.0 ? max_load / avg : 0.0);
+    metrics_->population.add(static_cast<double>(population_));
+    metrics_->migrations_per_round.add(static_cast<double>(last_migrations_));
+  }
+}
+
+DynamicMetrics DynamicUserEngine::run(long warmup, long measure,
+                                      util::Rng& rng) {
+  metrics_ = nullptr;
+  for (long t = 0; t < warmup; ++t) step(rng);
+  DynamicMetrics metrics;
+  metrics_ = &metrics;
+  for (long t = 0; t < measure; ++t) step(rng);
+  metrics_ = nullptr;
+  return metrics;
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,2 @@
+// Metrics types are header-only; this translation unit anchors the component.
+#include "tlb/core/metrics.hpp"

@@ -1,0 +1,132 @@
+#include "tlb/core/mixed_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tlb/core/potential.hpp"
+
+namespace tlb::core {
+
+MixedProtocolEngine::MixedProtocolEngine(const graph::Graph& g,
+                                         const tasks::TaskSet& ts,
+                                         MixedProtocolConfig config)
+    : graph_(&g),
+      tasks_(&ts),
+      config_(std::move(config)),
+      walk_(g, config_.walk),
+      state_(ts, g.num_nodes()) {
+  if (config_.thresholds.empty()) {
+    if (config_.threshold <= 0.0) {
+      throw std::invalid_argument("MixedProtocolEngine: threshold must be > 0");
+    }
+    thresholds_.assign(g.num_nodes(), config_.threshold);
+  } else {
+    if (config_.thresholds.size() != g.num_nodes()) {
+      throw std::invalid_argument(
+          "MixedProtocolEngine: thresholds size must equal node count");
+    }
+    thresholds_ = config_.thresholds;
+  }
+  if (config_.resource_probability < 0.0 || config_.resource_probability > 1.0) {
+    throw std::invalid_argument(
+        "MixedProtocolEngine: resource_probability in [0, 1]");
+  }
+  if (config_.alpha <= 0.0) {
+    throw std::invalid_argument("MixedProtocolEngine: alpha must be > 0");
+  }
+}
+
+void MixedProtocolEngine::reset(const tasks::Placement& placement) {
+  state_.place(placement, /*threshold=*/-1.0);
+  resource_rounds_ = 0;
+}
+
+std::size_t MixedProtocolEngine::step(util::Rng& rng) {
+  const Node n = state_.num_resources();
+  const double w_max = tasks_->max_weight();
+
+  // Phase 1: per overloaded resource, choose the mode for this round, then
+  // collect leavers (decisions against the round-start state).
+  movers_.clear();
+  mover_origin_.clear();
+  bool any_resource_mode = false;
+  for (Node r = 0; r < n; ++r) {
+    ResourceStack& stack = state_.stack(r);
+    if (stack.load() <= thresholds_[r]) continue;
+
+    if (rng.bernoulli(config_.resource_probability)) {
+      // Resource-controlled round: evict the whole above-threshold suffix.
+      any_resource_mode = true;
+      const std::size_t before = movers_.size();
+      stack.evict_above(*tasks_, thresholds_[r], movers_);
+      mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
+    } else {
+      // User-controlled round: Algorithm 6.1's per-task coin.
+      const double phi = stack.phi(*tasks_, thresholds_[r]);
+      if (phi <= 0.0) continue;
+      const double p = std::min(
+          1.0, config_.alpha * std::ceil(phi / w_max) /
+                   static_cast<double>(stack.count()));
+      leave_mask_.assign(stack.count(), 0);
+      bool any = false;
+      for (std::size_t i = 0; i < leave_mask_.size(); ++i) {
+        if (rng.bernoulli(p)) {
+          leave_mask_[i] = 1;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      const std::size_t before = movers_.size();
+      stack.remove_marked(leave_mask_, *tasks_, movers_);
+      mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
+    }
+  }
+  if (any_resource_mode) ++resource_rounds_;
+
+  // Phase 2: every leaver takes one P-step from its origin.
+  for (std::size_t i = 0; i < movers_.size(); ++i) {
+    const Node dst = walk_.step(mover_origin_[i], rng);
+    state_.stack(dst).push(movers_[i], *tasks_);
+  }
+  return movers_.size();
+}
+
+bool MixedProtocolEngine::balanced() const {
+  return state_.balanced(thresholds_);
+}
+
+RunResult MixedProtocolEngine::run(util::Rng& rng) {
+  RunResult result;
+  result.threshold =
+      *std::max_element(thresholds_.begin(), thresholds_.end());
+  const auto& opt = config_.options;
+  while (!balanced() && result.rounds < opt.max_rounds) {
+    if (opt.record_potential) {
+      result.potential_trace.push_back(user_potential(state_, thresholds_));
+    }
+    if (opt.record_overloaded) {
+      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    }
+    if (opt.paranoid_checks) state_.check_invariants();
+    result.migrations += step(rng);
+    ++result.rounds;
+  }
+  if (opt.record_potential) {
+    result.potential_trace.push_back(user_potential(state_, thresholds_));
+  }
+  if (opt.record_overloaded) {
+    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+  }
+  result.balanced = balanced();
+  result.final_max_load = state_.max_load();
+  return result;
+}
+
+RunResult MixedProtocolEngine::run(const tasks::Placement& placement,
+                                   util::Rng& rng) {
+  reset(placement);
+  return run(rng);
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,48 @@
+#include "tlb/core/potential.hpp"
+
+namespace tlb::core {
+
+double resource_potential(const SystemState& state) {
+  double phi = 0.0;
+  for (Node r = 0; r < state.num_resources(); ++r) {
+    phi += state.stack(r).pending_load();
+  }
+  return phi;
+}
+
+double user_potential(const SystemState& state, double threshold) {
+  double phi = 0.0;
+  for (Node r = 0; r < state.num_resources(); ++r) {
+    phi += state.stack(r).phi(state.task_set(), threshold);
+  }
+  return phi;
+}
+
+double user_potential(const SystemState& state,
+                      const std::vector<double>& thresholds) {
+  double phi = 0.0;
+  for (Node r = 0; r < state.num_resources(); ++r) {
+    phi += state.stack(r).phi(state.task_set(), thresholds[r]);
+  }
+  return phi;
+}
+
+double acceptor_fraction(const SystemState& state, double threshold,
+                         double w_max) {
+  Node able = 0;
+  for (Node r = 0; r < state.num_resources(); ++r) {
+    if (state.load(r) <= threshold - w_max) ++able;
+  }
+  return static_cast<double>(able) / static_cast<double>(state.num_resources());
+}
+
+double acceptor_fraction(const SystemState& state,
+                         const std::vector<double>& thresholds, double w_max) {
+  Node able = 0;
+  for (Node r = 0; r < state.num_resources(); ++r) {
+    if (state.load(r) <= thresholds[r] - w_max) ++able;
+  }
+  return static_cast<double>(able) / static_cast<double>(state.num_resources());
+}
+
+}  // namespace tlb::core

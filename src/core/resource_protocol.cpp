@@ -1,0 +1,114 @@
+#include "tlb/core/resource_protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tlb/core/potential.hpp"
+
+namespace tlb::core {
+
+ResourceControlledEngine::ResourceControlledEngine(const graph::Graph& g,
+                                                   const tasks::TaskSet& ts,
+                                                   ResourceProtocolConfig config)
+    : graph_(&g),
+      tasks_(&ts),
+      config_(std::move(config)),
+      walk_(g, config_.walk),
+      state_(ts, g.num_nodes()) {
+  if (config_.thresholds.empty()) {
+    if (config_.threshold <= 0.0) {
+      throw std::invalid_argument(
+          "ResourceControlledEngine: threshold must be > 0");
+    }
+    thresholds_.assign(g.num_nodes(), config_.threshold);
+  } else {
+    if (config_.thresholds.size() != g.num_nodes()) {
+      throw std::invalid_argument(
+          "ResourceControlledEngine: thresholds size must equal node count");
+    }
+    for (double t : config_.thresholds) {
+      if (t <= 0.0) {
+        throw std::invalid_argument(
+            "ResourceControlledEngine: all thresholds must be > 0");
+      }
+    }
+    thresholds_ = config_.thresholds;
+  }
+  max_threshold_ = *std::max_element(thresholds_.begin(), thresholds_.end());
+  is_active_.assign(g.num_nodes(), 0);
+}
+
+void ResourceControlledEngine::reset(const tasks::Placement& placement) {
+  state_.place(placement, thresholds_);
+  active_resources_.clear();
+  std::fill(is_active_.begin(), is_active_.end(), 0);
+  for (Node r = 0; r < state_.num_resources(); ++r) {
+    if (state_.stack(r).pending_count() > 0) {
+      active_resources_.push_back(r);
+      is_active_[r] = 1;
+    }
+  }
+}
+
+std::size_t ResourceControlledEngine::step(util::Rng& rng) {
+  // Phase 1: evict every unaccepted suffix. By the stack invariant each
+  // active resource is overloaded (x_r > T_r), which is Algorithm 5.1's
+  // guard (per-resource threshold in the non-uniform extension).
+  movers_.clear();
+  mover_origin_.clear();
+  for (Node r : active_resources_) {
+    const std::size_t before = movers_.size();
+    state_.stack(r).evict_unaccepted(*tasks_, movers_);
+    mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
+    is_active_[r] = 0;
+  }
+  active_resources_.clear();
+
+  // Phase 2+3: one P-step per evicted task, then append at the destination
+  // (acceptance test happens on push). Arrival order = eviction order, which
+  // the model leaves arbitrary.
+  for (std::size_t i = 0; i < movers_.size(); ++i) {
+    const Node dst = walk_.step(mover_origin_[i], rng);
+    const bool accepted =
+        state_.stack(dst).push_accepting(movers_[i], *tasks_, thresholds_[dst]);
+    if (!accepted && !is_active_[dst]) {
+      is_active_[dst] = 1;
+      active_resources_.push_back(dst);
+    }
+  }
+  return movers_.size();
+}
+
+RunResult ResourceControlledEngine::run(util::Rng& rng) {
+  RunResult result;
+  result.threshold = max_threshold_;
+  const auto& opt = config_.options;
+  while (!balanced() && result.rounds < opt.max_rounds) {
+    if (opt.record_potential) {
+      result.potential_trace.push_back(resource_potential(state_));
+    }
+    if (opt.record_overloaded) {
+      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    }
+    if (opt.paranoid_checks) state_.check_invariants();
+    result.migrations += step(rng);
+    ++result.rounds;
+  }
+  if (opt.record_potential) {
+    result.potential_trace.push_back(resource_potential(state_));
+  }
+  if (opt.record_overloaded) {
+    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+  }
+  result.balanced = balanced();
+  result.final_max_load = state_.max_load();
+  return result;
+}
+
+RunResult ResourceControlledEngine::run(const tasks::Placement& placement,
+                                        util::Rng& rng) {
+  reset(placement);
+  return run(rng);
+}
+
+}  // namespace tlb::core

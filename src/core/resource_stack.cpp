@@ -1,0 +1,117 @@
+#include "tlb/core/resource_stack.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::core {
+
+bool ResourceStack::push_accepting(TaskId id, const tasks::TaskSet& ts,
+                                   double threshold) {
+  const double w = ts.weight(id);
+  // The arriving task's height is the current load. Accepted iff it fits
+  // entirely below the threshold AND nothing unaccepted sits below it
+  // (otherwise the load already exceeds the threshold and the test fails
+  // automatically — kept explicit for clarity).
+  const bool accept =
+      (accepted_count_ == stack_.size()) && (load_ + w <= threshold);
+  stack_.push_back(id);
+  load_ += w;
+  if (accept) {
+    ++accepted_count_;
+    accepted_load_ += w;
+  }
+  return accept;
+}
+
+void ResourceStack::push(TaskId id, const tasks::TaskSet& ts) {
+  stack_.push_back(id);
+  load_ += ts.weight(id);
+}
+
+void ResourceStack::evict_unaccepted(const tasks::TaskSet& ts,
+                                     std::vector<TaskId>& out) {
+  for (std::size_t i = accepted_count_; i < stack_.size(); ++i) {
+    out.push_back(stack_[i]);
+    load_ -= ts.weight(stack_[i]);
+  }
+  stack_.resize(accepted_count_);
+}
+
+void ResourceStack::evict_above(const tasks::TaskSet& ts, double threshold,
+                                std::vector<TaskId>& out) {
+  // Find the largest prefix of completely-below tasks (h + w <= T); evict
+  // everything above it — exactly I^a ∪ I^c under the height semantics.
+  double h = 0.0;
+  std::size_t keep = 0;
+  while (keep < stack_.size()) {
+    const double w = ts.weight(stack_[keep]);
+    if (h + w > threshold) break;
+    h += w;
+    ++keep;
+  }
+  for (std::size_t i = keep; i < stack_.size(); ++i) {
+    out.push_back(stack_[i]);
+    load_ -= ts.weight(stack_[i]);
+  }
+  stack_.resize(keep);
+  accepted_count_ = std::min(accepted_count_, keep);
+  accepted_load_ = std::min(accepted_load_, load_);
+}
+
+void ResourceStack::remove_marked(const std::vector<std::uint8_t>& leave,
+                                  const tasks::TaskSet& ts,
+                                  std::vector<TaskId>& out) {
+  if (leave.size() != stack_.size()) {
+    throw std::invalid_argument("remove_marked: mask size mismatch");
+  }
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (leave[i]) {
+      out.push_back(stack_[i]);
+      load_ -= ts.weight(stack_[i]);
+    } else {
+      stack_[keep++] = stack_[i];
+    }
+  }
+  stack_.resize(keep);
+  // Acceptance bookkeeping is only meaningful for the resource-controlled
+  // engine, which never calls remove_marked; reset defensively.
+  accepted_count_ = 0;
+  accepted_load_ = 0.0;
+}
+
+double ResourceStack::height_at(std::size_t pos,
+                                const tasks::TaskSet& ts) const {
+  if (pos >= stack_.size()) {
+    throw std::out_of_range("height_at: position beyond stack top");
+  }
+  double h = 0.0;
+  for (std::size_t i = 0; i < pos; ++i) h += ts.weight(stack_[i]);
+  return h;
+}
+
+double ResourceStack::phi(const tasks::TaskSet& ts, double threshold) const {
+  if (load_ <= threshold) return 0.0;
+  // Largest prefix of completely-below tasks: walk up while h + w <= T.
+  double h = 0.0;
+  for (TaskId id : stack_) {
+    const double w = ts.weight(id);
+    if (h + w > threshold) break;
+    h += w;
+  }
+  return load_ - h;
+}
+
+double ResourceStack::psi(const tasks::TaskSet& ts, double threshold,
+                          double w_max) const {
+  return std::ceil(phi(ts, threshold) / w_max);
+}
+
+void ResourceStack::clear() noexcept {
+  stack_.clear();
+  load_ = 0.0;
+  accepted_load_ = 0.0;
+  accepted_count_ = 0;
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,130 @@
+#include "tlb/core/system_state.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tlb::core {
+
+SystemState::SystemState(const tasks::TaskSet& tasks, Node n)
+    : tasks_(&tasks), stacks_(n) {
+  if (n == 0) throw std::invalid_argument("SystemState: need n >= 1");
+}
+
+void SystemState::place(const tasks::Placement& placement, double threshold) {
+  if (placement.size() != tasks_->size()) {
+    throw std::invalid_argument("SystemState::place: placement size mismatch");
+  }
+  for (auto& s : stacks_) s.clear();
+  for (TaskId i = 0; i < placement.size(); ++i) {
+    const Node r = placement[i];
+    if (r >= stacks_.size()) {
+      throw std::invalid_argument("SystemState::place: resource out of range");
+    }
+    if (threshold >= 0.0) {
+      stacks_[r].push_accepting(i, *tasks_, threshold);
+    } else {
+      stacks_[r].push(i, *tasks_);
+    }
+  }
+}
+
+void SystemState::place(const tasks::Placement& placement,
+                        const std::vector<double>& thresholds) {
+  if (placement.size() != tasks_->size()) {
+    throw std::invalid_argument("SystemState::place: placement size mismatch");
+  }
+  if (!thresholds.empty() && thresholds.size() != stacks_.size()) {
+    throw std::invalid_argument("SystemState::place: threshold vector size mismatch");
+  }
+  for (auto& s : stacks_) s.clear();
+  for (TaskId i = 0; i < placement.size(); ++i) {
+    const Node r = placement[i];
+    if (r >= stacks_.size()) {
+      throw std::invalid_argument("SystemState::place: resource out of range");
+    }
+    if (!thresholds.empty()) {
+      stacks_[r].push_accepting(i, *tasks_, thresholds[r]);
+    } else {
+      stacks_[r].push(i, *tasks_);
+    }
+  }
+}
+
+std::vector<double> SystemState::loads() const {
+  std::vector<double> out(stacks_.size());
+  for (std::size_t r = 0; r < stacks_.size(); ++r) out[r] = stacks_[r].load();
+  return out;
+}
+
+double SystemState::max_load() const {
+  double best = 0.0;
+  for (const auto& s : stacks_) best = std::max(best, s.load());
+  return best;
+}
+
+Node SystemState::overloaded_count(double threshold) const {
+  Node count = 0;
+  for (const auto& s : stacks_) {
+    if (s.load() > threshold) ++count;
+  }
+  return count;
+}
+
+bool SystemState::balanced(double threshold) const {
+  for (const auto& s : stacks_) {
+    if (s.load() > threshold) return false;
+  }
+  return true;
+}
+
+Node SystemState::overloaded_count(const std::vector<double>& thresholds) const {
+  Node count = 0;
+  for (std::size_t r = 0; r < stacks_.size(); ++r) {
+    if (stacks_[r].load() > thresholds[r]) ++count;
+  }
+  return count;
+}
+
+bool SystemState::balanced(const std::vector<double>& thresholds) const {
+  for (std::size_t r = 0; r < stacks_.size(); ++r) {
+    if (stacks_[r].load() > thresholds[r]) return false;
+  }
+  return true;
+}
+
+double SystemState::total_load() const {
+  double sum = 0.0;
+  for (const auto& s : stacks_) sum += s.load();
+  return sum;
+}
+
+void SystemState::check_invariants() const {
+  std::vector<std::uint8_t> seen(tasks_->size(), 0);
+  for (std::size_t r = 0; r < stacks_.size(); ++r) {
+    double recomputed = 0.0;
+    for (TaskId id : stacks_[r].tasks()) {
+      if (id >= tasks_->size()) {
+        throw std::logic_error("SystemState: task id out of range");
+      }
+      if (seen[id]) {
+        throw std::logic_error("SystemState: task " + std::to_string(id) +
+                               " appears twice");
+      }
+      seen[id] = 1;
+      recomputed += tasks_->weight(id);
+    }
+    if (std::fabs(recomputed - stacks_[r].load()) > 1e-6) {
+      throw std::logic_error("SystemState: cached load drifted on resource " +
+                             std::to_string(r));
+    }
+  }
+  for (TaskId id = 0; id < tasks_->size(); ++id) {
+    if (!seen[id]) {
+      throw std::logic_error("SystemState: task " + std::to_string(id) +
+                             " lost");
+    }
+  }
+}
+
+}  // namespace tlb::core

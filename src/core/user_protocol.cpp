@@ -1,0 +1,323 @@
+#include "tlb/core/user_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tlb/core/potential.hpp"
+#include "tlb/util/binomial.hpp"
+
+namespace tlb::core {
+
+namespace {
+
+/// Clamp the migration probability α·⌈φ/w_max⌉/b to [0, 1].
+double leave_probability(double alpha, double phi, double w_max,
+                         std::size_t b) {
+  if (b == 0 || phi <= 0.0) return 0.0;
+  const double p = alpha * std::ceil(phi / w_max) / static_cast<double>(b);
+  return std::min(p, 1.0);
+}
+
+/// Uniform destination; optionally excluding the source.
+graph::Node sample_destination(graph::Node n, graph::Node src,
+                               bool exclude_self, util::Rng& rng) {
+  if (!exclude_self) return static_cast<graph::Node>(rng.uniform_below(n));
+  auto d = static_cast<graph::Node>(rng.uniform_below(n - 1));
+  return d >= src ? d + 1 : d;
+}
+
+/// Resolve the scalar-or-vector threshold configuration into a dense
+/// per-resource vector (shared by both engines).
+std::vector<double> resolve_thresholds(const UserProtocolConfig& config,
+                                       graph::Node n, const char* who) {
+  std::vector<double> out;
+  if (config.thresholds.empty()) {
+    if (config.threshold <= 0.0) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": threshold must be > 0");
+    }
+    out.assign(n, config.threshold);
+  } else {
+    if (config.thresholds.size() != n) {
+      throw std::invalid_argument(
+          std::string(who) + ": thresholds size must equal resource count");
+    }
+    for (double t : config.thresholds) {
+      if (t <= 0.0) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": all thresholds must be > 0");
+      }
+    }
+    out = config.thresholds;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exact engine
+// ---------------------------------------------------------------------------
+
+UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
+                                           UserProtocolConfig config)
+    : tasks_(&ts), config_(std::move(config)), state_(ts, n) {
+  thresholds_ = resolve_thresholds(config_, n, "UserControlledEngine");
+  max_threshold_ = *std::max_element(thresholds_.begin(), thresholds_.end());
+  if (config_.alpha <= 0.0) {
+    throw std::invalid_argument("UserControlledEngine: alpha must be > 0");
+  }
+  if (n < 2) throw std::invalid_argument("UserControlledEngine: need n >= 2");
+}
+
+void UserControlledEngine::reset(const tasks::Placement& placement) {
+  state_.place(placement, /*threshold=*/-1.0);  // plain stacking
+}
+
+std::size_t UserControlledEngine::step(util::Rng& rng) {
+  const Node n = state_.num_resources();
+  const double w_max = tasks_->max_weight();
+
+  // Phase 1: departure decisions, all based on the state at round start.
+  movers_.clear();
+  mover_origin_.clear();
+  for (Node r = 0; r < n; ++r) {
+    ResourceStack& stack = state_.stack(r);
+    if (stack.load() <= thresholds_[r]) continue;
+    const double phi = stack.phi(*tasks_, thresholds_[r]);
+    const double p =
+        leave_probability(config_.alpha, phi, w_max, stack.count());
+    if (p <= 0.0) continue;
+    leave_mask_.assign(stack.count(), 0);
+    bool any = false;
+    for (std::size_t i = 0; i < leave_mask_.size(); ++i) {
+      if (rng.bernoulli(p)) {
+        leave_mask_[i] = 1;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const std::size_t before = movers_.size();
+    stack.remove_marked(leave_mask_, *tasks_, movers_);
+    mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
+  }
+
+  // Phase 2: scatter to uniformly random resources.
+  for (std::size_t i = 0; i < movers_.size(); ++i) {
+    const Node dst =
+        sample_destination(n, mover_origin_[i], config_.exclude_self, rng);
+    state_.stack(dst).push(movers_[i], *tasks_);
+  }
+  return movers_.size();
+}
+
+bool UserControlledEngine::balanced() const {
+  return state_.balanced(thresholds_);
+}
+
+RunResult UserControlledEngine::run(util::Rng& rng) {
+  RunResult result;
+  result.threshold = max_threshold_;
+  const auto& opt = config_.options;
+  while (!balanced() && result.rounds < opt.max_rounds) {
+    if (opt.record_potential) {
+      result.potential_trace.push_back(user_potential(state_, thresholds_));
+    }
+    if (opt.record_overloaded) {
+      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    }
+    if (opt.paranoid_checks) state_.check_invariants();
+    result.migrations += step(rng);
+    ++result.rounds;
+  }
+  if (opt.record_potential) {
+    result.potential_trace.push_back(user_potential(state_, thresholds_));
+  }
+  if (opt.record_overloaded) {
+    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+  }
+  result.balanced = balanced();
+  result.final_max_load = state_.max_load();
+  return result;
+}
+
+RunResult UserControlledEngine::run(const tasks::Placement& placement,
+                                    util::Rng& rng) {
+  reset(placement);
+  return run(rng);
+}
+
+// ---------------------------------------------------------------------------
+// Grouped engine
+// ---------------------------------------------------------------------------
+
+GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
+                                     UserProtocolConfig config)
+    : tasks_(&ts), config_(std::move(config)), n_(n) {
+  thresholds_ = resolve_thresholds(config_, n, "GroupedUserEngine");
+  if (config_.alpha <= 0.0) {
+    throw std::invalid_argument("GroupedUserEngine: alpha must be > 0");
+  }
+  if (n < 2) throw std::invalid_argument("GroupedUserEngine: need n >= 2");
+
+  // Build the ascending weight-class table.
+  std::vector<double> sorted = ts.weights();
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (sorted.size() > kMaxClasses) {
+    throw std::invalid_argument(
+        "GroupedUserEngine: too many distinct weights; use the exact engine");
+  }
+  class_weights_ = std::move(sorted);
+  task_class_.resize(ts.size());
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    const auto it = std::lower_bound(class_weights_.begin(),
+                                     class_weights_.end(), ts.weight(i));
+    task_class_[i] = static_cast<std::uint32_t>(it - class_weights_.begin());
+  }
+}
+
+void GroupedUserEngine::reset(const tasks::Placement& placement) {
+  if (placement.size() != tasks_->size()) {
+    throw std::invalid_argument("GroupedUserEngine::reset: placement size mismatch");
+  }
+  const std::size_t C = class_weights_.size();
+  counts_.assign(static_cast<std::size_t>(n_) * C, 0);
+  loads_.assign(n_, 0.0);
+  task_counts_.assign(n_, 0);
+  for (TaskId i = 0; i < placement.size(); ++i) {
+    const Node r = placement[i];
+    if (r >= n_) {
+      throw std::invalid_argument("GroupedUserEngine::reset: resource out of range");
+    }
+    ++counts_[static_cast<std::size_t>(r) * C + task_class_[i]];
+    loads_[r] += tasks_->weight(i);
+    ++task_counts_[r];
+  }
+}
+
+double GroupedUserEngine::fitted_prefix_weight(Node r) const {
+  // Canonical stacking: classes in ascending weight order. Within a class of
+  // weight w starting at height h, exactly floor((T - h)/w) tasks (clamped
+  // to the class count) still fit completely below the threshold.
+  const std::size_t C = class_weights_.size();
+  const double T = thresholds_[r];
+  double h = 0.0;
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
+    if (k == 0) continue;
+    const double w = class_weights_[c];
+    if (h + w > T) break;
+    const double room = std::floor((T - h) / w);
+    const auto fit = static_cast<std::uint32_t>(
+        std::min<double>(room, static_cast<double>(k)));
+    h += static_cast<double>(fit) * w;
+    if (fit < k) break;
+  }
+  return h;
+}
+
+double GroupedUserEngine::phi_of(Node r) const {
+  if (loads_[r] <= thresholds_[r]) return 0.0;
+  return loads_[r] - fitted_prefix_weight(r);
+}
+
+double GroupedUserEngine::potential() const {
+  double phi = 0.0;
+  for (Node r = 0; r < n_; ++r) phi += phi_of(r);
+  return phi;
+}
+
+std::size_t GroupedUserEngine::step(util::Rng& rng) {
+  const std::size_t C = class_weights_.size();
+  const double w_max = tasks_->max_weight();
+
+  // Phase 1: per overloaded resource, binomial leaver counts per class,
+  // decided against the round-start state.
+  struct Departure {
+    Node src;
+    std::uint32_t cls;
+    std::uint32_t count;
+  };
+  static thread_local std::vector<Departure> departures;
+  departures.clear();
+  for (Node r = 0; r < n_; ++r) {
+    if (loads_[r] <= thresholds_[r]) continue;
+    const double phi = phi_of(r);
+    const double p =
+        leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
+    if (p <= 0.0) continue;
+    for (std::size_t c = 0; c < C; ++c) {
+      const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
+      if (k == 0) continue;
+      const auto leavers =
+          static_cast<std::uint32_t>(util::binomial(rng, k, p));
+      if (leavers > 0) {
+        departures.push_back({r, static_cast<std::uint32_t>(c), leavers});
+      }
+    }
+  }
+
+  // Phase 2: remove, then scatter each departing task independently.
+  std::size_t migrations = 0;
+  for (const auto& d : departures) {
+    counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
+    const double w = class_weights_[d.cls];
+    loads_[d.src] -= static_cast<double>(d.count) * w;
+    task_counts_[d.src] -= d.count;
+  }
+  for (const auto& d : departures) {
+    const double w = class_weights_[d.cls];
+    for (std::uint32_t i = 0; i < d.count; ++i) {
+      const Node dst =
+          sample_destination(n_, d.src, config_.exclude_self, rng);
+      ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
+      loads_[dst] += w;
+      ++task_counts_[dst];
+      ++migrations;
+    }
+  }
+  return migrations;
+}
+
+bool GroupedUserEngine::balanced() const {
+  for (Node r = 0; r < n_; ++r) {
+    if (loads_[r] > thresholds_[r]) return false;
+  }
+  return true;
+}
+
+RunResult GroupedUserEngine::run(util::Rng& rng) {
+  RunResult result;
+  result.threshold =
+      *std::max_element(thresholds_.begin(), thresholds_.end());
+  const auto& opt = config_.options;
+  while (!balanced() && result.rounds < opt.max_rounds) {
+    if (opt.record_potential) result.potential_trace.push_back(potential());
+    if (opt.record_overloaded) {
+      std::uint32_t over = 0;
+      for (Node r = 0; r < n_; ++r) over += loads_[r] > thresholds_[r];
+      result.overloaded_trace.push_back(over);
+    }
+    result.migrations += step(rng);
+    ++result.rounds;
+  }
+  if (opt.record_potential) result.potential_trace.push_back(potential());
+  if (opt.record_overloaded) {
+    std::uint32_t over = 0;
+    for (Node r = 0; r < n_; ++r) over += loads_[r] > thresholds_[r];
+    result.overloaded_trace.push_back(over);
+  }
+  result.balanced = balanced();
+  result.final_max_load = *std::max_element(loads_.begin(), loads_.end());
+  return result;
+}
+
+RunResult GroupedUserEngine::run(const tasks::Placement& placement,
+                                 util::Rng& rng) {
+  reset(placement);
+  return run(rng);
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,211 @@
+#include "tlb/graph/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "tlb/graph/properties.hpp"
+
+namespace tlb::graph {
+
+Graph complete(Node n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Node u = 0; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges, "complete");
+}
+
+Graph cycle(Node n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (Node v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges, "cycle");
+}
+
+Graph path(Node n) {
+  if (n < 2) throw std::invalid_argument("path: need n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (Node v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges, "path");
+}
+
+Graph star(Node n) {
+  if (n < 2) throw std::invalid_argument("star: need n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (Node v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges, "star");
+}
+
+Graph grid2d(Node rows, Node cols, bool torus) {
+  if (rows < 1 || cols < 1 || static_cast<std::uint64_t>(rows) * cols < 2) {
+    throw std::invalid_argument("grid2d: need at least two nodes");
+  }
+  if (torus && (rows < 3 || cols < 3)) {
+    throw std::invalid_argument("grid2d: torus needs rows, cols >= 3");
+  }
+  auto id = [cols](Node r, Node c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (Node r = 0; r < rows; ++r) {
+    for (Node c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      else if (torus) edges.emplace_back(id(r, c), id(r, 0));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+      else if (torus) edges.emplace_back(id(r, c), id(0, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges, torus ? "torus" : "grid");
+}
+
+Graph hypercube(Node dim) {
+  if (dim < 1 || dim > 30) throw std::invalid_argument("hypercube: dim in [1,30]");
+  const Node n = Node{1} << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (Node v = 0; v < n; ++v) {
+    for (Node b = 0; b < dim; ++b) {
+      const Node u = v ^ (Node{1} << b);
+      if (v < u) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(n, edges, "hypercube");
+}
+
+Graph random_regular(Node n, Node d, util::Rng& rng) {
+  if (d >= n) throw std::invalid_argument("random_regular: need d < n");
+  if (d == 0) throw std::invalid_argument("random_regular: need d >= 1");
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) {
+    throw std::invalid_argument("random_regular: n*d must be even");
+  }
+  // Steger–Wormald pairing: repeatedly draw two random free stubs and accept
+  // the pair unless it forms a self-loop or duplicate edge. Unlike the
+  // restart-everything configuration model (acceptance ~ e^{-(d²-1)/4},
+  // hopeless already for d = 6), local rejection almost always completes;
+  // the rare dead end (only forbidden pairs left) restarts the attempt.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<Node> stubs(static_cast<std::size_t>(n) * d);
+    for (Node v = 0; v < n; ++v) {
+      for (Node k = 0; k < d; ++k) stubs[static_cast<std::size_t>(v) * d + k] = v;
+    }
+    std::set<Edge> seen;
+    std::size_t live = stubs.size();
+    bool stuck = false;
+    while (live >= 2) {
+      // Bound the per-pair rejection loop; if the remaining stubs only form
+      // forbidden pairs we would spin forever.
+      bool paired = false;
+      for (int tries = 0; tries < 200; ++tries) {
+        const std::size_t i = rng.uniform_below(live);
+        std::size_t j = rng.uniform_below(live - 1);
+        if (j >= i) ++j;
+        Node u = stubs[i], v = stubs[j];
+        if (u == v) continue;
+        if (u > v) std::swap(u, v);
+        if (!seen.emplace(u, v).second) continue;
+        // Remove both stubs (order matters: erase the larger index first).
+        const std::size_t hi = std::max(i, j), lo = std::min(i, j);
+        stubs[hi] = stubs[live - 1];
+        stubs[lo] = stubs[live - 2];
+        live -= 2;
+        paired = true;
+        break;
+      }
+      if (!paired) {
+        stuck = true;
+        break;
+      }
+    }
+    if (stuck) continue;
+    std::vector<Edge> edges(seen.begin(), seen.end());
+    Graph g = Graph::from_edges(n, edges, "regular");
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("random_regular: failed to build a simple connected graph");
+}
+
+Graph erdos_renyi(Node n, double p, util::Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p in [0,1]");
+  std::vector<Edge> edges;
+  // Geometric edge skipping (Batagelj–Brandes): O(n + |E|) instead of O(n²).
+  if (p > 0.0) {
+    const double log_q = std::log(1.0 - std::min(p, 1.0 - 1e-16));
+    std::int64_t v = 1, w = -1;
+    const auto nn = static_cast<std::int64_t>(n);
+    while (v < nn) {
+      const double r = rng.uniform01();
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log(1.0 - r) / log_q));
+      while (w >= v && v < nn) {
+        w -= v;
+        ++v;
+      }
+      if (v < nn) edges.emplace_back(static_cast<Node>(w), static_cast<Node>(v));
+    }
+  }
+  return Graph::from_edges(n, edges, "erdos_renyi");
+}
+
+Graph erdos_renyi_connected(Node n, double p, util::Rng& rng,
+                            int max_attempts) {
+  for (int i = 0; i < max_attempts; ++i) {
+    Graph g = erdos_renyi(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("erdos_renyi_connected: graph stayed disconnected; raise p");
+}
+
+Graph clique_plus_satellite(Node n, Node k) {
+  if (n < 3) throw std::invalid_argument("clique_plus_satellite: need n >= 3");
+  if (k < 1 || k > n - 1) {
+    throw std::invalid_argument("clique_plus_satellite: need 1 <= k <= n-1");
+  }
+  std::vector<Edge> edges;
+  const Node clique_size = n - 1;
+  for (Node u = 0; u < clique_size; ++u) {
+    for (Node v = u + 1; v < clique_size; ++v) edges.emplace_back(u, v);
+  }
+  // Satellite node n-1 attaches to the first k clique nodes; by symmetry of
+  // the clique the choice does not matter.
+  for (Node v = 0; v < k; ++v) edges.emplace_back(n - 1, v);
+  return Graph::from_edges(n, edges, "clique_plus_satellite");
+}
+
+Graph barbell(Node k) {
+  if (k < 2) throw std::invalid_argument("barbell: need k >= 2");
+  const Node n = 2 * k;
+  std::vector<Edge> edges;
+  for (Node u = 0; u < k; ++u) {
+    for (Node v = u + 1; v < k; ++v) edges.emplace_back(u, v);
+  }
+  for (Node u = k; u < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(k - 1, k);  // the bridge
+  return Graph::from_edges(n, edges, "barbell");
+}
+
+Graph lollipop(Node k, Node path_len) {
+  if (k < 2) throw std::invalid_argument("lollipop: need clique size >= 2");
+  const Node n = k + path_len;
+  std::vector<Edge> edges;
+  for (Node u = 0; u < k; ++u) {
+    for (Node v = u + 1; v < k; ++v) edges.emplace_back(u, v);
+  }
+  for (Node v = k; v < n; ++v) edges.emplace_back(v - 1 == k - 1 ? k - 1 : v - 1, v);
+  return Graph::from_edges(n, edges, "lollipop");
+}
+
+Graph binary_tree(Node n) {
+  if (n < 2) throw std::invalid_argument("binary_tree: need n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (Node v = 1; v < n; ++v) edges.emplace_back((v - 1) / 2, v);
+  return Graph::from_edges(n, edges, "binary_tree");
+}
+
+}  // namespace tlb::graph

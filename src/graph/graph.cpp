@@ -1,0 +1,63 @@
+#include "tlb/graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlb::graph {
+
+Graph Graph::from_edges(Node n, const std::vector<Edge>& edges,
+                        std::string name) {
+  if (n == 0) throw std::invalid_argument("Graph: need at least one node");
+  Graph g;
+  g.n_ = n;
+  g.name_ = std::move(name);
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const auto& [u, v] : edges) {
+    if (u >= n || v >= n) throw std::invalid_argument("Graph: node out of range");
+    if (u == v) throw std::invalid_argument("Graph: self-loop not allowed");
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.neighbors_.resize(2 * edges.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.neighbors_[cursor[u]++] = v;
+    g.neighbors_[cursor[v]++] = u;
+  }
+  g.max_degree_ = 0;
+  g.min_degree_ = n;  // sentinel > any possible degree
+  for (Node v = 0; v < n; ++v) {
+    auto begin = g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    if (std::adjacent_find(begin, end) != end) {
+      throw std::invalid_argument("Graph: duplicate edge");
+    }
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+    g.min_degree_ = std::min(g.min_degree_, g.degree(v));
+  }
+  if (n == 1) g.min_degree_ = 0;
+  return g;
+}
+
+bool Graph::has_edge(Node u, Node v) const noexcept {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Node u = 0; u < n_; ++u) {
+    for (Node v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace tlb::graph

@@ -1,0 +1,84 @@
+#include "tlb/graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace tlb::graph {
+
+std::vector<Node> bfs_distances(const Graph& g, Node source) {
+  const Node n = g.num_nodes();
+  std::vector<Node> dist(n, n);  // n == "infinity"
+  std::queue<Node> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop();
+    for (Node v : g.neighbors(u)) {
+      if (dist[v] == n) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [&](Node d) { return d == g.num_nodes(); });
+}
+
+bool is_bipartite(const Graph& g) {
+  const Node n = g.num_nodes();
+  std::vector<int> color(n, -1);
+  std::queue<Node> queue;
+  for (Node start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      const Node u = queue.front();
+      queue.pop();
+      for (Node v : g.neighbors(u)) {
+        if (color[v] == -1) {
+          color[v] = 1 - color[u];
+          queue.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool is_regular(const Graph& g) { return g.min_degree() == g.max_degree(); }
+
+Node eccentricity(const Graph& g, Node v) {
+  const auto dist = bfs_distances(g, v);
+  Node ecc = 0;
+  for (Node d : dist) {
+    if (d == g.num_nodes()) throw std::runtime_error("eccentricity: graph disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Node diameter(const Graph& g) {
+  Node diam = 0;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(g.max_degree()) + 1, 0);
+  for (Node v = 0; v < g.num_nodes(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+}  // namespace tlb::graph

@@ -1,0 +1,26 @@
+#pragma once
+// Centralized baseline: the "proper assignment" computed by first fit
+// (Section 5.2 notes it is trivial to compute centrally). It reaches
+// max load <= W/n + w_max in a single round of global coordination and
+// serves as the quality yardstick for the decentralized protocols.
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/first_fit.hpp"
+#include "tlb/tasks/task_set.hpp"
+
+namespace tlb::baselines {
+
+/// Outcome of the centralized assignment, shaped like a protocol RunResult
+/// so comparison benches can tabulate it alongside the decentralized runs.
+struct CentralizedResult {
+  core::RunResult run;             ///< rounds == 1, balanced == true
+  tasks::ProperAssignment assignment;  ///< the actual placement
+};
+
+/// Assign all tasks by first fit over n resources. `migrations` counts every
+/// task as one migration (a central scheduler touches each task once).
+CentralizedResult first_fit_centralized(const tasks::TaskSet& ts,
+                                        graph::Node n);
+
+}  // namespace tlb::baselines

@@ -1,0 +1,17 @@
+#pragma once
+// The (1+β)-choice process (Peres, Talwar & Wieder [11]): each ball goes to
+// a uniformly random bin with probability β, and to the lesser loaded of two
+// uniform choices with probability 1-β. The min/avg/max gap is Θ(log n / β)
+// independent of m — including, for a large class of distributions, the
+// weighted case. Related-work baseline.
+
+#include "tlb/baselines/two_choice.hpp"
+
+namespace tlb::baselines {
+
+/// Allocate the tasks (in id order) with the (1+β) rule.
+/// beta in [0, 1]; beta == 0 is pure two-choice, beta == 1 purely random.
+SequentialAllocResult one_plus_beta(const tasks::TaskSet& ts, graph::Node n,
+                                    double beta, util::Rng& rng);
+
+}  // namespace tlb::baselines

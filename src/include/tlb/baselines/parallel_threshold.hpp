@@ -1,0 +1,42 @@
+#pragma once
+// Parallel threshold-based allocation in the style of Adler, Chakrabarti,
+// Mitzenmacher & Rasmussen [4]: synchronous rounds in which every unplaced
+// ball picks a uniformly random bin; each bin accepts arrivals while its
+// load stays within the round's threshold and rejects the rest, who retry
+// next round. [4] studies the communication-rounds vs final-max-load
+// trade-off (their lower bound: r rounds force max load
+// Ω(r-th root of log n / log log n) for m = n unit balls).
+//
+// This is the round-synchronous ancestor of the paper's protocols: same
+// acceptance rule as the resource-controlled stacks, but balls start
+// unplaced and every round is a fresh uniform throw rather than a
+// neighbour walk.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::baselines {
+
+/// Outcome of a parallel threshold allocation.
+struct ParallelThresholdResult {
+  std::vector<double> loads;  ///< final per-bin loads
+  long rounds = 0;            ///< rounds used (== round cap if !completed)
+  bool completed = false;     ///< every ball placed
+  std::size_t placed = 0;     ///< balls placed
+  double max_load = 0.0;      ///< heaviest bin
+  std::uint64_t messages = 0; ///< total ball->bin proposals (communication)
+};
+
+/// Run the parallel protocol with a fixed per-bin `threshold` for up to
+/// `max_rounds` rounds. Within a round, arrivals at a bin are processed in
+/// a random order (ties are broken by the shuffled proposal order), exactly
+/// one proposal per unplaced ball per round.
+ParallelThresholdResult parallel_threshold(const tasks::TaskSet& ts,
+                                           graph::Node n, double threshold,
+                                           long max_rounds, util::Rng& rng);
+
+}  // namespace tlb::baselines

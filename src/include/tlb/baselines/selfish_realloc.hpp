@@ -1,0 +1,57 @@
+#pragma once
+// Threshold-free baseline: distributed selfish reallocation in the style of
+// Berenbrink, Friedetzky, Goldberg, Goldberg, Hu & Martin [12] (generalised
+// to weights in [13]). Every round, each task samples a uniformly random
+// resource j and migrates from its resource i with probability
+// max(0, 1 - x_j(t)/x_i(t)) — the classic damping that prevents herding.
+//
+// Contrast with the paper's protocols: no threshold, no φ; convergence is to
+// (near-)balance rather than to "everyone below T". The comparison bench
+// measures the time until the same threshold condition the paper's protocols
+// use is met, making the runs directly comparable.
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::baselines {
+
+/// Configuration for the selfish-reallocation baseline.
+struct SelfishConfig {
+  /// Stop as soon as every load is <= stop_threshold (use the same T as the
+  /// protocol under comparison).
+  double stop_threshold = 0.0;
+  core::EngineOptions options;
+};
+
+/// Engine mirroring the user-protocol interface.
+class SelfishReallocEngine {
+ public:
+  SelfishReallocEngine(const tasks::TaskSet& ts, graph::Node n,
+                       SelfishConfig config);
+
+  /// Reset to the given placement.
+  void reset(const tasks::Placement& placement);
+  /// One synchronous round; returns migrations.
+  std::size_t step(util::Rng& rng);
+  /// True iff every load is <= stop_threshold.
+  bool balanced() const;
+  /// Run until balanced or max_rounds.
+  core::RunResult run(util::Rng& rng);
+  /// Convenience: reset + run.
+  core::RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  /// Current loads (tests).
+  const std::vector<double>& loads() const noexcept { return loads_; }
+
+ private:
+  const tasks::TaskSet* tasks_;
+  SelfishConfig config_;
+  graph::Node n_;
+  std::vector<graph::Node> task_location_;
+  std::vector<double> loads_;
+};
+
+}  // namespace tlb::baselines

@@ -1,0 +1,30 @@
+#pragma once
+// Sequential weighted multiple-choice allocation (Talwar & Wieder [9]):
+// balls arrive one at a time; each samples `choices` uniform bins and joins
+// the least loaded. For choices == 2 and weight distributions with finite
+// second moment the gap max-load − average is independent of m. Related-work
+// baseline used by the comparison bench.
+
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::baselines {
+
+/// Outcome of a sequential allocation run.
+struct SequentialAllocResult {
+  std::vector<double> loads;  ///< final per-bin loads
+  double max_load = 0.0;      ///< heaviest bin
+  double average = 0.0;       ///< W/n
+  double gap = 0.0;           ///< max_load - average
+};
+
+/// Allocate the tasks (in id order) with `choices` uniform candidates per
+/// ball, placing on the least loaded candidate (ties: first sampled).
+/// choices == 1 reproduces purely random allocation.
+SequentialAllocResult greedy_d_choice(const tasks::TaskSet& ts, graph::Node n,
+                                      int choices, util::Rng& rng);
+
+}  // namespace tlb::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Continuous diffusion for average-load estimation (the paper's footnote 1):
+// every resource keeps an estimate initialised to its own load and repeatedly
+// averages with its neighbours using the max-degree diffusion matrix — the
+// same doubly-stochastic P as the random walk, so the sum is conserved and
+// every estimate converges to W/n at the walk's mixing rate. Running for a
+// mixing time's worth of steps concentrates all estimates around the average,
+// which is what the threshold computation needs.
+
+#include <vector>
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::core {
+
+/// Result of a diffusion run.
+struct DiffusionResult {
+  std::vector<double> estimates;  ///< per-node estimate after the run
+  long rounds = 0;                ///< rounds actually executed
+  double max_error = 0.0;         ///< max |estimate - true average|
+};
+
+/// Run `rounds` diffusion steps from the initial per-node values.
+DiffusionResult diffuse(const randomwalk::TransitionModel& walk,
+                        const std::vector<double>& initial, long rounds);
+
+/// Run until every estimate is within `tolerance` of the true average (or
+/// `max_rounds`). Uses the true average only for the stopping test — the
+/// update itself is fully decentralized.
+DiffusionResult diffuse_until(const randomwalk::TransitionModel& walk,
+                              const std::vector<double>& initial,
+                              double tolerance, long max_rounds = 1000000);
+
+}  // namespace tlb::core

@@ -1,0 +1,108 @@
+#pragma once
+// Dynamic workload extension: the paper's protocols under churn.
+//
+// The paper analyses a static task set; the natural systems question is
+// whether the user-controlled protocol *keeps* the system below threshold
+// when tasks arrive and complete continuously and resources occasionally
+// crash. This engine extends the grouped user engine with:
+//   * arrivals: `arrival_rate` new tasks per round (binomially dispersed),
+//     with weights drawn from a fixed class distribution, landing on a
+//     uniform resource or on a fixed hotspot;
+//   * completions: each task finishes independently with probability
+//     `completion_rate` per round (so steady-state population ≈
+//     arrival_rate / completion_rate);
+//   * crashes: each round, with probability `crash_rate`, one uniformly
+//     random resource fails and its entire stack is scattered to uniform
+//     random resources (fail-over), after which the resource rejoins empty.
+// The threshold is recomputed from the *current* total weight every round
+// (the diffusion bootstrap of footnote 1 justifies resources tracking W/n).
+//
+// Metrics: per-round overloaded fraction and max/avg load ratio, aggregated
+// over a measurement window after warm-up.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/core/threshold.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/util/rng.hpp"
+#include "tlb/util/stats.hpp"
+
+namespace tlb::core {
+
+/// Weight classes for the dynamic workload: value + arrival probability.
+struct DynamicWeightClass {
+  double weight = 1.0;
+  double probability = 1.0;  ///< selection probability (normalised at init)
+};
+
+/// Configuration of a dynamic run.
+struct DynamicConfig {
+  graph::Node n = 100;                ///< resources (complete graph)
+  double arrival_rate = 10.0;         ///< expected new tasks per round
+  double completion_rate = 0.01;      ///< per-task finish probability/round
+  double crash_rate = 0.0;            ///< probability of one crash per round
+  bool hotspot_arrivals = false;      ///< all arrivals land on resource 0
+  double eps = 0.2;                   ///< above-average threshold slack
+  double alpha = 1.0;                 ///< migration dampening
+  std::vector<DynamicWeightClass> classes = {{1.0, 1.0}};
+};
+
+/// Aggregated steady-state metrics.
+struct DynamicMetrics {
+  util::Welford overloaded_fraction;  ///< per-round fraction of loads > T
+  util::Welford max_over_avg;         ///< per-round max load / average load
+  util::Welford population;          ///< per-round task count
+  util::Welford migrations_per_round;
+  std::uint64_t crashes = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+};
+
+/// User-controlled protocol under churn on the complete graph.
+class DynamicUserEngine {
+ public:
+  explicit DynamicUserEngine(DynamicConfig config);
+
+  /// One round: arrivals -> completions -> (maybe) crash -> protocol step
+  /// with the threshold recomputed from the current W.
+  void step(util::Rng& rng);
+
+  /// Run `warmup` unrecorded rounds, then `measure` recorded rounds.
+  DynamicMetrics run(long warmup, long measure, util::Rng& rng);
+
+  /// Current total weight.
+  double total_weight() const noexcept { return total_weight_; }
+  /// Current number of tasks.
+  std::uint64_t population() const noexcept { return population_; }
+  /// Current load of resource r.
+  double load(graph::Node r) const noexcept { return loads_[r]; }
+  /// Threshold currently in force (recomputed each round).
+  double current_threshold() const noexcept { return threshold_; }
+  /// Migrations performed in the most recent step.
+  std::size_t last_migrations() const noexcept { return last_migrations_; }
+
+ private:
+  void do_arrivals(util::Rng& rng);
+  void do_completions(util::Rng& rng);
+  void do_crash(util::Rng& rng);
+  std::size_t do_protocol_step(util::Rng& rng);
+  void recompute_threshold();
+  double phi_of(graph::Node r) const;
+
+  DynamicConfig config_;
+  std::vector<double> class_weights_;   // ascending
+  std::vector<double> class_cdf_;       // arrival sampling
+  double w_max_ = 1.0;                  // max class weight (static bound)
+  // State: per-resource per-class counts, loads, task counts.
+  std::vector<std::uint32_t> counts_;   // n x C row-major
+  std::vector<double> loads_;
+  std::vector<std::uint32_t> task_counts_;
+  double total_weight_ = 0.0;
+  std::uint64_t population_ = 0;
+  double threshold_ = 1.0;
+  std::size_t last_migrations_ = 0;
+  DynamicMetrics* metrics_ = nullptr;   // non-null during measured rounds
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,66 @@
+#pragma once
+// User-controlled migration on *arbitrary* graphs — the setting Hoefer &
+// Sauerwald analyse (they show an O(n⁵·H(G)·log m) bound for uniform tasks;
+// the paper under reproduction restricts its user-controlled analysis to
+// complete graphs and leaves general graphs open).
+//
+// Protocol: identical decision rule to Algorithm 6.1 — every task on an
+// overloaded resource leaves with probability α·⌈φ_r/w_max⌉·(1/b_r) — but a
+// leaving task moves one step of the max-degree walk P from its current
+// resource instead of jumping to a uniform resource. On the complete graph
+// this degenerates to Algorithm 6.1 (with exclude_self semantics).
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/core/system_state.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/randomwalk/transition.hpp"
+#include "tlb/tasks/placement.hpp"
+
+namespace tlb::core {
+
+/// Configuration of a graph user-protocol run.
+struct GraphUserConfig {
+  double threshold = 0.0;  ///< uniform T_r
+  /// Optional per-resource thresholds (non-empty overrides `threshold`).
+  std::vector<double> thresholds;
+  double alpha = 1.0;  ///< migration dampening α
+  randomwalk::WalkKind walk = randomwalk::WalkKind::kMaxDegree;
+  EngineOptions options;
+};
+
+/// User-controlled engine over a graph topology.
+class GraphUserEngine {
+ public:
+  /// `g` and `ts` must outlive the engine.
+  GraphUserEngine(const graph::Graph& g, const tasks::TaskSet& ts,
+                  GraphUserConfig config);
+
+  /// Reset to the given placement (plain stacking).
+  void reset(const tasks::Placement& placement);
+  /// One synchronous round; returns the number of migrations.
+  std::size_t step(util::Rng& rng);
+  /// True iff every load is <= its resource's threshold.
+  bool balanced() const;
+  /// Run until balanced or max_rounds.
+  RunResult run(util::Rng& rng);
+  /// Convenience: reset + run.
+  RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  /// Read-only state access.
+  const SystemState& state() const noexcept { return state_; }
+  /// The threshold of resource r.
+  double threshold(Node r) const noexcept { return thresholds_[r]; }
+
+ private:
+  const graph::Graph* graph_;
+  const tasks::TaskSet* tasks_;
+  GraphUserConfig config_;
+  randomwalk::TransitionModel walk_;
+  std::vector<double> thresholds_;
+  SystemState state_;
+  std::vector<TaskId> movers_;            // scratch
+  std::vector<Node> mover_origin_;        // scratch
+  std::vector<std::uint8_t> leave_mask_;  // scratch
+};
+
+}  // namespace tlb::core

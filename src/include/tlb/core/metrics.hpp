@@ -1,0 +1,36 @@
+#pragma once
+// Shared result/trace types for protocol runs.
+
+#include <cstdint>
+#include <vector>
+
+namespace tlb::core {
+
+/// Outcome of one protocol execution (one trial).
+struct RunResult {
+  /// Rounds executed until balance (or until the cap if !balanced).
+  long rounds = 0;
+  /// True iff every load was <= threshold when the run stopped.
+  bool balanced = false;
+  /// Total task migrations over the whole run.
+  std::uint64_t migrations = 0;
+  /// Threshold in force.
+  double threshold = 0.0;
+  /// Maximum load at the end of the run.
+  double final_max_load = 0.0;
+  /// Potential at the start of each round (filled only when tracing is on;
+  /// trace[t] = Φ(t), with one trailing entry for the final state).
+  std::vector<double> potential_trace;
+  /// Number of overloaded resources at the start of each round (tracing only).
+  std::vector<std::uint32_t> overloaded_trace;
+};
+
+/// Tracing / safety knobs shared by both engines.
+struct EngineOptions {
+  long max_rounds = 10000000;      ///< hard stop; result.balanced says whether it hit
+  bool record_potential = false;   ///< fill RunResult::potential_trace
+  bool record_overloaded = false;  ///< fill RunResult::overloaded_trace
+  bool paranoid_checks = false;    ///< run SystemState::check_invariants each round
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,78 @@
+#pragma once
+// Mixed resource/user protocol — the paper's conclusion explicitly proposes
+// studying "mixed protocols, which are both resource-based and user-based".
+//
+// Interpolation: a blend parameter β ∈ [0, 1]. Each round, every overloaded
+// resource independently acts *resource-controlled* with probability β
+// (evicting its entire above-threshold suffix, each evictee taking one
+// P-step), and otherwise leaves the decision to its *users* (each task
+// leaves with the Algorithm 6.1 probability α·⌈φ_r/w_max⌉/b_r and takes one
+// P-step). β = 1 recovers Algorithm 5.1; β = 0 recovers the graph variant
+// of Algorithm 6.1.
+//
+// The interesting trade-off the blend exposes: resource-controlled rounds
+// drain overload fast but migrate whole suffixes (bursty network traffic);
+// user-controlled rounds move ≈⌈φ/w_max⌉ tasks in expectation (smooth
+// traffic) but take more rounds. The mixed_protocol bench quantifies both
+// axes as β sweeps.
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/core/system_state.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/randomwalk/transition.hpp"
+#include "tlb/tasks/placement.hpp"
+
+namespace tlb::core {
+
+/// Configuration of a mixed-protocol run.
+struct MixedProtocolConfig {
+  double threshold = 0.0;  ///< uniform T_r
+  /// Optional per-resource thresholds (non-empty overrides `threshold`).
+  std::vector<double> thresholds;
+  /// Probability that an overloaded resource acts resource-controlled this
+  /// round (β above). 0 = pure user, 1 = pure resource.
+  double resource_probability = 0.5;
+  double alpha = 1.0;  ///< user-side migration dampening α
+  randomwalk::WalkKind walk = randomwalk::WalkKind::kMaxDegree;
+  EngineOptions options;
+};
+
+/// Executable mixed-protocol engine over a graph topology.
+class MixedProtocolEngine {
+ public:
+  /// `g` and `ts` must outlive the engine.
+  MixedProtocolEngine(const graph::Graph& g, const tasks::TaskSet& ts,
+                      MixedProtocolConfig config);
+
+  /// Reset to the given placement (plain stacking; the mixed protocol uses
+  /// height-based eviction because user departures invalidate the accepted
+  /// prefix bookkeeping).
+  void reset(const tasks::Placement& placement);
+  /// One synchronous round; returns the number of migrations.
+  std::size_t step(util::Rng& rng);
+  /// True iff every load is <= its resource's threshold.
+  bool balanced() const;
+  /// Run until balanced or max_rounds.
+  RunResult run(util::Rng& rng);
+  /// Convenience: reset + run.
+  RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  /// Read-only state access.
+  const SystemState& state() const noexcept { return state_; }
+  /// Rounds in which at least one resource acted resource-controlled.
+  long resource_rounds() const noexcept { return resource_rounds_; }
+
+ private:
+  const graph::Graph* graph_;
+  const tasks::TaskSet* tasks_;
+  MixedProtocolConfig config_;
+  randomwalk::TransitionModel walk_;
+  std::vector<double> thresholds_;
+  SystemState state_;
+  long resource_rounds_ = 0;
+  std::vector<TaskId> movers_;            // scratch
+  std::vector<Node> mover_origin_;        // scratch
+  std::vector<std::uint8_t> leave_mask_;  // scratch
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,104 @@
+#pragma once
+// The paper's per-resource stack (Sections 5 and 6).
+//
+// Tasks live in a stack; the *height* of a task is the total weight below it.
+// A task *cuts* the threshold T if  h < T < h + w;  it is *completely below*
+// if h + w <= T and *completely above* if h >= T.
+//
+// For the resource-controlled protocol the stack additionally tracks the
+// *accepted prefix*: a task is accepted on arrival iff load + w <= T (its
+// height is the then-current load); accepted tasks are inactive and never
+// move again. Model invariant (checked in tests): the unaccepted suffix is
+// exactly the eviction set I^a ∪ I^c, and it is non-empty only when the
+// resource is overloaded.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/tasks/task_set.hpp"
+
+namespace tlb::core {
+
+using tasks::TaskId;
+
+/// One resource's stack. Weights are looked up through the TaskSet, which
+/// must outlive the stack.
+class ResourceStack {
+ public:
+  ResourceStack() = default;
+
+  /// Total weight currently on this resource (the load x_r).
+  double load() const noexcept { return load_; }
+  /// Number of tasks on this resource (b_r in the paper).
+  std::size_t count() const noexcept { return stack_.size(); }
+  /// True iff no tasks are stored.
+  bool empty() const noexcept { return stack_.empty(); }
+
+  /// Tasks bottom-to-top.
+  const std::vector<TaskId>& tasks() const noexcept { return stack_; }
+
+  /// Weight of the accepted prefix (resource-controlled bookkeeping).
+  double accepted_load() const noexcept { return accepted_load_; }
+  /// Size of the accepted prefix.
+  std::size_t accepted_count() const noexcept { return accepted_count_; }
+  /// Number of unaccepted (active) tasks.
+  std::size_t pending_count() const noexcept {
+    return stack_.size() - accepted_count_;
+  }
+  /// Total weight of unaccepted tasks — this resource's contribution to the
+  /// potential Φ of eq. (1).
+  double pending_load() const noexcept { return load_ - accepted_load_; }
+
+  /// Push a task with acceptance bookkeeping: the task is accepted iff
+  /// load + w <= threshold *and* every task below it is accepted. Returns
+  /// true iff accepted.
+  bool push_accepting(TaskId id, const tasks::TaskSet& ts, double threshold);
+
+  /// Push without acceptance bookkeeping (user-controlled protocol).
+  void push(TaskId id, const tasks::TaskSet& ts);
+
+  /// Remove the entire unaccepted suffix (the eviction set of Algorithm 5.1)
+  /// and append the evicted ids to `out` in bottom-to-top order.
+  void evict_unaccepted(const tasks::TaskSet& ts, std::vector<TaskId>& out);
+
+  /// Height-based eviction for stacks *without* acceptance bookkeeping
+  /// (used by the mixed protocol, where user-style departures invalidate
+  /// the accepted prefix): removes exactly I^a ∪ I^c — every task whose
+  /// height interval crosses or exceeds `threshold` — and appends the
+  /// evicted ids to `out` bottom-to-top. Equivalent to evict_unaccepted()
+  /// when the bookkeeping is intact.
+  void evict_above(const tasks::TaskSet& ts, double threshold,
+                   std::vector<TaskId>& out);
+
+  /// Remove the tasks at the flagged positions (leave[i] corresponds to
+  /// stack position i), preserving the relative order of the survivors and
+  /// appending removed ids to `out`. Used by the user-controlled protocol,
+  /// where any task may leave. Invalidates acceptance bookkeeping (the
+  /// user protocol never uses it).
+  void remove_marked(const std::vector<std::uint8_t>& leave,
+                     const tasks::TaskSet& ts, std::vector<TaskId>& out);
+
+  /// Height of the task at stack position `pos` (sum of weights below).
+  double height_at(std::size_t pos, const tasks::TaskSet& ts) const;
+
+  /// The user-protocol potential φ_r for threshold T: total weight of the
+  /// cutting task plus all tasks above it; 0 if load <= T (Section 6).
+  /// Scans the stack bottom-up: φ = load - (largest prefix whose every task
+  /// is completely below T).
+  double phi(const tasks::TaskSet& ts, double threshold) const;
+
+  /// Observation 9's ψ_r = ceil(φ_r / w_max): minimum number of departures
+  /// needed to drop below the threshold.
+  double psi(const tasks::TaskSet& ts, double threshold, double w_max) const;
+
+  /// Drop everything (used when re-initialising engines between trials).
+  void clear() noexcept;
+
+ private:
+  std::vector<TaskId> stack_;
+  double load_ = 0.0;
+  double accepted_load_ = 0.0;
+  std::size_t accepted_count_ = 0;
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,74 @@
+#pragma once
+// Full system state: one ResourceStack per resource plus aggregate queries.
+// Both protocol engines own a SystemState; tests use it directly to check
+// the paper's invariants (weight conservation, Observation 4, Lemma 1, ...).
+
+#include <vector>
+
+#include "tlb/core/resource_stack.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+
+namespace tlb::core {
+
+using graph::Node;
+
+/// Mutable allocation of a TaskSet onto n resources.
+class SystemState {
+ public:
+  /// Empty state over n resources for the given tasks (not owned; must
+  /// outlive the state). No tasks placed yet.
+  SystemState(const tasks::TaskSet& tasks, Node n);
+
+  /// Place all tasks per `placement` (task id order), with acceptance
+  /// bookkeeping against `threshold` (pass a negative threshold to skip
+  /// acceptance, for the user-controlled protocol).
+  void place(const tasks::Placement& placement, double threshold);
+
+  /// Number of resources.
+  Node num_resources() const noexcept { return static_cast<Node>(stacks_.size()); }
+  /// The task set this state allocates.
+  const tasks::TaskSet& task_set() const noexcept { return *tasks_; }
+
+  /// Mutable / const access to one resource's stack.
+  ResourceStack& stack(Node r) { return stacks_[r]; }
+  const ResourceStack& stack(Node r) const { return stacks_[r]; }
+
+  /// Load of resource r.
+  double load(Node r) const noexcept { return stacks_[r].load(); }
+
+  /// Place with *per-resource* thresholds (non-uniform threshold extension;
+  /// the paper's conclusion lists this as future work). thresholds[r] is
+  /// resource r's acceptance bound; pass an empty vector to skip acceptance.
+  void place(const tasks::Placement& placement,
+             const std::vector<double>& thresholds);
+
+  /// Load vector snapshot (n entries).
+  std::vector<double> loads() const;
+
+  /// Maximum load over all resources.
+  double max_load() const;
+  /// Number of resources with load > threshold.
+  Node overloaded_count(double threshold) const;
+  /// Number of resources with load > thresholds[r] (non-uniform).
+  Node overloaded_count(const std::vector<double>& thresholds) const;
+  /// True iff every resource's load is <= threshold (the balanced state).
+  bool balanced(double threshold) const;
+  /// True iff every resource's load is <= thresholds[r] (non-uniform).
+  bool balanced(const std::vector<double>& thresholds) const;
+
+  /// Sum of loads; equals the TaskSet total when every task is placed.
+  double total_load() const;
+
+  /// Verify structural sanity: every task appears exactly once across all
+  /// stacks and cached loads match recomputed sums. Throws std::logic_error
+  /// with a description on violation. O(m + n); used by tests and debug runs.
+  void check_invariants() const;
+
+ private:
+  const tasks::TaskSet* tasks_;
+  std::vector<ResourceStack> stacks_;
+};
+
+}  // namespace tlb::core

@@ -1,0 +1,136 @@
+#pragma once
+// Algorithm 6.1 — user-controlled migration on the complete graph.
+//
+//   for all users (tasks) in parallel:
+//     let r be the task's resource
+//     if x_r > T_r:
+//       with probability  α · ⌈φ_r / w_max⌉ · (1 / b_r)
+//       migrate to a resource chosen uniformly at random.
+//
+// φ_r is the weight of the task cutting the threshold plus everything above
+// it (Section 6), b_r the number of tasks on r. Tasks need only know α, φ_r,
+// w_max and b_r. The probability is clamped to [0, 1] (with the paper's
+// simulation choice α = 1 it can exceed 1 on extreme piles).
+//
+// Two interchangeable engines:
+//  * UserControlledEngine  ("exact")   — every task flips its own coin;
+//    stacks keep true arrival order. Reference semantics, O(Σ b_r) per round.
+//  * GroupedUserEngine     ("grouped") — tasks are grouped per (resource,
+//    weight class); the number of leavers per group is drawn from the exact
+//    Binomial(count, p), which is distributionally identical to individual
+//    coins. Stacks use a canonical ascending-weight order for φ. This makes
+//    Figure 1/2-scale sweeps hundreds of times faster for two-point weight
+//    profiles.
+
+#include <vector>
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/core/system_state.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::core {
+
+/// Shared configuration for both user-protocol engines.
+struct UserProtocolConfig {
+  double threshold = 0.0;  ///< T_r (same for every resource)
+  /// Non-uniform thresholds (the paper's future-work extension): when
+  /// non-empty, thresholds[r] overrides `threshold` for resource r.
+  std::vector<double> thresholds;
+  double alpha = 1.0;      ///< migration dampening α (paper analysis: ε/(120(1+ε)); paper simulations: 1)
+  /// If true, the destination is uniform over the *other* n-1 resources
+  /// (strict complete-graph neighbourhood); if false, uniform over all n
+  /// (the sampling Lemma 1 uses). Shape-equivalent; default matches Lemma 1.
+  bool exclude_self = false;
+  EngineOptions options;
+};
+
+/// Exact (per-task coin) engine. Reference implementation.
+class UserControlledEngine {
+ public:
+  /// `ts` must outlive the engine; `n` is the number of resources.
+  UserControlledEngine(const tasks::TaskSet& ts, Node n,
+                       UserProtocolConfig config);
+
+  /// Reset to a placement (plain stacking, no acceptance bookkeeping).
+  void reset(const tasks::Placement& placement);
+
+  /// One synchronous round; returns the number of migrations.
+  std::size_t step(util::Rng& rng);
+
+  /// True iff every load is <= threshold.
+  bool balanced() const;
+
+  /// Run until balanced or max_rounds.
+  RunResult run(util::Rng& rng);
+  /// Convenience: reset + run.
+  RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  /// Read-only state (tests and traces).
+  const SystemState& state() const noexcept { return state_; }
+  /// The threshold of resource r.
+  double threshold(Node r) const noexcept { return thresholds_[r]; }
+  /// The largest configured threshold (== the uniform one if uniform).
+  double threshold() const noexcept { return max_threshold_; }
+
+ private:
+  const tasks::TaskSet* tasks_;
+  UserProtocolConfig config_;
+  std::vector<double> thresholds_;  // resolved per-resource thresholds
+  double max_threshold_ = 0.0;
+  SystemState state_;
+  std::vector<TaskId> movers_;          // scratch
+  std::vector<Node> mover_origin_;      // scratch
+  std::vector<std::uint8_t> leave_mask_;  // scratch
+};
+
+/// Grouped (binomial-per-weight-class) engine. Requires a task set with at
+/// most `kMaxClasses` distinct weights; throws otherwise.
+class GroupedUserEngine {
+ public:
+  /// Upper bound on distinct weights the grouped representation accepts.
+  static constexpr std::size_t kMaxClasses = 64;
+
+  GroupedUserEngine(const tasks::TaskSet& ts, Node n, UserProtocolConfig config);
+
+  /// Reset to a placement (task ids map to their weight classes).
+  void reset(const tasks::Placement& placement);
+
+  /// One synchronous round; returns the number of migrations.
+  std::size_t step(util::Rng& rng);
+
+  /// True iff every load is <= threshold.
+  bool balanced() const;
+
+  /// Run until balanced or max_rounds.
+  RunResult run(util::Rng& rng);
+  /// Convenience: reset + run.
+  RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  /// Number of distinct weight classes.
+  std::size_t num_classes() const noexcept { return class_weights_.size(); }
+  /// Load of resource r (for tests).
+  double load(Node r) const noexcept { return loads_[r]; }
+  /// The threshold of resource r.
+  double threshold(Node r) const noexcept { return thresholds_[r]; }
+  /// The user potential Σ φ_r under the canonical ascending-weight stacking.
+  double potential() const;
+
+ private:
+  double phi_of(Node r) const;
+  /// Count of tasks on r that fit completely below the threshold when
+  /// classes are stacked in ascending weight order; returns fitted weight.
+  double fitted_prefix_weight(Node r) const;
+
+  const tasks::TaskSet* tasks_;
+  UserProtocolConfig config_;
+  std::vector<double> thresholds_;  // resolved per-resource thresholds
+  Node n_;
+  std::vector<double> class_weights_;         // ascending
+  std::vector<std::uint32_t> task_class_;     // task id -> class
+  std::vector<std::uint32_t> counts_;         // n_ x C, row-major
+  std::vector<double> loads_;                 // per resource
+  std::vector<std::uint32_t> task_counts_;    // per resource (b_r)
+};
+
+}  // namespace tlb::core

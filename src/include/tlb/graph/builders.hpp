@@ -1,0 +1,66 @@
+#pragma once
+// Graph families used throughout the paper.
+//
+// Table 1 evaluates the random-walk quantities on: complete graph, regular
+// expander, Erdős–Rényi graph, hypercube and grid. Observation 8's lower
+// bound uses a clique with a single satellite node attached by k edges.
+// The remaining families (cycle, path, star, barbell, lollipop, binary tree)
+// are classical extremal graphs used by the tests and extension benches.
+
+#include <cstdint>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::graph {
+
+/// Complete graph K_n (mixing time O(1), hitting time O(n)).
+Graph complete(Node n);
+
+/// Cycle C_n (hitting time k(n-k) between nodes at distance k).
+Graph cycle(Node n);
+
+/// Path P_n (worst-case hitting time Θ(n²)).
+Graph path(Node n);
+
+/// Star S_n: node 0 is the centre, nodes 1..n-1 are leaves.
+Graph star(Node n);
+
+/// rows × cols 2-D grid; `torus` wraps both dimensions (paper's "grid" has
+/// mixing time O(n) and hitting time O(n log n)).
+Graph grid2d(Node rows, Node cols, bool torus = false);
+
+/// Hypercube with 2^dim nodes (mixing O(log n · log log n), hitting O(n)).
+Graph hypercube(Node dim);
+
+/// Random d-regular graph via the configuration model with rejection until
+/// simple and connected. Requires n*d even, d < n. For d >= 3 this is an
+/// expander with high probability (paper's "Reg. Expander" row).
+Graph random_regular(Node n, Node d, util::Rng& rng);
+
+/// Erdős–Rényi G(n, p). The paper's Table 1 assumes p > (1+eps)·log n / n so
+/// the graph is connected w.h.p.; callers should verify connectivity (see
+/// properties.hpp) and resample if needed, or use erdos_renyi_connected().
+Graph erdos_renyi(Node n, double p, util::Rng& rng);
+
+/// Resample G(n, p) until connected (throws after `max_attempts`).
+Graph erdos_renyi_connected(Node n, double p, util::Rng& rng,
+                            int max_attempts = 100);
+
+/// Observation 8's lower-bound family: a clique on nodes 0..n-2 plus one
+/// satellite node (n-1) connected to exactly k clique nodes. Hitting time
+/// Θ(n²/k).
+Graph clique_plus_satellite(Node n, Node k);
+
+/// Barbell: two cliques of size k joined by a single edge (slow mixing,
+/// used in stress tests). n = 2k nodes.
+Graph barbell(Node k);
+
+/// Lollipop: clique of size k with a path of length n-k attached
+/// (worst-case hitting time Θ(n³) for k ≈ 2n/3).
+Graph lollipop(Node k, Node path_len);
+
+/// Complete binary tree with n nodes (node i's children are 2i+1, 2i+2).
+Graph binary_tree(Node n);
+
+}  // namespace tlb::graph

@@ -1,0 +1,79 @@
+#pragma once
+// Immutable undirected graph in compressed-sparse-row form.
+//
+// This is the paper's substrate: resources are nodes, tasks may migrate along
+// edges, and the max-degree random walk (Section 4.1) is defined on top of
+// the adjacency structure. The representation is cache-friendly (two flat
+// arrays) because the resource-controlled protocol samples neighbours on
+// every eviction.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tlb::graph {
+
+/// Node index type. 32 bits covers every experiment in the paper by orders
+/// of magnitude while halving the CSR memory footprint.
+using Node = std::uint32_t;
+
+/// Undirected edge as an (ordered) node pair.
+using Edge = std::pair<Node, Node>;
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges) in
+/// CSR form. Construct via from_edges() or the builders in builders.hpp.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list over nodes [0, n). Duplicate edges and
+  /// self-loops are rejected with std::invalid_argument; each undirected
+  /// edge appears once in `edges` (either orientation).
+  static Graph from_edges(Node n, const std::vector<Edge>& edges,
+                          std::string name = "custom");
+
+  /// Number of nodes.
+  Node num_nodes() const noexcept { return n_; }
+  /// Number of undirected edges.
+  std::size_t num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  /// Degree of node v.
+  Node degree(Node v) const noexcept {
+    return static_cast<Node>(offsets_[v + 1] - offsets_[v]);
+  }
+  /// Maximum degree over all nodes (the paper's `d`).
+  Node max_degree() const noexcept { return max_degree_; }
+  /// Minimum degree over all nodes.
+  Node min_degree() const noexcept { return min_degree_; }
+
+  /// Neighbours of v as a contiguous, sorted span.
+  std::span<const Node> neighbors(Node v) const noexcept {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// k-th neighbour of v (0-based, k < degree(v)).
+  Node neighbor(Node v, Node k) const noexcept {
+    return neighbors_[offsets_[v] + k];
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search, O(log deg)).
+  bool has_edge(Node u, Node v) const noexcept;
+
+  /// Human-readable family name assigned by the builder ("complete", ...).
+  const std::string& name() const noexcept { return name_; }
+
+  /// Edge list (u < v per edge), reconstructed from CSR. For tests/tools.
+  std::vector<Edge> edge_list() const;
+
+ private:
+  Node n_ = 0;
+  Node max_degree_ = 0;
+  Node min_degree_ = 0;
+  std::vector<std::size_t> offsets_;  // size n_ + 1
+  std::vector<Node> neighbors_;       // size 2 * |E|, sorted per node
+  std::string name_;
+};
+
+}  // namespace tlb::graph

@@ -1,0 +1,35 @@
+#pragma once
+// Structural graph properties used for validation and for choosing the right
+// walk variant (bipartite regular graphs need the lazy walk to mix).
+
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+
+namespace tlb::graph {
+
+/// True iff the graph is connected (BFS from node 0).
+bool is_connected(const Graph& g);
+
+/// True iff the graph is bipartite (2-colouring BFS). Relevant because the
+/// max-degree walk on a *regular* bipartite graph is periodic.
+bool is_bipartite(const Graph& g);
+
+/// True iff every node has the same degree.
+bool is_regular(const Graph& g);
+
+/// BFS distances from `source` (Graph::num_nodes() entries; unreachable
+/// nodes get num_nodes() as an "infinity" sentinel).
+std::vector<Node> bfs_distances(const Graph& g, Node source);
+
+/// Graph diameter via BFS from every node. O(n·(n+m)); intended for the
+/// moderate sizes used in tests and benches. Throws if disconnected.
+Node diameter(const Graph& g);
+
+/// Eccentricity of one node (max BFS distance). Throws if disconnected.
+Node eccentricity(const Graph& g, Node v);
+
+/// Degree histogram: entry d is the number of nodes with degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+}  // namespace tlb::graph

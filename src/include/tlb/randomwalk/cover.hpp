@@ -1,0 +1,23 @@
+#pragma once
+// Cover time: expected steps for the walk to visit every node. Not used by
+// the paper's bounds directly, but it is the natural "every resource was
+// reachable" diagnostic for the resource-controlled protocol's substrate,
+// and the classical bounds (Matthews: C <= H(G)·H_n; Aleliunas et al.:
+// C = O(|V||E|)) give tests an independent anchor on the hitting machinery.
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// Monte-Carlo estimate of the cover time from `start`: mean over `trials`
+/// walks of the first time all nodes have been visited. `cap` aborts
+/// pathological walks (contributes the cap, biasing low; keep it >> the
+/// expected cover time).
+double mc_cover_time(const TransitionModel& walk, graph::Node start,
+                     int trials, util::Rng& rng, long cap = 200000000);
+
+/// Matthews upper bound: C(G) <= H(G) · (1 + 1/2 + ... + 1/n) where H(G) is
+/// a (measured or bounded) max hitting time.
+double matthews_bound(double max_hitting_time, graph::Node n);
+
+}  // namespace tlb::randomwalk

@@ -1,0 +1,64 @@
+#pragma once
+// Hitting times H(u, v) of the walk: expected steps for a walk started at u
+// to first reach v. The paper's Theorem 7 bounds the tight-threshold
+// balancing time by O(H(G)·log W) with H(G) = max_{u,v} H(u,v), and
+// Observation 8 exhibits a graph family where Θ(n²/k) hitting time forces a
+// matching lower bound.
+//
+// Three solvers, trading accuracy for scale:
+//   * dense Gaussian elimination  — exact, O(n³); tests & small graphs
+//   * Gauss–Seidel sweeps         — iterative, O(sweeps·|E|); benches
+//   * Monte-Carlo walks           — unbiased estimate, any size
+// plus closed forms for the graphs where they are textbook.
+
+#include <vector>
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// Exact hitting times to `target` from every node, solving
+/// h(u) = 1 + sum_v P(u,v)·h(v), h(target) = 0, via dense Gaussian
+/// elimination with partial pivoting. O(n³) — intended for n <= ~512.
+std::vector<double> hitting_times_to_dense(const TransitionModel& walk,
+                                           Node target);
+
+/// Options for the iterative solver.
+struct GaussSeidelOptions {
+  int max_sweeps = 2000000;  ///< hard cap
+  double tolerance = 1e-9;   ///< max absolute update per sweep to stop
+};
+
+/// Iterative Gauss–Seidel solution of the same system. O(sweeps·(|E|+n));
+/// converges for every connected graph (strictly substochastic after
+/// grounding the target). Accurate to ~tolerance · (convergence factor).
+std::vector<double> hitting_times_to(const TransitionModel& walk, Node target,
+                                     const GaussSeidelOptions& opts = {});
+
+/// Unbiased Monte-Carlo estimate of H(source, target): average length of
+/// `trials` independent walks. `cap` aborts pathological walks (returns the
+/// cap value for them, biasing low — keep cap >> expected hitting time).
+double mc_hitting_time(const TransitionModel& walk, Node source, Node target,
+                       int trials, util::Rng& rng, long cap = 100000000);
+
+/// Maximum hitting time H(G) = max_{u,v} H(u,v), exact via one dense solve
+/// per target. O(n⁴) — tests only (n <= ~128).
+double max_hitting_time_dense(const TransitionModel& walk);
+
+/// H(G) estimated as max over the given targets of max_u H(u, target),
+/// using the iterative solver. Exact if the true argmax target is included
+/// (e.g. any single node of a vertex-transitive graph).
+double max_hitting_time_over_targets(const TransitionModel& walk,
+                                     const std::vector<Node>& targets,
+                                     const GaussSeidelOptions& opts = {});
+
+/// Closed form: H(u,v) on the complete graph K_n under the max-degree walk
+/// equals n - 1 for every u != v.
+double complete_graph_hitting(Node n);
+
+/// Closed form: on the cycle C_n, H between nodes at ring distance k is
+/// k·(n-k) (simple random walk; the max-degree walk on a cycle is the simple
+/// walk since the graph is regular).
+double cycle_hitting(Node n, Node distance);
+
+}  // namespace tlb::randomwalk

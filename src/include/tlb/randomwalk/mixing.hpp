@@ -1,0 +1,38 @@
+#pragma once
+// Empirical mixing time: evolve a point-mass distribution under the walk and
+// report the first step at which the total-variation distance to the uniform
+// stationary distribution drops below a threshold.
+
+#include <vector>
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// Total-variation distance between two distributions over the same support:
+/// (1/2) * sum |p_i - q_i|.
+double tv_distance(const std::vector<double>& p, const std::vector<double>& q);
+
+/// TV distance from `p` to the uniform distribution on p.size() points.
+double tv_to_uniform(const std::vector<double>& p);
+
+/// Options for the empirical measurement.
+struct MixingOptions {
+  double epsilon = 0.25;     ///< classic mixing threshold t_mix(1/4)
+  long max_steps = 5000000;  ///< abort guard (periodic chains never mix)
+};
+
+/// Steps until TV(P^t(start, ·), uniform) <= epsilon, starting from a point
+/// mass at `start`. Returns -1 if max_steps is exceeded (e.g. a periodic
+/// chain, such as the max-degree walk on a regular bipartite graph).
+long empirical_mixing_time_from(const TransitionModel& walk, Node start,
+                                const MixingOptions& opts = {});
+
+/// Worst-case empirical mixing time over a set of start nodes. For
+/// vertex-transitive graphs one start suffices; for irregular graphs pass a
+/// sample (or all nodes when n is small).
+long empirical_mixing_time(const TransitionModel& walk,
+                           const std::vector<Node>& starts,
+                           const MixingOptions& opts = {});
+
+}  // namespace tlb::randomwalk

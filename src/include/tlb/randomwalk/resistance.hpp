@@ -1,0 +1,47 @@
+#pragma once
+// Effective resistance and the commute-time identity.
+//
+// For the max-degree walk (uniform stationary distribution, total "degree"
+// n·d counting the self-loop padding) the classical identity reads
+//     C(u, v) = H(u, v) + H(v, u) = n·d·R_eff(u, v),
+// where R_eff is the effective resistance between u and v in the electrical
+// network with a unit resistor per edge (self-loops carry no current and
+// drop out). This gives an independent cross-check of the hitting-time
+// solvers and a fast way to bound H(G) — both used by tests and the
+// random-walk tooling.
+//
+// R_eff is computed from Laplacian solves L x = e_u - e_v by conjugate
+// gradient on the subspace orthogonal to the all-ones vector (L is PSD with
+// that single null direction on a connected graph).
+
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// Options for the conjugate-gradient Laplacian solve.
+struct CgOptions {
+  int max_iterations = 100000;  ///< cap on CG iterations
+  double tolerance = 1e-10;     ///< relative residual target
+};
+
+/// Effective resistance between u and v with unit resistances per edge.
+/// Throws std::invalid_argument for u == v or a disconnected graph (CG
+/// divergence manifests as a residual failure -> std::runtime_error).
+double effective_resistance(const graph::Graph& g, graph::Node u,
+                            graph::Node v, const CgOptions& opts = {});
+
+/// Commute time C(u,v) = H(u,v) + H(v,u) of the walk via the identity
+/// C = n·d·R_eff for the max-degree walk (kLazy doubles it).
+double commute_time(const TransitionModel& walk, graph::Node u, graph::Node v,
+                    const CgOptions& opts = {});
+
+/// Solve the grounded Laplacian system L x = b (b must sum to ~0) by CG,
+/// returning a solution with mean 0. Exposed for tests and tooling.
+std::vector<double> laplacian_solve(const graph::Graph& g,
+                                    const std::vector<double>& b,
+                                    const CgOptions& opts = {});
+
+}  // namespace tlb::randomwalk

@@ -1,0 +1,40 @@
+#pragma once
+// Spectral quantities of the walk: the spectral gap mu = 1 - max_{i>=2}|λ_i|
+// and the analytic mixing-time bound τ(G) = 4·ln(n)/mu from Lemma 2
+// (Levin–Peres–Wilmer via Hoefer–Sauerwald).
+//
+// All walk matrices in this library are symmetric (uniform stationary
+// distribution), so the second-largest eigenvalue magnitude is obtained by
+// power iteration on P deflated by the all-ones eigenvector — no dense
+// eigendecomposition required.
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// Options for the power iteration.
+struct SpectralOptions {
+  int max_iterations = 200000;  ///< hard cap on matrix-vector products
+  double tolerance = 1e-10;     ///< relative change in the eigenvalue estimate
+  std::uint64_t seed = 0x5eed5eedULL;  ///< random start vector seed
+};
+
+/// Second-largest eigenvalue *magnitude* lambda_* = max_{i >= 2} |λ_i| of the
+/// walk matrix. Deterministic given the seed. Accurate to ~tolerance for
+/// well-separated spectra; the mixing bound is insensitive to the residual.
+double second_eigenvalue_magnitude(const TransitionModel& walk,
+                                   const SpectralOptions& opts = {});
+
+/// Spectral gap mu = 1 - lambda_*.
+double spectral_gap(const TransitionModel& walk,
+                    const SpectralOptions& opts = {});
+
+/// The paper's analytic mixing-time bound: τ = 4·ln(n)/mu (Lemma 2 gives
+/// P^t within n^{-3} of uniform for t >= this value).
+double mixing_time_bound(const TransitionModel& walk,
+                         const SpectralOptions& opts = {});
+
+/// Same bound from a precomputed gap.
+double mixing_time_bound_from_gap(double gap, Node n);
+
+}  // namespace tlb::randomwalk

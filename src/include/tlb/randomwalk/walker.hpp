@@ -1,0 +1,50 @@
+#pragma once
+// Stateful random walker: a thin convenience wrapper over TransitionModel
+// used by Monte-Carlo estimators and the example programs.
+
+#include "tlb/randomwalk/transition.hpp"
+
+namespace tlb::randomwalk {
+
+/// A single walker on a graph. Holds its current position; all randomness
+/// comes from the Rng passed to each call (so walkers can share streams or
+/// own them, as the caller prefers).
+class Walker {
+ public:
+  /// Start at `origin` under the given walk.
+  Walker(const TransitionModel& walk, Node origin)
+      : walk_(&walk), position_(origin), steps_(0) {}
+
+  /// Current node.
+  Node position() const noexcept { return position_; }
+  /// Total steps taken so far.
+  long steps() const noexcept { return steps_; }
+
+  /// Advance one step; returns the new position.
+  Node step(util::Rng& rng) {
+    position_ = walk_->step(position_, rng);
+    ++steps_;
+    return position_;
+  }
+
+  /// Walk until the target is reached or `cap` steps elapse; returns the
+  /// number of steps taken by this call.
+  long walk_until(Node target, util::Rng& rng, long cap = 100000000) {
+    long taken = 0;
+    while (position_ != target && taken < cap) {
+      step(rng);
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Teleport the walker (resets nothing else).
+  void reset(Node origin) noexcept { position_ = origin; }
+
+ private:
+  const TransitionModel* walk_;
+  Node position_;
+  long steps_;
+};
+
+}  // namespace tlb::randomwalk

@@ -1,0 +1,32 @@
+#pragma once
+// Multi-trial experiment runner.
+//
+// Each trial gets an independent RNG derived from (master_seed, trial index),
+// so results are bit-identical regardless of the number of worker threads.
+
+#include <functional>
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/util/rng.hpp"
+#include "tlb/util/stats.hpp"
+
+namespace tlb::sim {
+
+/// Aggregated trial statistics.
+struct TrialStats {
+  util::Welford rounds;          ///< balancing time (rounds) across trials
+  util::Welford migrations;      ///< total migrations across trials
+  util::Welford final_max_load;  ///< max load at termination
+  std::size_t unbalanced = 0;    ///< trials that hit the round cap
+  std::vector<double> rounds_samples;  ///< raw per-trial balancing times
+};
+
+/// A trial: given its private RNG, run one experiment and return the result.
+using TrialFn = std::function<core::RunResult(util::Rng&)>;
+
+/// Run `trials` independent trials in parallel (threads == 0: hardware
+/// concurrency) and aggregate. Trial i uses Rng(derive_seed(master_seed, i)).
+TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
+                      const TrialFn& trial, std::size_t threads = 0);
+
+}  // namespace tlb::sim

@@ -1,0 +1,22 @@
+#pragma once
+// Parameter-sweep helpers shared by bench binaries.
+
+#include <cstdint>
+#include <vector>
+
+namespace tlb::sim {
+
+/// `count` evenly spaced doubles from lo to hi inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// `count` geometrically spaced doubles from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+/// Integers lo, lo+step, ..., <= hi.
+std::vector<std::int64_t> arange(std::int64_t lo, std::int64_t hi,
+                                 std::int64_t step);
+
+/// Powers of two from lo to hi inclusive (lo, hi powers of two or rounded up).
+std::vector<std::int64_t> pow2_range(std::int64_t lo, std::int64_t hi);
+
+}  // namespace tlb::sim

@@ -1,0 +1,41 @@
+#pragma once
+// The paper's theoretical bounds, as executable formulas. Benches print the
+// bound next to the measurement so the "shape" claims (who grows like what)
+// are directly checkable.
+
+#include <cstdint>
+
+#include "tlb/graph/graph.hpp"
+
+namespace tlb::sim {
+
+/// Theorem 3: with probability >= 1 - n^{-c}, the resource-controlled
+/// protocol with above-average threshold balances within
+///   2(c+1) · τ(G) · log m / log(2(1+ε)/(2+ε))
+/// rounds. `tau` is the mixing time (analytic bound or measured).
+double theorem3_bound(double tau, std::size_t m, double eps, double c = 1.0);
+
+/// Theorem 7: expected balancing time under the tight resource threshold,
+/// via the drift theorem with δ = 1/4 over phases of length 2·H(G):
+///   E[T] <= 2·H(G) · (1 + ln(W)) / (1/4) = 8·H(G)·(1 + ln W).
+double theorem7_bound(double hitting_time, double total_weight);
+
+/// Observation 8: the lower-bound construction forces
+///   Ω(H(G) · log m)  with  H(G) = Θ(n²/k).
+/// Returns the un-normalised shape n²/k · log m for comparison columns.
+double observation8_shape(graph::Node n, graph::Node k, std::size_t m);
+
+/// The α required by Theorem 11's analysis: α = ε / (120(1+ε)).
+double paper_alpha(double eps);
+
+/// Theorem 11: user-controlled, above-average threshold:
+///   E[T] = 2(1+ε)/(α·ε) · (w_max/w_min) · log m.
+double theorem11_bound(double eps, double alpha, double w_max, double w_min,
+                       std::size_t m);
+
+/// Theorem 12: user-controlled, tight threshold (α <= 1/(120 n)):
+///   E[T] = 2·n/α · (w_max/w_min) · log m.
+double theorem12_bound(graph::Node n, double alpha, double w_max, double w_min,
+                       std::size_t m);
+
+}  // namespace tlb::sim

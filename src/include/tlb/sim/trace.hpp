@@ -1,0 +1,60 @@
+#pragma once
+// Round-by-round trace recording: captures load-distribution summaries of a
+// running engine so benches/examples can plot convergence (potential decay,
+// worst load, overload count) without holding full per-round snapshots.
+
+#include <string>
+#include <vector>
+
+#include "tlb/util/table.hpp"
+
+namespace tlb::sim {
+
+/// One recorded round.
+struct TraceRow {
+  long round = 0;
+  double max_load = 0.0;
+  double mean_load = 0.0;
+  double p95_load = 0.0;
+  std::size_t overloaded = 0;
+  double potential = 0.0;
+  std::size_t migrations = 0;
+};
+
+/// Collects TraceRows and renders/writes them. The caller drives the engine
+/// and feeds `record()` — keeps the recorder engine-agnostic (all five
+/// engine types expose the needed quantities).
+class TraceRecorder {
+ public:
+  /// Record one round. `loads` is the current load vector (copied only for
+  /// the quantile computation, not stored).
+  void record(long round, const std::vector<double>& loads, double threshold,
+              double potential, std::size_t migrations);
+
+  /// Record with a per-resource threshold vector.
+  void record(long round, const std::vector<double>& loads,
+              const std::vector<double>& thresholds, double potential,
+              std::size_t migrations);
+
+  /// Number of recorded rounds.
+  std::size_t size() const noexcept { return rows_.size(); }
+  /// Access a recorded row.
+  const TraceRow& row(std::size_t i) const { return rows_[i]; }
+  /// All rows.
+  const std::vector<TraceRow>& rows() const noexcept { return rows_; }
+
+  /// Render as a util::Table ("round, max, mean, p95, overloaded,
+  /// potential, migrations").
+  util::Table to_table() const;
+
+  /// Write CSV directly.
+  void write_csv(const std::string& path) const;
+
+  /// Drop all rows.
+  void clear() noexcept { rows_.clear(); }
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace tlb::sim

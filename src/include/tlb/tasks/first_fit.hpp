@@ -1,0 +1,30 @@
+#pragma once
+// "Proper assignment" via first fit (Section 5.2): a centralized assignment
+// in which no resource carries more than W/n + w_max. The paper uses its
+// existence inside Lemma 5's coupling argument; the library exposes it both
+// as a validation oracle and as the centralized baseline.
+
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/task_set.hpp"
+
+namespace tlb::tasks {
+
+/// Result of a proper assignment.
+struct ProperAssignment {
+  /// target[i] = resource assigned to task i.
+  std::vector<graph::Node> target;
+  /// Load of each resource under the assignment.
+  std::vector<double> load;
+  /// Maximum load attained (guaranteed <= W/n + w_max).
+  double max_load = 0.0;
+};
+
+/// First-fit proper assignment over n resources: place each task on the
+/// first resource whose load is still strictly below W/n; such a resource
+/// always exists while any task is unplaced (pigeonhole), and the bound
+/// load <= W/n + w_max follows. O(m + n) amortised via a cursor.
+ProperAssignment first_fit(const TaskSet& tasks, graph::Node n);
+
+}  // namespace tlb::tasks

@@ -1,0 +1,34 @@
+#pragma once
+// Initial task placements. The paper's simulations place *all* tasks on one
+// resource (the hardest natural start); the analysis allows arbitrary
+// placements, so adversarial and random variants are provided for tests and
+// extension experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::tasks {
+
+/// placement[i] = resource holding task i at time 0.
+using Placement = std::vector<graph::Node>;
+
+/// Every task on `resource` (the paper's simulation setup, Section 7).
+Placement all_on_one(const TaskSet& tasks, graph::Node resource = 0);
+
+/// Each task on an independently uniform resource.
+Placement uniform_random(const TaskSet& tasks, graph::Node n, util::Rng& rng);
+
+/// Observation 8's adversarial start on the clique-plus-satellite graph:
+/// spread weight evenly over the clique nodes (0..n-2) to about W/n each,
+/// then pile all remaining tasks on clique node 0. Greedy round-robin by
+/// descending weight approximates the "all clique nodes at W/n" precondition.
+Placement observation8_adversarial(const TaskSet& tasks, graph::Node n);
+
+/// Round-robin tasks over the first `k` resources (k <= n).
+Placement round_robin(const TaskSet& tasks, graph::Node n, graph::Node k);
+
+}  // namespace tlb::tasks

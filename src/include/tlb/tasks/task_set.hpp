@@ -1,0 +1,54 @@
+#pragma once
+// Weighted task (ball) collection.
+//
+// Model (Section 4): m >= n tasks, task i has weight w_i with w_min >= 1
+// (weights can always be rescaled so this holds), W = sum of all weights,
+// w_max the largest weight.
+
+#include <cstdint>
+#include <vector>
+
+namespace tlb::tasks {
+
+/// Task identifier: index into the TaskSet.
+using TaskId = std::uint32_t;
+
+/// Immutable set of weighted tasks with cached aggregates.
+class TaskSet {
+ public:
+  TaskSet() = default;
+
+  /// Take ownership of the weight vector. Throws std::invalid_argument if
+  /// empty or if any weight is < 1 (the paper's w_min >= 1 normalisation;
+  /// use normalized() to rescale arbitrary positive weights first).
+  explicit TaskSet(std::vector<double> weights);
+
+  /// Rescale arbitrary positive weights so that min weight == 1, then build.
+  static TaskSet normalized(std::vector<double> weights);
+
+  /// Number of tasks m.
+  std::size_t size() const noexcept { return weights_.size(); }
+  /// Weight of task i.
+  double weight(TaskId i) const noexcept { return weights_[i]; }
+  /// All weights.
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+  /// Total weight W.
+  double total_weight() const noexcept { return total_; }
+  /// Maximum weight w_max.
+  double max_weight() const noexcept { return max_; }
+  /// Minimum weight w_min.
+  double min_weight() const noexcept { return min_; }
+  /// Average weight W/m.
+  double avg_weight() const noexcept {
+    return total_ / static_cast<double>(weights_.size());
+  }
+
+ private:
+  std::vector<double> weights_;
+  double total_ = 0.0;
+  double max_ = 0.0;
+  double min_ = 0.0;
+};
+
+}  // namespace tlb::tasks

@@ -1,0 +1,45 @@
+#pragma once
+// Weight generators for every experiment in the paper plus the heavy-tailed
+// families discussed in related work (Talwar–Wieder's finite-second-moment
+// condition, Peres et al.'s (1+β) weighted analysis).
+
+#include <cstddef>
+
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::tasks {
+
+/// m unit-weight tasks (the Ackermann et al. / Hoefer–Sauerwald setting).
+TaskSet uniform_unit(std::size_t m);
+
+/// Figure 1's weight profile: `heavy_count` tasks of weight `w_max` plus
+/// `unit_count` tasks of weight 1. Heavy tasks come first in the id order.
+TaskSet two_point(std::size_t unit_count, std::size_t heavy_count,
+                  double w_max);
+
+/// Figure 1 parameterisation: total weight W with k heavy tasks of weight
+/// w_max; the remaining weight is m(W,k) = W - k·w_max unit tasks.
+/// Throws if W < k·w_max (no room for the units).
+TaskSet figure1_profile(double total_weight, std::size_t k, double w_max);
+
+/// Figure 2's weight profile: one task of weight `w_max` plus m-1 unit
+/// tasks. Task 0 is the heavy one.
+TaskSet single_heavy(std::size_t m, double w_max);
+
+/// Uniform real weights on [1, hi].
+TaskSet uniform_real(std::size_t m, double hi, util::Rng& rng);
+
+/// 1 + Exp(rate), i.e. shifted exponential with mean 1 + 1/rate.
+TaskSet shifted_exponential(std::size_t m, double rate, util::Rng& rng);
+
+/// Bounded Pareto on [1, hi] with tail index alpha (finite second moment for
+/// alpha > 2 — the Talwar–Wieder regime).
+TaskSet bounded_pareto(std::size_t m, double alpha, double hi, util::Rng& rng);
+
+/// Geometric-like discrete weights: w = 2^G where G ~ Geometric(1/2),
+/// truncated at `max_exponent`. Stresses wide dynamic range with a point
+/// mass at every octave.
+TaskSet geometric_octaves(std::size_t m, int max_exponent, util::Rng& rng);
+
+}  // namespace tlb::tasks

@@ -1,0 +1,32 @@
+#pragma once
+// Fast exact Binomial(n, p) sampling.
+//
+// The grouped user-controlled engine draws, for every (resource, weight
+// class) pair, the number of leaving tasks as Binomial(count, p). Counts can
+// be as large as m (all tasks piled on one resource, the paper's initial
+// condition), so a naive count-coin-flips loop would dominate the runtime.
+//
+// Strategy:
+//   * n*p small or n small  -> BINV (inversion by sequential search), O(1+np)
+//   * otherwise             -> BTRS (transformed rejection, Hormann 1993),
+//                              O(1) expected.
+// Both are exact samplers (no normal approximation), so the grouped engine is
+// distributionally identical to per-task coin flips.
+
+#include <cstdint>
+
+#include "tlb/util/rng.hpp"
+
+namespace tlb::util {
+
+/// Draw from Binomial(n, p). Exact for all n >= 0 and p in [0, 1].
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p);
+
+namespace detail {
+/// Inversion sampler; efficient when n*p <= ~15. Exposed for tests.
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p);
+/// Transformed-rejection sampler; requires n*p >= 10. Exposed for tests.
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p);
+}  // namespace detail
+
+}  // namespace tlb::util

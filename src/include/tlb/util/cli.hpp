@@ -1,0 +1,55 @@
+#pragma once
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supported syntax: --name=value, --name value, --flag (boolean true),
+// and positional arguments. Unknown flags are an error by default so typos
+// in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tlb::util {
+
+/// Parsed command line with typed accessors and a generated --help text.
+class Cli {
+ public:
+  /// Register expectations before parse(): name (without --), default value
+  /// rendered into help, description.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& description);
+
+  /// Parse argv. Returns false (and prints help) if --help was given or an
+  /// unknown flag was seen.
+  bool parse(int argc, char** argv);
+
+  /// Typed accessors; fall back to the registered default.
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of integers, e.g. --sizes=64,128,256.
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+  /// Comma-separated list of doubles.
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Render the help text.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string description;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tlb::util

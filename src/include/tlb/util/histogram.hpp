@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-bin histogram for load-distribution reporting in benches and
+// examples (e.g. "how are the final loads spread below the threshold?").
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tlb::util {
+
+/// Equal-width histogram over [lo, hi]; values outside clamp to the edge
+/// bins. Bin b covers [lo + b·width, lo + (b+1)·width).
+class Histogram {
+ public:
+  /// `bins` equal-width buckets spanning [lo, hi]; requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Insert one observation.
+  void add(double x);
+  /// Insert many observations.
+  void add_all(const std::vector<double>& xs);
+
+  /// Count in bin b.
+  std::size_t count(std::size_t b) const { return counts_[b]; }
+  /// Number of bins.
+  std::size_t bins() const { return counts_.size(); }
+  /// Total observations.
+  std::size_t total() const { return total_; }
+  /// Lower edge of bin b.
+  double bin_lo(std::size_t b) const;
+  /// Upper edge of bin b.
+  double bin_hi(std::size_t b) const;
+
+  /// Render as an ASCII bar chart, `width` characters for the largest bin.
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tlb::util

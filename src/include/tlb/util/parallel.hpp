@@ -1,0 +1,20 @@
+#pragma once
+// parallel_for: static-chunk parallel loop over [0, count).
+//
+// Designed for experiment trials: each index is independent, the body is
+// coarse-grained, and determinism comes from per-index seeding (the body must
+// derive randomness from the index, never from shared mutable state).
+
+#include <cstddef>
+#include <functional>
+
+namespace tlb::util {
+
+/// Execute body(i) for every i in [0, count), distributing contiguous chunks
+/// over `threads` std::threads (0 = hardware concurrency). Falls back to a
+/// plain loop when count or threads is small. Exceptions from workers are
+/// rethrown on the caller's thread (first one wins).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace tlb::util

@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table / CSV writer used by every bench binary so the terminal output
+// looks like the paper's tables and the raw data is machine-readable.
+
+#include <string>
+#include <vector>
+
+namespace tlb::util {
+
+/// Accumulates rows of strings, then renders a padded ASCII table and/or CSV.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a fully-formed row (must match the header count).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format arithmetic values with sensible precision.
+  /// Doubles render with `precision` significant decimal digits.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::size_t v);
+
+  /// Render an aligned ASCII table with a rule under the header.
+  std::string to_ascii() const;
+  /// Render RFC-4180-ish CSV (no quoting of commas needed for our data).
+  std::string to_csv() const;
+  /// Write CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Number of data rows so far.
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tlb::util

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal fixed-size thread pool used to run independent simulation trials
+// in parallel. Tasks are plain std::function<void()>; there is no work
+// stealing because trial granularity is coarse (milliseconds to seconds).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tlb::util {
+
+/// Fixed-size thread pool. Threads are joined in the destructor (RAII); any
+/// exception thrown by a task is rethrown from wait_idle() on the caller's
+/// thread (first one wins, the rest are dropped).
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution. Thread safe.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle. Rethrows the
+  /// first task exception, if any.
+  void wait_idle();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace tlb::util

@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock stopwatch for coarse experiment timing.
+
+#include <chrono>
+
+namespace tlb::util {
+
+/// Starts on construction; elapsed_* report time since construction or the
+/// most recent reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds as a double.
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tlb::util

@@ -1,0 +1,38 @@
+#include "tlb/randomwalk/cover.hpp"
+
+#include <vector>
+
+namespace tlb::randomwalk {
+
+double mc_cover_time(const TransitionModel& walk, graph::Node start,
+                     int trials, util::Rng& rng, long cap) {
+  const graph::Node n = walk.num_nodes();
+  double total = 0.0;
+  std::vector<std::uint32_t> visited(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    // Epoch trick: bump the epoch instead of clearing the visited array.
+    const auto epoch = static_cast<std::uint32_t>(t + 1);
+    graph::Node cur = start;
+    visited[cur] = epoch;
+    graph::Node seen = 1;
+    long steps = 0;
+    while (seen < n && steps < cap) {
+      cur = walk.step(cur, rng);
+      ++steps;
+      if (visited[cur] != epoch) {
+        visited[cur] = epoch;
+        ++seen;
+      }
+    }
+    total += static_cast<double>(steps);
+  }
+  return total / trials;
+}
+
+double matthews_bound(double max_hitting_time, graph::Node n) {
+  double harmonic = 0.0;
+  for (graph::Node k = 1; k <= n; ++k) harmonic += 1.0 / k;
+  return max_hitting_time * harmonic;
+}
+
+}  // namespace tlb::randomwalk

@@ -1,0 +1,139 @@
+#include "tlb/randomwalk/hitting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::randomwalk {
+
+std::vector<double> hitting_times_to_dense(const TransitionModel& walk,
+                                           Node target) {
+  const Node n = walk.num_nodes();
+  const auto& g = walk.graph();
+  // Unknowns: h(u) for u != target. System (I - P̃)h = 1 where P̃ drops the
+  // target row/column. Build dense and eliminate with partial pivoting.
+  const std::size_t dim = n - 1;
+  auto index = [target](Node u) -> std::size_t {
+    return u < target ? u : static_cast<std::size_t>(u) - 1;
+  };
+  std::vector<double> a(dim * (dim + 1), 0.0);  // augmented [A | b]
+  auto at = [&](std::size_t r, std::size_t c) -> double& {
+    return a[r * (dim + 1) + c];
+  };
+  for (Node u = 0; u < n; ++u) {
+    if (u == target) continue;
+    const std::size_t r = index(u);
+    at(r, r) = 1.0 - walk.self_loop_prob(u);
+    for (Node v : g.neighbors(u)) {
+      if (v == target) continue;
+      at(r, index(v)) -= walk.prob(u, v);
+    }
+    at(r, dim) = 1.0;  // RHS
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(at(pivot, col)) < 1e-14) {
+      throw std::runtime_error("hitting_times_to_dense: singular system (graph disconnected?)");
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c <= dim; ++c) std::swap(at(pivot, c), at(col, c));
+    }
+    const double inv = 1.0 / at(col, col);
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double factor = at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c <= dim; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  std::vector<double> x(dim);
+  for (std::size_t r = dim; r-- > 0;) {
+    double sum = at(r, dim);
+    for (std::size_t c = r + 1; c < dim; ++c) sum -= at(r, c) * x[c];
+    x[r] = sum / at(r, r);
+  }
+  std::vector<double> h(n, 0.0);
+  for (Node u = 0; u < n; ++u) {
+    if (u != target) h[u] = x[index(u)];
+  }
+  return h;
+}
+
+std::vector<double> hitting_times_to(const TransitionModel& walk, Node target,
+                                     const GaussSeidelOptions& opts) {
+  const Node n = walk.num_nodes();
+  const auto& g = walk.graph();
+  std::vector<double> h(n, 0.0);
+  // Gauss-Seidel: h(u) <- (1 + sum_{v != u, v != target} P(u,v) h(v)) /
+  //                       (1 - P(u,u)).
+  // In-place updates propagate information within a sweep, roughly halving
+  // the iteration count versus Jacobi. Every existing edge carries the same
+  // transition mass, so the inner loop avoids per-pair probability lookups.
+  const double per_edge = walk.edge_prob();
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    double max_delta = 0.0;
+    for (Node u = 0; u < n; ++u) {
+      if (u == target) continue;
+      double sum = 0.0;
+      for (Node v : g.neighbors(u)) {
+        if (v == target) continue;
+        sum += h[v];
+      }
+      sum = 1.0 + sum * per_edge;
+      const double denom = 1.0 - walk.self_loop_prob(u);
+      const double next = sum / denom;
+      max_delta = std::max(max_delta, std::fabs(next - h[u]));
+      h[u] = next;
+    }
+    if (max_delta < opts.tolerance) return h;
+  }
+  return h;  // best effort after max_sweeps
+}
+
+double mc_hitting_time(const TransitionModel& walk, Node source, Node target,
+                       int trials, util::Rng& rng, long cap) {
+  if (source == target) return 0.0;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Node cur = source;
+    long steps = 0;
+    while (cur != target && steps < cap) {
+      cur = walk.step(cur, rng);
+      ++steps;
+    }
+    total += static_cast<double>(steps);
+  }
+  return total / trials;
+}
+
+double max_hitting_time_dense(const TransitionModel& walk) {
+  const Node n = walk.num_nodes();
+  double best = 0.0;
+  for (Node target = 0; target < n; ++target) {
+    const auto h = hitting_times_to_dense(walk, target);
+    best = std::max(best, *std::max_element(h.begin(), h.end()));
+  }
+  return best;
+}
+
+double max_hitting_time_over_targets(const TransitionModel& walk,
+                                     const std::vector<Node>& targets,
+                                     const GaussSeidelOptions& opts) {
+  double best = 0.0;
+  for (Node target : targets) {
+    const auto h = hitting_times_to(walk, target, opts);
+    best = std::max(best, *std::max_element(h.begin(), h.end()));
+  }
+  return best;
+}
+
+double complete_graph_hitting(Node n) { return static_cast<double>(n) - 1.0; }
+
+double cycle_hitting(Node n, Node distance) {
+  return static_cast<double>(distance) * (static_cast<double>(n) - distance);
+}
+
+}  // namespace tlb::randomwalk

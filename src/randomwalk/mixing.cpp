@@ -1,0 +1,51 @@
+#include "tlb/randomwalk/mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::randomwalk {
+
+double tv_distance(const std::vector<double>& p, const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("tv_distance: size mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double tv_to_uniform(const std::vector<double>& p) {
+  const double u = 1.0 / static_cast<double>(p.size());
+  double sum = 0.0;
+  for (double v : p) sum += std::fabs(v - u);
+  return 0.5 * sum;
+}
+
+long empirical_mixing_time_from(const TransitionModel& walk, Node start,
+                                const MixingOptions& opts) {
+  const Node n = walk.num_nodes();
+  std::vector<double> dist(n, 0.0), next;
+  dist[start] = 1.0;
+  if (tv_to_uniform(dist) <= opts.epsilon) return 0;
+  for (long t = 1; t <= opts.max_steps; ++t) {
+    walk.evolve(dist, next);
+    dist.swap(next);
+    if (tv_to_uniform(dist) <= opts.epsilon) return t;
+  }
+  return -1;
+}
+
+long empirical_mixing_time(const TransitionModel& walk,
+                           const std::vector<Node>& starts,
+                           const MixingOptions& opts) {
+  long worst = 0;
+  for (Node s : starts) {
+    const long t = empirical_mixing_time_from(walk, s, opts);
+    if (t < 0) return -1;
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace tlb::randomwalk

@@ -1,0 +1,103 @@
+#include "tlb/randomwalk/resistance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::randomwalk {
+
+namespace {
+
+/// y = L x for the combinatorial Laplacian (degree on the diagonal, -1 per
+/// edge). O(|E| + n).
+void laplacian_apply(const graph::Graph& g, const std::vector<double>& x,
+                     std::vector<double>& y) {
+  const graph::Node n = g.num_nodes();
+  y.assign(n, 0.0);
+  for (graph::Node u = 0; u < n; ++u) {
+    double acc = static_cast<double>(g.degree(u)) * x[u];
+    for (graph::Node v : g.neighbors(u)) acc -= x[v];
+    y[u] = acc;
+  }
+}
+
+/// Project out the all-ones component (the Laplacian's null space).
+void remove_mean(std::vector<double>& x) {
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> laplacian_solve(const graph::Graph& g,
+                                    const std::vector<double>& b,
+                                    const CgOptions& opts) {
+  const graph::Node n = g.num_nodes();
+  if (b.size() != n) {
+    throw std::invalid_argument("laplacian_solve: rhs size mismatch");
+  }
+  // Standard CG on the mean-zero subspace, where L is SPD for a connected
+  // graph. The projection after every matrix application keeps rounding
+  // from re-introducing the null component.
+  std::vector<double> rhs = b;
+  remove_mean(rhs);
+  std::vector<double> x(n, 0.0), r = rhs, p = rhs, ap;
+  double rr = dot(r, r);
+  const double rhs_norm = std::sqrt(dot(rhs, rhs));
+  if (rhs_norm == 0.0) return x;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    laplacian_apply(g, p, ap);
+    remove_mean(ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) {
+      throw std::runtime_error(
+          "laplacian_solve: non-positive curvature (disconnected graph?)");
+    }
+    const double alpha = rr / pap;
+    for (graph::Node i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_next = dot(r, r);
+    if (std::sqrt(rr_next) <= opts.tolerance * rhs_norm) {
+      remove_mean(x);
+      return x;
+    }
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    for (graph::Node i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  throw std::runtime_error("laplacian_solve: CG did not converge");
+}
+
+double effective_resistance(const graph::Graph& g, graph::Node u,
+                            graph::Node v, const CgOptions& opts) {
+  if (u == v) throw std::invalid_argument("effective_resistance: u == v");
+  std::vector<double> b(g.num_nodes(), 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  const auto x = laplacian_solve(g, b, opts);
+  return x[u] - x[v];
+}
+
+double commute_time(const TransitionModel& walk, graph::Node u, graph::Node v,
+                    const CgOptions& opts) {
+  const auto& g = walk.graph();
+  const double r_eff = effective_resistance(g, u, v, opts);
+  // Total conductance mass of the max-degree chain is n·d (every node's row
+  // carries weight d including the self-loop padding); the lazy chain halves
+  // every transition rate, doubling all hitting times.
+  double total = static_cast<double>(g.num_nodes()) *
+                 static_cast<double>(g.max_degree());
+  if (walk.kind() == WalkKind::kLazy) total *= 2.0;
+  return total * r_eff;
+}
+
+}  // namespace tlb::randomwalk

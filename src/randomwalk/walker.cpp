@@ -1,0 +1,3 @@
+// Walker is header-only; this translation unit anchors the component in the
+// build graph.
+#include "tlb/randomwalk/walker.hpp"

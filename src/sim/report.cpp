@@ -1,0 +1,27 @@
+#include "tlb/sim/report.hpp"
+
+#include <cstdio>
+
+namespace tlb::sim {
+
+void print_banner(const std::string& artefact, const std::string& description) {
+  std::printf("\n== %s — %s ==\n", artefact.c_str(), description.c_str());
+}
+
+void print_param(const std::string& key, const std::string& value) {
+  std::printf("   %-22s %s\n", key.c_str(), value.c_str());
+}
+
+void emit_table(const util::Table& table, const std::string& csv_path) {
+  std::printf("\n%s", table.to_ascii().c_str());
+  if (!csv_path.empty()) {
+    table.write_csv(csv_path);
+    std::printf("[csv written to %s]\n", csv_path.c_str());
+  }
+}
+
+void print_takeaway(const std::string& text) {
+  std::printf("-> %s\n", text.c_str());
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,35 @@
+#include "tlb/sim/runner.hpp"
+
+#include <vector>
+
+#include "tlb/util/parallel.hpp"
+
+namespace tlb::sim {
+
+TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
+                      const TrialFn& trial, std::size_t threads) {
+  // Fill a dense result vector in parallel, then reduce serially; the
+  // reduction is trivial compared to the trials themselves and keeps the
+  // aggregation deterministic.
+  std::vector<core::RunResult> results(trials);
+  util::parallel_for(
+      trials,
+      [&](std::size_t i) {
+        util::Rng rng(util::derive_seed(master_seed, i));
+        results[i] = trial(rng);
+      },
+      threads);
+
+  TrialStats stats;
+  stats.rounds_samples.reserve(trials);
+  for (const auto& r : results) {
+    stats.rounds.add(static_cast<double>(r.rounds));
+    stats.migrations.add(static_cast<double>(r.migrations));
+    stats.final_max_load.add(r.final_max_load);
+    stats.rounds_samples.push_back(static_cast<double>(r.rounds));
+    if (!r.balanced) ++stats.unbalanced;
+  }
+  return stats;
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,44 @@
+#include "tlb/sim/sweep.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::sim {
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) return {};
+  if (count == 1) return {lo};
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + static_cast<double>(i) * step;
+  }
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  if (lo <= 0.0 || hi <= 0.0) {
+    throw std::invalid_argument("logspace: bounds must be positive");
+  }
+  auto exps = linspace(std::log(lo), std::log(hi), count);
+  for (double& e : exps) e = std::exp(e);
+  return exps;
+}
+
+std::vector<std::int64_t> arange(std::int64_t lo, std::int64_t hi,
+                                 std::int64_t step) {
+  if (step <= 0) throw std::invalid_argument("arange: step must be positive");
+  std::vector<std::int64_t> out;
+  for (std::int64_t v = lo; v <= hi; v += step) out.push_back(v);
+  return out;
+}
+
+std::vector<std::int64_t> pow2_range(std::int64_t lo, std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  std::int64_t v = 1;
+  while (v < lo) v <<= 1;
+  for (; v <= hi; v <<= 1) out.push_back(v);
+  return out;
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,48 @@
+#include "tlb/sim/theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::sim {
+
+namespace {
+double ln(double x) { return std::log(x); }
+}  // namespace
+
+double theorem3_bound(double tau, std::size_t m, double eps, double c) {
+  if (eps <= 0.0) throw std::invalid_argument("theorem3_bound: eps > 0");
+  const double rate = ln(2.0 * (1.0 + eps) / (2.0 + eps));
+  return 2.0 * (c + 1.0) * tau * ln(static_cast<double>(m)) / rate;
+}
+
+double theorem7_bound(double hitting_time, double total_weight) {
+  return 8.0 * hitting_time * (1.0 + ln(total_weight));
+}
+
+double observation8_shape(graph::Node n, graph::Node k, std::size_t m) {
+  const double nn = static_cast<double>(n);
+  return nn * nn / static_cast<double>(k) * ln(static_cast<double>(m));
+}
+
+double paper_alpha(double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("paper_alpha: eps > 0");
+  return eps / (120.0 * (1.0 + eps));
+}
+
+double theorem11_bound(double eps, double alpha, double w_max, double w_min,
+                       std::size_t m) {
+  if (eps <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("theorem11_bound: eps, alpha > 0");
+  }
+  return 2.0 * (1.0 + eps) / (alpha * eps) * (w_max / w_min) *
+         ln(static_cast<double>(m));
+}
+
+double theorem12_bound(graph::Node n, double alpha, double w_max, double w_min,
+                       std::size_t m) {
+  if (alpha <= 0.0) throw std::invalid_argument("theorem12_bound: alpha > 0");
+  return 2.0 * static_cast<double>(n) / alpha * (w_max / w_min) *
+         ln(static_cast<double>(m));
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,68 @@
+#include "tlb/sim/trace.hpp"
+
+#include <algorithm>
+
+#include "tlb/util/stats.hpp"
+
+namespace tlb::sim {
+
+namespace {
+
+TraceRow make_row(long round, const std::vector<double>& loads,
+                  double potential, std::size_t migrations) {
+  TraceRow row;
+  row.round = round;
+  row.potential = potential;
+  row.migrations = migrations;
+  double sum = 0.0;
+  for (double x : loads) {
+    sum += x;
+    row.max_load = std::max(row.max_load, x);
+  }
+  row.mean_load = loads.empty() ? 0.0 : sum / static_cast<double>(loads.size());
+  std::vector<double> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  row.p95_load = util::percentile_sorted(sorted, 0.95);
+  return row;
+}
+
+}  // namespace
+
+void TraceRecorder::record(long round, const std::vector<double>& loads,
+                           double threshold, double potential,
+                           std::size_t migrations) {
+  TraceRow row = make_row(round, loads, potential, migrations);
+  for (double x : loads) row.overloaded += (x > threshold);
+  rows_.push_back(row);
+}
+
+void TraceRecorder::record(long round, const std::vector<double>& loads,
+                           const std::vector<double>& thresholds,
+                           double potential, std::size_t migrations) {
+  TraceRow row = make_row(round, loads, potential, migrations);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    row.overloaded += (loads[i] > thresholds[i]);
+  }
+  rows_.push_back(row);
+}
+
+util::Table TraceRecorder::to_table() const {
+  util::Table table({"round", "max", "mean", "p95", "overloaded", "potential",
+                     "migrations"});
+  for (const auto& row : rows_) {
+    table.add_row({util::Table::fmt(std::int64_t{row.round}),
+                   util::Table::fmt(row.max_load, 2),
+                   util::Table::fmt(row.mean_load, 2),
+                   util::Table::fmt(row.p95_load, 2),
+                   util::Table::fmt(row.overloaded),
+                   util::Table::fmt(row.potential, 2),
+                   util::Table::fmt(row.migrations)});
+  }
+  return table;
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  to_table().write_csv(path);
+}
+
+}  // namespace tlb::sim

@@ -1,0 +1,32 @@
+#include "tlb/tasks/first_fit.hpp"
+
+#include <stdexcept>
+
+namespace tlb::tasks {
+
+ProperAssignment first_fit(const TaskSet& tasks, graph::Node n) {
+  if (n == 0) throw std::invalid_argument("first_fit: need n >= 1");
+  const double target_fill = tasks.total_weight() / static_cast<double>(n);
+
+  ProperAssignment out;
+  out.target.resize(tasks.size());
+  out.load.assign(n, 0.0);
+
+  // Cursor invariant: every resource before `cursor` has load >= W/n. If the
+  // cursor ever ran past the last resource with a task unplaced, the placed
+  // weight would already be >= n·(W/n) = W — impossible — so the loop below
+  // always finds room.
+  graph::Node cursor = 0;
+  for (TaskId i = 0; i < tasks.size(); ++i) {
+    while (cursor < n && out.load[cursor] >= target_fill) ++cursor;
+    if (cursor >= n) {
+      throw std::logic_error("first_fit: pigeonhole violated (bug)");
+    }
+    out.target[i] = cursor;
+    out.load[cursor] += tasks.weight(i);
+    if (out.load[cursor] > out.max_load) out.max_load = out.load[cursor];
+  }
+  return out;
+}
+
+}  // namespace tlb::tasks

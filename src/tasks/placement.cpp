@@ -1,0 +1,62 @@
+#include "tlb/tasks/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace tlb::tasks {
+
+Placement all_on_one(const TaskSet& tasks, graph::Node resource) {
+  return Placement(tasks.size(), resource);
+}
+
+Placement uniform_random(const TaskSet& tasks, graph::Node n, util::Rng& rng) {
+  Placement p(tasks.size());
+  for (auto& r : p) r = static_cast<graph::Node>(rng.uniform_below(n));
+  return p;
+}
+
+Placement observation8_adversarial(const TaskSet& tasks, graph::Node n) {
+  if (n < 3) throw std::invalid_argument("observation8_adversarial: n >= 3");
+  const graph::Node clique_size = n - 1;  // satellite is node n-1
+  const double per_node = tasks.total_weight() / static_cast<double>(n);
+
+  // Process tasks in descending weight; fill clique nodes up to ~W/n, then
+  // dump the excess on clique node 0. The satellite (n-1) starts empty.
+  std::vector<TaskId> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    return tasks.weight(a) > tasks.weight(b);
+  });
+
+  Placement p(tasks.size(), 0);
+  std::vector<double> load(clique_size, 0.0);
+  graph::Node cursor = 0;
+  for (TaskId id : order) {
+    // Find the next clique node with room below the per-node target.
+    graph::Node chosen = clique_size;  // sentinel: none has room
+    for (graph::Node probe = 0; probe < clique_size; ++probe) {
+      const graph::Node v = (cursor + probe) % clique_size;
+      if (load[v] < per_node) {
+        chosen = v;
+        break;
+      }
+    }
+    if (chosen == clique_size) chosen = 0;  // all full: overflow onto node 0
+    p[id] = chosen;
+    load[chosen] += tasks.weight(id);
+    cursor = (chosen + 1) % clique_size;
+  }
+  return p;
+}
+
+Placement round_robin(const TaskSet& tasks, graph::Node n, graph::Node k) {
+  if (k == 0 || k > n) throw std::invalid_argument("round_robin: need 1 <= k <= n");
+  Placement p(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    p[i] = static_cast<graph::Node>(i % k);
+  }
+  return p;
+}
+
+}  // namespace tlb::tasks

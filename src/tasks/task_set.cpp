@@ -1,0 +1,37 @@
+#include "tlb/tasks/task_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlb::tasks {
+
+TaskSet::TaskSet(std::vector<double> weights) : weights_(std::move(weights)) {
+  if (weights_.empty()) throw std::invalid_argument("TaskSet: no tasks");
+  total_ = 0.0;
+  max_ = weights_.front();
+  min_ = weights_.front();
+  for (double w : weights_) {
+    if (w < 1.0) {
+      throw std::invalid_argument(
+          "TaskSet: weights must be >= 1 (use TaskSet::normalized to rescale)");
+    }
+    total_ += w;
+    max_ = std::max(max_, w);
+    min_ = std::min(min_, w);
+  }
+}
+
+TaskSet TaskSet::normalized(std::vector<double> weights) {
+  if (weights.empty()) throw std::invalid_argument("TaskSet: no tasks");
+  double min_w = weights.front();
+  for (double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("TaskSet: weights must be positive");
+    min_w = std::min(min_w, w);
+  }
+  for (double& w : weights) w /= min_w;
+  // Clamp tiny negative rounding on the minimum element itself.
+  for (double& w : weights) w = std::max(w, 1.0);
+  return TaskSet(std::move(weights));
+}
+
+}  // namespace tlb::tasks

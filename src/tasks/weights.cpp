@@ -1,0 +1,76 @@
+#include "tlb/tasks/weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tlb::tasks {
+
+TaskSet uniform_unit(std::size_t m) {
+  return TaskSet(std::vector<double>(m, 1.0));
+}
+
+TaskSet two_point(std::size_t unit_count, std::size_t heavy_count,
+                  double w_max) {
+  if (w_max < 1.0) throw std::invalid_argument("two_point: w_max must be >= 1");
+  std::vector<double> w;
+  w.reserve(unit_count + heavy_count);
+  w.insert(w.end(), heavy_count, w_max);
+  w.insert(w.end(), unit_count, 1.0);
+  return TaskSet(std::move(w));
+}
+
+TaskSet figure1_profile(double total_weight, std::size_t k, double w_max) {
+  const double heavy_weight = static_cast<double>(k) * w_max;
+  if (total_weight < heavy_weight) {
+    throw std::invalid_argument(
+        "figure1_profile: W < k*w_max leaves no room for unit tasks");
+  }
+  const auto unit_count =
+      static_cast<std::size_t>(std::llround(total_weight - heavy_weight));
+  return two_point(unit_count, k, w_max);
+}
+
+TaskSet single_heavy(std::size_t m, double w_max) {
+  if (m == 0) throw std::invalid_argument("single_heavy: need m >= 1");
+  std::vector<double> w(m, 1.0);
+  w[0] = w_max;
+  return TaskSet(std::move(w));
+}
+
+TaskSet uniform_real(std::size_t m, double hi, util::Rng& rng) {
+  if (hi < 1.0) throw std::invalid_argument("uniform_real: hi must be >= 1");
+  std::vector<double> w(m);
+  for (double& x : w) x = 1.0 + rng.uniform01() * (hi - 1.0);
+  return TaskSet(std::move(w));
+}
+
+TaskSet shifted_exponential(std::size_t m, double rate, util::Rng& rng) {
+  if (rate <= 0.0) throw std::invalid_argument("shifted_exponential: rate > 0");
+  std::vector<double> w(m);
+  for (double& x : w) x = 1.0 + rng.exponential(rate);
+  return TaskSet(std::move(w));
+}
+
+TaskSet bounded_pareto(std::size_t m, double alpha, double hi, util::Rng& rng) {
+  if (alpha <= 0.0 || hi < 1.0) {
+    throw std::invalid_argument("bounded_pareto: need alpha > 0, hi >= 1");
+  }
+  std::vector<double> w(m);
+  for (double& x : w) x = rng.bounded_pareto(alpha, 1.0, hi);
+  return TaskSet(std::move(w));
+}
+
+TaskSet geometric_octaves(std::size_t m, int max_exponent, util::Rng& rng) {
+  if (max_exponent < 0 || max_exponent > 50) {
+    throw std::invalid_argument("geometric_octaves: exponent in [0, 50]");
+  }
+  std::vector<double> w(m);
+  for (double& x : w) {
+    int g = 0;
+    while (g < max_exponent && rng.bernoulli(0.5)) ++g;
+    x = std::ldexp(1.0, g);  // 2^g
+  }
+  return TaskSet(std::move(w));
+}
+
+}  // namespace tlb::tasks

@@ -1,0 +1,91 @@
+#include "tlb/util/binomial.hpp"
+
+#include <cmath>
+
+namespace tlb::util {
+
+namespace detail {
+
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  // Walk the CDF from k = 0. Expected work O(1 + n*p).
+  const double q = 1.0 - p;
+  // qn = q^n computed in log space to survive large n.
+  const double log_q = std::log(q);
+  double f = std::exp(static_cast<double>(n) * log_q);
+  double u = rng.uniform01();
+  std::uint64_t k = 0;
+  // Recurrence: P(k+1) = P(k) * (n-k)/(k+1) * p/q.
+  const double r = p / q;
+  while (u > f) {
+    u -= f;
+    f *= r * static_cast<double>(n - k) / static_cast<double>(k + 1);
+    ++k;
+    if (k >= n) return n;  // numerical guard: all mass consumed
+  }
+  return k;
+}
+
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
+  // BTRS: "transformed rejection with squeeze" (Hormann 1993, BTRD's compact
+  // sibling). Exact sampler, O(1) expected time for n*p >= 10.
+  const double nd = static_cast<double>(n);
+  const double spq = std::sqrt(nd * p * (1.0 - p));
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double r = p / (1.0 - p);
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double m = std::floor((nd + 1.0) * p);
+
+  auto log_fact = [](double k) {
+    // Stirling series; exact-enough for the acceptance test (k >= 10 on the
+    // rejection path; small k handled by the table below).
+    static const double table[] = {0.0,
+                                   0.0,
+                                   0.6931471805599453,
+                                   1.791759469228055,
+                                   3.1780538303479458,
+                                   4.787491742782046,
+                                   6.579251212010101,
+                                   8.525161361065415,
+                                   10.60460290274525,
+                                   12.801827480081469};
+    if (k < 10.0) return table[static_cast<int>(k)];
+    const double k1 = k + 1.0;
+    return (k1 - 0.5) * std::log(k1) - k1 + 0.9189385332046727 +
+           1.0 / (12.0 * k1) - 1.0 / (360.0 * k1 * k1 * k1);
+  };
+
+  const double h = log_fact(m) + log_fact(nd - m);
+  const double log_r = std::log(r);
+  for (;;) {
+    double u = rng.uniform01() - 0.5;
+    double v = rng.uniform01();
+    const double us = 0.5 - std::fabs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    const auto k = static_cast<std::uint64_t>(kd);
+    if (us >= 0.07 && v <= v_r) return k;  // squeeze: accept immediately
+    // Full acceptance test in log space (Hormann 1993, step 3.1):
+    // accept iff log(v') <= log f(k) - log f(m) with the transformed v'.
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upperbound =
+        h - log_fact(kd) - log_fact(nd - kd) + (kd - m) * log_r;
+    if (v <= upperbound) return k;
+  }
+}
+
+}  // namespace detail
+
+std::uint64_t binomial(Rng& rng, std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the inversion path sees the smaller tail.
+  if (p > 0.5) return n - binomial(rng, n, 1.0 - p);
+  const double np = static_cast<double>(n) * p;
+  if (np < 10.0) return detail::binomial_inversion(rng, n, p);
+  return detail::binomial_btrs(rng, n, p);
+}
+
+}  // namespace tlb::util

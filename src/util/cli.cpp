@@ -1,0 +1,102 @@
+#include "tlb/util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tlb::util {
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& description) {
+  specs_[name] = Spec{default_value, description};
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // "--name value" form, unless the next token is another flag or absent;
+      // then treat as boolean true.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
+          specs_.count(name) && specs_.at(name).default_value != "false" &&
+          specs_.at(name).default_value != "true") {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!specs_.count(name)) {
+      std::fprintf(stderr, "unknown flag --%s\n\n", name.c_str());
+      std::fputs(help(argv[0]).c_str(), stderr);
+      return false;
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Cli::get_string(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = specs_.find(name); it != specs_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("unregistered flag: " + name);
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get_string(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get_string(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(get_string(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  std::stringstream ss(get_string(name));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::string Cli::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name << " (default: " << spec.default_value << ")\n"
+       << "      " << spec.description << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tlb::util

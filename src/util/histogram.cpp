@@ -1,0 +1,52 @@
+#include "tlb/util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tlb::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need bins >= 1");
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto b = static_cast<long>((x - lo_) / bin_width_);
+  b = std::clamp<long>(b, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + static_cast<double>(b) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  return lo_ + static_cast<double>(b + 1) * bin_width_;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    std::snprintf(line, sizeof line, "[%8.2f, %8.2f)  %8zu  ", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tlb::util

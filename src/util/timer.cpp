@@ -1,0 +1,3 @@
+// Stopwatch is header-only; this translation unit exists so the build graph
+// has a stable object for the util/timer component.
+#include "tlb/util/timer.hpp"

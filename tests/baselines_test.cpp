@@ -1,0 +1,136 @@
+// Tests for the related-work baselines: centralized first fit, selfish
+// reallocation, greedy d-choice, and the (1+β)-process.
+#include <gtest/gtest.h>
+
+#include "tlb/baselines/first_fit_centralized.hpp"
+#include "tlb/baselines/one_plus_beta.hpp"
+#include "tlb/baselines/selfish_realloc.hpp"
+#include "tlb/baselines/two_choice.hpp"
+#include "tlb/core/threshold.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/weights.hpp"
+
+namespace {
+
+using namespace tlb::baselines;
+using tlb::graph::Node;
+using tlb::tasks::TaskSet;
+using tlb::util::Rng;
+
+TEST(FirstFitCentralizedTest, MeetsProperBoundInOneRound) {
+  const TaskSet ts = tlb::tasks::two_point(300, 10, 20.0);
+  const Node n = 25;
+  const auto result = first_fit_centralized(ts, n);
+  EXPECT_EQ(result.run.rounds, 1);
+  EXPECT_TRUE(result.run.balanced);
+  EXPECT_LE(result.run.final_max_load,
+            ts.total_weight() / n + ts.max_weight() + 1e-9);
+  EXPECT_EQ(result.run.migrations, ts.size());
+}
+
+TEST(SelfishReallocTest, ConvergesBelowThreshold) {
+  const Node n = 32;
+  const TaskSet ts = tlb::tasks::uniform_unit(320);
+  SelfishConfig cfg;
+  cfg.stop_threshold = tlb::core::threshold_value(
+      tlb::core::ThresholdKind::kAboveAverage, ts, n, 0.5);
+  cfg.options.max_rounds = 100000;
+  SelfishReallocEngine engine(ts, n, cfg);
+  Rng rng(9);
+  const auto r = engine.run(tlb::tasks::all_on_one(ts), rng);
+  EXPECT_TRUE(r.balanced);
+  double total = 0.0;
+  for (double x : engine.loads()) total += x;
+  EXPECT_NEAR(total, ts.total_weight(), 1e-9);
+}
+
+TEST(SelfishReallocTest, NoMovesWhenPerfectlyBalanced) {
+  const Node n = 8;
+  const TaskSet ts = tlb::tasks::uniform_unit(8);
+  SelfishConfig cfg;
+  cfg.stop_threshold = 2.0;
+  SelfishReallocEngine engine(ts, n, cfg);
+  tlb::tasks::Placement p(8);
+  for (std::size_t i = 0; i < 8; ++i) p[i] = static_cast<Node>(i);
+  engine.reset(p);
+  Rng rng(10);
+  // With equal loads, 1 - x_j/x_i = 0: no task should ever move.
+  EXPECT_EQ(engine.step(rng), 0u);
+}
+
+TEST(SelfishReallocTest, RejectsBadConfig) {
+  const TaskSet ts = tlb::tasks::uniform_unit(4);
+  SelfishConfig cfg;  // stop_threshold defaults to 0
+  EXPECT_THROW(SelfishReallocEngine(ts, 4, cfg), std::invalid_argument);
+}
+
+TEST(GreedyChoiceTest, TwoChoicesBeatOne) {
+  // The power of two choices: the gap shrinks by an order of magnitude.
+  const Node n = 50;
+  const TaskSet ts = tlb::tasks::uniform_unit(5000);
+  double gap1 = 0.0, gap2 = 0.0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(1000 + t);
+    gap1 += greedy_d_choice(ts, n, 1, rng).gap;
+    gap2 += greedy_d_choice(ts, n, 2, rng).gap;
+  }
+  EXPECT_LT(gap2, gap1 * 0.6);
+}
+
+TEST(GreedyChoiceTest, LoadsSumToTotal) {
+  const TaskSet ts = tlb::tasks::two_point(100, 5, 10.0);
+  Rng rng(11);
+  const auto result = greedy_d_choice(ts, 10, 2, rng);
+  double total = 0.0;
+  for (double x : result.loads) total += x;
+  EXPECT_NEAR(total, ts.total_weight(), 1e-9);
+  EXPECT_NEAR(result.gap, result.max_load - result.average, 1e-12);
+}
+
+TEST(GreedyChoiceTest, RejectsBadArgs) {
+  const TaskSet ts = tlb::tasks::uniform_unit(4);
+  Rng rng(1);
+  EXPECT_THROW(greedy_d_choice(ts, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(greedy_d_choice(ts, 4, 0, rng), std::invalid_argument);
+}
+
+TEST(OnePlusBetaTest, InterpolatesBetweenOneAndTwoChoices) {
+  const Node n = 50;
+  const TaskSet ts = tlb::tasks::uniform_unit(5000);
+  double gap_random = 0.0, gap_half = 0.0, gap_two = 0.0;
+  const int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng r1(2000 + t), r2(2000 + t), r3(2000 + t);
+    gap_random += one_plus_beta(ts, n, 1.0, r1).gap;
+    gap_half += one_plus_beta(ts, n, 0.5, r2).gap;
+    gap_two += one_plus_beta(ts, n, 0.0, r3).gap;
+  }
+  EXPECT_LT(gap_two, gap_half);
+  EXPECT_LT(gap_half, gap_random);
+}
+
+TEST(OnePlusBetaTest, RejectsBadBeta) {
+  const TaskSet ts = tlb::tasks::uniform_unit(4);
+  Rng rng(1);
+  EXPECT_THROW(one_plus_beta(ts, 4, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(one_plus_beta(ts, 4, 1.1, rng), std::invalid_argument);
+}
+
+TEST(OnePlusBetaTest, WeightedGapStaysBoundedInM) {
+  // Peres et al.: the gap is independent of the number of balls. Compare
+  // m and 4m — the gap should grow far slower than the 4x load growth.
+  const Node n = 64;
+  Rng rng_small(5), rng_big(5);
+  const TaskSet small = tlb::tasks::shifted_exponential(20000, 1.0, rng_small);
+  const TaskSet big = tlb::tasks::shifted_exponential(80000, 1.0, rng_big);
+  double gap_small = 0.0, gap_big = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    Rng r1(3000 + t), r2(3000 + t);
+    gap_small += one_plus_beta(small, n, 0.3, r1).gap / 10.0;
+    gap_big += one_plus_beta(big, n, 0.3, r2).gap / 10.0;
+  }
+  EXPECT_LT(gap_big, gap_small * 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Tests for the diffusion average-estimation substrate (footnote 1): mass
+// conservation, convergence to W/n, and the mixing-time-scale round count.
+#include "tlb/core/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tlb/graph/builders.hpp"
+#include "tlb/randomwalk/spectral.hpp"
+
+namespace {
+
+using namespace tlb::core;
+using namespace tlb::randomwalk;
+using tlb::util::Rng;
+
+std::vector<double> spike(std::size_t n, double value) {
+  std::vector<double> v(n, 0.0);
+  v[0] = value;
+  return v;
+}
+
+TEST(DiffusionTest, MassIsConserved) {
+  const auto g = tlb::graph::grid2d(5, 5);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  const auto initial = spike(g.num_nodes(), 250.0);
+  const auto result = diffuse(walk, initial, 37);
+  const double total =
+      std::accumulate(result.estimates.begin(), result.estimates.end(), 0.0);
+  EXPECT_NEAR(total, 250.0, 1e-9);
+}
+
+TEST(DiffusionTest, ConvergesToAverageOnCompleteGraph) {
+  const auto g = tlb::graph::complete(20);
+  const TransitionModel walk(g);
+  const auto result = diffuse(walk, spike(20, 100.0), 50);
+  for (double est : result.estimates) EXPECT_NEAR(est, 5.0, 1e-6);
+  EXPECT_LT(result.max_error, 1e-6);
+}
+
+TEST(DiffusionTest, DiffuseUntilReachesTolerance) {
+  const auto g = tlb::graph::grid2d(6, 6, /*torus=*/true);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  const auto result = diffuse_until(walk, spike(36, 360.0), 0.01);
+  EXPECT_LE(result.max_error, 0.01);
+  EXPECT_GT(result.rounds, 0);
+}
+
+TEST(DiffusionTest, RoundsScaleWithMixingBound) {
+  // The diffusion matrix *is* the walk matrix, so reaching a fixed relative
+  // accuracy takes O(log(n·W/tol)/gap) rounds. Check the measured rounds sit
+  // below a small multiple of 1/gap times the log factor.
+  const auto g = tlb::graph::grid2d(8, 8, /*torus=*/true);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  const double gap = spectral_gap(walk);
+  const auto result = diffuse_until(walk, spike(64, 640.0), 0.01);
+  const double log_factor = std::log(640.0 * 64.0 / 0.01);
+  EXPECT_LE(static_cast<double>(result.rounds), 3.0 * log_factor / gap);
+}
+
+TEST(DiffusionTest, UniformInputIsFixedPoint) {
+  const auto g = tlb::graph::cycle(9);
+  const TransitionModel walk(g);
+  const std::vector<double> even(9, 7.0);
+  const auto result = diffuse(walk, even, 10);
+  for (double est : result.estimates) EXPECT_NEAR(est, 7.0, 1e-12);
+  EXPECT_NEAR(result.max_error, 0.0, 1e-12);
+}
+
+TEST(DiffusionTest, SizeMismatchRejected) {
+  const auto g = tlb::graph::cycle(5);
+  const TransitionModel walk(g);
+  EXPECT_THROW(diffuse(walk, {1.0, 2.0}, 3), std::invalid_argument);
+  EXPECT_THROW(diffuse_until(walk, {1.0}, 0.1), std::invalid_argument);
+}
+
+TEST(DiffusionTest, FasterOnBetterConnectedGraphs) {
+  const auto complete = tlb::graph::complete(36);
+  const auto torus = tlb::graph::grid2d(6, 6, /*torus=*/true);
+  const TransitionModel walk_c(complete);
+  const TransitionModel walk_t(torus, WalkKind::kLazy);
+  const auto res_c = diffuse_until(walk_c, spike(36, 360.0), 0.01);
+  const auto res_t = diffuse_until(walk_t, spike(36, 360.0), 0.01);
+  EXPECT_LT(res_c.rounds, res_t.rounds);
+}
+
+}  // namespace

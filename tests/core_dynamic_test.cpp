@@ -1,0 +1,122 @@
+// Tests for the dynamic/churn extension: steady state under arrivals and
+// completions, hotspot absorption, crash fail-over, and bookkeeping
+// integrity under all event types combined.
+#include "tlb/core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace tlb::core;
+using tlb::util::Rng;
+
+DynamicConfig base_config() {
+  DynamicConfig cfg;
+  cfg.n = 100;
+  cfg.arrival_rate = 20.0;
+  cfg.completion_rate = 0.02;  // steady population ~ 1000
+  cfg.eps = 0.2;
+  cfg.classes = {{1.0, 0.9}, {8.0, 0.1}};
+  return cfg;
+}
+
+TEST(DynamicTest, PopulationReachesSteadyState) {
+  DynamicUserEngine engine(base_config());
+  Rng rng(1);
+  const auto metrics = engine.run(/*warmup=*/2000, /*measure=*/2000, rng);
+  // Steady state: arrivals/round == completions/round in expectation, so
+  // population ~ rate/completion = 1000, within generous tolerance.
+  EXPECT_NEAR(metrics.population.mean(), 1000.0, 200.0);
+  EXPECT_NEAR(static_cast<double>(metrics.arrivals),
+              static_cast<double>(metrics.completions),
+              0.2 * static_cast<double>(metrics.arrivals));
+}
+
+TEST(DynamicTest, UniformArrivalsKeepOverloadRare) {
+  DynamicUserEngine engine(base_config());
+  Rng rng(2);
+  const auto metrics = engine.run(2000, 3000, rng);
+  // With uniform arrivals and 20% headroom, overloaded resources should be
+  // a small minority on average.
+  EXPECT_LT(metrics.overloaded_fraction.mean(), 0.10);
+  EXPECT_LT(metrics.max_over_avg.mean(), 4.0);
+}
+
+TEST(DynamicTest, HotspotArrivalsAreAbsorbed) {
+  DynamicConfig cfg = base_config();
+  cfg.hotspot_arrivals = true;  // everything lands on resource 0
+  DynamicUserEngine engine(cfg);
+  Rng rng(3);
+  const auto metrics = engine.run(2000, 3000, rng);
+  // The protocol must keep draining the hotspot: overload stays confined to
+  // ~the hotspot itself (1% of resources) and the system keeps moving tasks.
+  EXPECT_LT(metrics.overloaded_fraction.mean(), 0.05);
+  EXPECT_GT(metrics.migrations_per_round.mean(), 1.0);
+}
+
+TEST(DynamicTest, CrashesAreRecoveredFrom) {
+  DynamicConfig cfg = base_config();
+  cfg.crash_rate = 0.05;  // a crash every ~20 rounds
+  DynamicUserEngine engine(cfg);
+  Rng rng(4);
+  const auto metrics = engine.run(2000, 4000, rng);
+  EXPECT_GT(metrics.crashes, 100u);  // the scenario actually exercised crashes
+  // Scattered fail-over load is re-balanced: overload stays bounded.
+  EXPECT_LT(metrics.overloaded_fraction.mean(), 0.15);
+}
+
+TEST(DynamicTest, BookkeepingStaysConsistent) {
+  DynamicConfig cfg = base_config();
+  cfg.crash_rate = 0.1;
+  DynamicUserEngine engine(cfg);
+  Rng rng(5);
+  for (int t = 0; t < 3000; ++t) engine.step(rng);
+  // Recompute totals from per-resource loads.
+  double total = 0.0;
+  for (tlb::graph::Node r = 0; r < cfg.n; ++r) total += engine.load(r);
+  EXPECT_NEAR(total, engine.total_weight(), 1e-6);
+  EXPECT_GT(engine.population(), 0u);
+}
+
+TEST(DynamicTest, ThresholdTracksTotalWeight) {
+  DynamicConfig cfg = base_config();
+  cfg.completion_rate = 0.0;  // population only grows
+  DynamicUserEngine engine(cfg);
+  Rng rng(6);
+  engine.step(rng);
+  const double t_early = engine.current_threshold();
+  for (int t = 0; t < 500; ++t) engine.step(rng);
+  EXPECT_GT(engine.current_threshold(), t_early);
+  EXPECT_NEAR(engine.current_threshold(),
+              1.2 * engine.total_weight() / cfg.n + 8.0, 1e-9);
+}
+
+TEST(DynamicTest, ZeroRatesAreInert) {
+  DynamicConfig cfg = base_config();
+  cfg.arrival_rate = 0.0;
+  cfg.completion_rate = 0.0;
+  DynamicUserEngine engine(cfg);
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) engine.step(rng);
+  EXPECT_EQ(engine.population(), 0u);
+  EXPECT_DOUBLE_EQ(engine.total_weight(), 0.0);
+}
+
+TEST(DynamicTest, RejectsBadConfig) {
+  DynamicConfig cfg = base_config();
+  cfg.n = 1;
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.completion_rate = 1.5;
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.classes = {{0.5, 1.0}};  // weight < 1
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.classes.clear();
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+}
+
+}  // namespace

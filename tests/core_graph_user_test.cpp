@@ -1,0 +1,158 @@
+// Tests for the graph user-protocol extension (user-controlled migration on
+// arbitrary graphs, the Hoefer–Sauerwald setting).
+#include "tlb/core/graph_user_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tlb/core/threshold.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/graph/builders.hpp"
+#include "tlb/sim/runner.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/weights.hpp"
+
+namespace {
+
+using namespace tlb::core;
+using tlb::graph::Graph;
+using tlb::graph::Node;
+using tlb::tasks::all_on_one;
+using tlb::tasks::TaskSet;
+using tlb::util::Rng;
+
+GraphUserConfig make_config(double threshold, double alpha = 1.0) {
+  GraphUserConfig cfg;
+  cfg.threshold = threshold;
+  cfg.alpha = alpha;
+  cfg.options.max_rounds = 500000;
+  return cfg;
+}
+
+TEST(GraphUserTest, TerminatesOnTorus) {
+  const Graph g = tlb::graph::grid2d(6, 6, /*torus=*/true);
+  const TaskSet ts = tlb::tasks::uniform_unit(8 * 36);
+  const double T =
+      threshold_value(ThresholdKind::kAboveAverage, ts, g.num_nodes(), 0.3);
+  GraphUserConfig cfg = make_config(T);
+  cfg.walk = tlb::randomwalk::WalkKind::kLazy;
+  GraphUserEngine engine(g, ts, cfg);
+  Rng rng(1);
+  const RunResult r = engine.run(all_on_one(ts), rng);
+  EXPECT_TRUE(r.balanced);
+  EXPECT_LE(engine.state().max_load(), T);
+}
+
+TEST(GraphUserTest, WeightConservation) {
+  Rng graph_rng(2);
+  const Graph g = tlb::graph::random_regular(32, 4, graph_rng);
+  const TaskSet ts = tlb::tasks::two_point(200, 6, 8.0);
+  const double T =
+      threshold_value(ThresholdKind::kAboveAverage, ts, g.num_nodes(), 0.3);
+  GraphUserConfig cfg = make_config(T);
+  cfg.options.paranoid_checks = true;
+  GraphUserEngine engine(g, ts, cfg);
+  Rng rng(3);
+  const RunResult r = engine.run(all_on_one(ts), rng);
+  EXPECT_TRUE(r.balanced);
+  EXPECT_NEAR(engine.state().total_load(), ts.total_weight(), 1e-9);
+  EXPECT_NO_THROW(engine.state().check_invariants());
+}
+
+TEST(GraphUserTest, CompleteGraphMatchesUniformEngineStatistically) {
+  // On K_n the max-degree walk step is uniform over the other n-1 nodes —
+  // the exact engine with exclude_self runs the same process.
+  const Node n = 40;
+  const TaskSet ts = tlb::tasks::two_point(250, 4, 12.0);
+  const double T = threshold_value(ThresholdKind::kAboveAverage, ts, n, 0.25);
+  const Graph g = tlb::graph::complete(n);
+  const std::size_t kTrials = 120;
+
+  const auto via_graph = tlb::sim::run_trials(
+      kTrials, 0x6a1, [&](Rng& rng) {
+        GraphUserEngine engine(g, ts, make_config(T));
+        return engine.run(all_on_one(ts), rng);
+      });
+  const auto via_uniform = tlb::sim::run_trials(
+      kTrials, 0x6a2, [&](Rng& rng) {
+        UserProtocolConfig cfg;
+        cfg.threshold = T;
+        cfg.exclude_self = true;
+        cfg.options.max_rounds = 500000;
+        UserControlledEngine engine(ts, n, cfg);
+        return engine.run(all_on_one(ts), rng);
+      });
+
+  const double se = std::sqrt(
+      via_graph.rounds.stderror() * via_graph.rounds.stderror() +
+      via_uniform.rounds.stderror() * via_uniform.rounds.stderror());
+  EXPECT_NEAR(via_graph.rounds.mean(), via_uniform.rounds.mean(),
+              std::max(5.0 * se, 0.12 * via_graph.rounds.mean()));
+}
+
+TEST(GraphUserTest, BetterConnectivityBalancesFaster) {
+  const Node n = 64;
+  const TaskSet ts = tlb::tasks::uniform_unit(6 * n);
+  const double T = threshold_value(ThresholdKind::kAboveAverage, ts, n, 0.3);
+  auto mean_rounds = [&](const Graph& g, tlb::randomwalk::WalkKind walk,
+                         std::uint64_t seed) {
+    GraphUserConfig cfg = make_config(T);
+    cfg.walk = walk;
+    return tlb::sim::run_trials(25, seed, [&](Rng& rng) {
+             GraphUserEngine engine(g, ts, cfg);
+             return engine.run(all_on_one(ts), rng);
+           })
+        .rounds.mean();
+  };
+  const Graph complete = tlb::graph::complete(n);
+  const Graph ring = tlb::graph::cycle(n);
+  EXPECT_LT(mean_rounds(complete, tlb::randomwalk::WalkKind::kMaxDegree, 0x71),
+            mean_rounds(ring, tlb::randomwalk::WalkKind::kLazy, 0x72));
+}
+
+TEST(GraphUserTest, NonUniformThresholdsRespected) {
+  const Graph g = tlb::graph::grid2d(4, 4);
+  const TaskSet ts = tlb::tasks::uniform_unit(96);
+  // First row gets double the capacity of everyone else.
+  std::vector<double> thresholds(16, 7.0);
+  for (int i = 0; i < 4; ++i) thresholds[i] = 14.0;
+  GraphUserConfig cfg;
+  cfg.thresholds = thresholds;
+  cfg.walk = tlb::randomwalk::WalkKind::kLazy;
+  cfg.options.max_rounds = 500000;
+  GraphUserEngine engine(g, ts, cfg);
+  Rng rng(4);
+  const RunResult r = engine.run(all_on_one(ts), rng);
+  ASSERT_TRUE(r.balanced);
+  for (Node v = 0; v < 16; ++v) {
+    EXPECT_LE(engine.state().load(v), thresholds[v] + 1e-9);
+  }
+}
+
+TEST(GraphUserTest, RejectsBadConfig) {
+  const Graph g = tlb::graph::complete(4);
+  const TaskSet ts = tlb::tasks::uniform_unit(8);
+  EXPECT_THROW(GraphUserEngine(g, ts, make_config(0.0)), std::invalid_argument);
+  EXPECT_THROW(GraphUserEngine(g, ts, make_config(5.0, 0.0)),
+               std::invalid_argument);
+  GraphUserConfig bad;
+  bad.thresholds = {1.0, 1.0};
+  EXPECT_THROW(GraphUserEngine(g, ts, bad), std::invalid_argument);
+}
+
+TEST(GraphUserTest, DeterministicGivenSeed) {
+  const Graph g = tlb::graph::grid2d(4, 4);
+  const TaskSet ts = tlb::tasks::uniform_unit(64);
+  const double T = threshold_value(ThresholdKind::kAboveAverage, ts, 16, 0.3);
+  GraphUserConfig cfg = make_config(T);
+  cfg.walk = tlb::randomwalk::WalkKind::kLazy;
+  GraphUserEngine a(g, ts, cfg), b(g, ts, cfg);
+  Rng ra(5), rb(5);
+  const RunResult r1 = a.run(all_on_one(ts), ra);
+  const RunResult r2 = b.run(all_on_one(ts), rb);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+  EXPECT_EQ(r1.migrations, r2.migrations);
+}
+
+}  // namespace

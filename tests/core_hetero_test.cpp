@@ -1,0 +1,209 @@
+// Tests for the non-uniform threshold extension (the paper's future-work
+// item): speed profiles, speed-proportional threshold builders, feasibility,
+// and both protocol engines running with per-resource thresholds.
+#include "tlb/core/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlb/core/resource_protocol.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/graph/builders.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/weights.hpp"
+
+namespace {
+
+using namespace tlb::core;
+using tlb::graph::Node;
+using tlb::tasks::all_on_one;
+using tlb::tasks::TaskSet;
+using tlb::util::Rng;
+
+TEST(SpeedProfileTest, Builders) {
+  EXPECT_EQ(uniform_speeds(5), (SpeedProfile{1, 1, 1, 1, 1}));
+  const auto two = two_class_speeds(4, 2, 3.0);
+  EXPECT_EQ(two, (SpeedProfile{3.0, 3.0, 1.0, 1.0}));
+  EXPECT_THROW(two_class_speeds(4, 5, 2.0), std::invalid_argument);
+  EXPECT_THROW(two_class_speeds(4, 1, 0.0), std::invalid_argument);
+
+  Rng rng(1);
+  const auto rand = random_speeds(100, 0.5, 2.0, rng);
+  for (double s : rand) {
+    EXPECT_GE(s, 0.5);
+    EXPECT_LE(s, 2.0);
+  }
+  EXPECT_THROW(random_speeds(10, 0.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(HeteroThresholdTest, ProportionalFormulas) {
+  const TaskSet ts({1.0, 1.0, 6.0});  // W = 8, w_max = 6
+  const SpeedProfile speeds = {1.0, 3.0};  // shares: 2 and 6
+  const auto above = speed_proportional_thresholds(
+      ts, speeds, ThresholdKind::kAboveAverage, 0.5);
+  EXPECT_NEAR(above[0], 1.5 * 2.0 + 6.0, 1e-12);
+  EXPECT_NEAR(above[1], 1.5 * 6.0 + 6.0, 1e-12);
+
+  const auto tight_r = speed_proportional_thresholds(
+      ts, speeds, ThresholdKind::kTightResource);
+  EXPECT_NEAR(tight_r[0], 2.0 + 12.0, 1e-12);
+  EXPECT_NEAR(tight_r[1], 6.0 + 12.0, 1e-12);
+
+  const auto tight_u =
+      speed_proportional_thresholds(ts, speeds, ThresholdKind::kTightUser);
+  EXPECT_NEAR(tight_u[0], 2.0 + 6.0, 1e-12);
+}
+
+TEST(HeteroThresholdTest, UniformSpeedsReproduceUniformThreshold) {
+  const TaskSet ts = tlb::tasks::two_point(50, 5, 8.0);
+  const Node n = 10;
+  const auto vec = speed_proportional_thresholds(
+      ts, uniform_speeds(n), ThresholdKind::kAboveAverage, 0.2);
+  const double scalar =
+      threshold_value(ThresholdKind::kAboveAverage, ts, n, 0.2);
+  for (double t : vec) EXPECT_NEAR(t, scalar, 1e-9);
+}
+
+TEST(HeteroThresholdTest, ValidationErrors) {
+  const TaskSet ts({1.0});
+  EXPECT_THROW(
+      speed_proportional_thresholds(ts, {}, ThresholdKind::kTightUser),
+      std::invalid_argument);
+  EXPECT_THROW(speed_proportional_thresholds(ts, {1.0, -1.0},
+                                             ThresholdKind::kTightUser),
+               std::invalid_argument);
+  EXPECT_THROW(speed_proportional_thresholds(ts, {1.0},
+                                             ThresholdKind::kAboveAverage,
+                                             0.0),
+               std::invalid_argument);
+}
+
+TEST(HeteroThresholdTest, Feasibility) {
+  const TaskSet ts = tlb::tasks::uniform_unit(100);  // W = 100, w_max = 1
+  // 10 resources with threshold 11: capacity 10*(11-1) = 100 >= 100.
+  EXPECT_TRUE(thresholds_feasible(ts, std::vector<double>(10, 11.0)));
+  // Threshold 10: capacity 90 < 100.
+  EXPECT_FALSE(thresholds_feasible(ts, std::vector<double>(10, 10.0)));
+  // Speed-proportional above-average thresholds are always feasible.
+  Rng rng(2);
+  const auto speeds = random_speeds(10, 0.5, 4.0, rng);
+  EXPECT_TRUE(thresholds_feasible(
+      ts, speed_proportional_thresholds(ts, speeds,
+                                        ThresholdKind::kAboveAverage, 0.2)));
+}
+
+TEST(HeteroResourceEngineTest, BalancesToPerResourceThresholds) {
+  Rng rng(3);
+  const auto g = tlb::graph::complete(20);
+  const TaskSet ts = tlb::tasks::two_point(150, 4, 6.0);
+  const auto speeds = two_class_speeds(20, 5, 4.0);
+  const auto thresholds = speed_proportional_thresholds(
+      ts, speeds, ThresholdKind::kAboveAverage, 0.3);
+
+  ResourceProtocolConfig cfg;
+  cfg.thresholds = thresholds;
+  cfg.options.max_rounds = 100000;
+  ResourceControlledEngine engine(g, ts, cfg);
+  const auto r = engine.run(all_on_one(ts), rng);
+  ASSERT_TRUE(r.balanced);
+  for (Node v = 0; v < 20; ++v) {
+    EXPECT_LE(engine.state().load(v), thresholds[v] + 1e-9) << "node " << v;
+  }
+  // Fast nodes must be allowed more than slow nodes on average; check the
+  // configured thresholds reflect the 4x ratio.
+  EXPECT_GT(engine.threshold(0), engine.threshold(19));
+}
+
+TEST(HeteroResourceEngineTest, UniformVectorMatchesScalarExactly) {
+  // Same seed, scalar threshold vs equivalent vector: identical runs.
+  Rng rng_a(7), rng_b(7);
+  const auto g = tlb::graph::grid2d(4, 4);
+  const TaskSet ts = tlb::tasks::uniform_unit(64);
+  const double T = threshold_value(ThresholdKind::kAboveAverage, ts, 16, 0.3);
+
+  ResourceProtocolConfig scalar_cfg;
+  scalar_cfg.threshold = T;
+  scalar_cfg.walk = tlb::randomwalk::WalkKind::kLazy;
+  ResourceProtocolConfig vector_cfg = scalar_cfg;
+  vector_cfg.thresholds.assign(16, T);
+
+  ResourceControlledEngine a(g, ts, scalar_cfg), b(g, ts, vector_cfg);
+  const auto ra = a.run(all_on_one(ts), rng_a);
+  const auto rb = b.run(all_on_one(ts), rng_b);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_EQ(ra.migrations, rb.migrations);
+}
+
+TEST(HeteroUserEngineTest, BothEnginesBalanceToPerResourceThresholds) {
+  const Node n = 30;
+  const TaskSet ts = tlb::tasks::two_point(200, 4, 10.0);
+  Rng speed_rng(5);
+  const auto speeds = random_speeds(n, 0.5, 2.0, speed_rng);
+  const auto thresholds = speed_proportional_thresholds(
+      ts, speeds, ThresholdKind::kAboveAverage, 0.4);
+  ASSERT_TRUE(thresholds_feasible(ts, thresholds));
+
+  UserProtocolConfig cfg;
+  cfg.thresholds = thresholds;
+  cfg.options.max_rounds = 200000;
+
+  {
+    Rng rng(8);
+    UserControlledEngine engine(ts, n, cfg);
+    const auto r = engine.run(all_on_one(ts), rng);
+    ASSERT_TRUE(r.balanced);
+    for (Node v = 0; v < n; ++v) {
+      EXPECT_LE(engine.state().load(v), thresholds[v] + 1e-9);
+    }
+  }
+  {
+    Rng rng(9);
+    GroupedUserEngine engine(ts, n, cfg);
+    const auto r = engine.run(all_on_one(ts), rng);
+    ASSERT_TRUE(r.balanced);
+    for (Node v = 0; v < n; ++v) {
+      EXPECT_LE(engine.load(v), thresholds[v] + 1e-9);
+    }
+  }
+}
+
+TEST(HeteroUserEngineTest, RejectsSizeMismatch) {
+  const TaskSet ts = tlb::tasks::uniform_unit(8);
+  UserProtocolConfig cfg;
+  cfg.thresholds = {5.0, 5.0};  // wrong size for n = 4
+  EXPECT_THROW(UserControlledEngine(ts, 4, cfg), std::invalid_argument);
+  EXPECT_THROW(GroupedUserEngine(ts, 4, cfg), std::invalid_argument);
+  ResourceProtocolConfig rcfg;
+  rcfg.thresholds = {5.0, 5.0};
+  const auto g = tlb::graph::complete(4);
+  EXPECT_THROW(ResourceControlledEngine(g, ts, rcfg), std::invalid_argument);
+}
+
+TEST(HeteroUserEngineTest, FastResourcesCarryMoreLoad) {
+  // With 4x-speed resources, the balanced allocation should visibly skew
+  // toward the fast class.
+  const Node n = 40;
+  const Node fast = 10;
+  const TaskSet ts = tlb::tasks::uniform_unit(800);
+  const auto speeds = two_class_speeds(n, fast, 4.0);
+  const auto thresholds = speed_proportional_thresholds(
+      ts, speeds, ThresholdKind::kAboveAverage, 0.2);
+
+  UserProtocolConfig cfg;
+  cfg.thresholds = thresholds;
+  cfg.options.max_rounds = 200000;
+  Rng rng(11);
+  GroupedUserEngine engine(ts, n, cfg);
+  const auto r = engine.run(all_on_one(ts), rng);
+  ASSERT_TRUE(r.balanced);
+
+  double fast_load = 0.0, slow_load = 0.0;
+  for (Node v = 0; v < n; ++v) {
+    (v < fast ? fast_load : slow_load) += engine.load(v);
+  }
+  const double fast_avg = fast_load / fast;
+  const double slow_avg = slow_load / (n - fast);
+  EXPECT_GT(fast_avg, 1.5 * slow_avg)
+      << "fast avg " << fast_avg << " slow avg " << slow_avg;
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Tests for the paper's stack semantics: heights, acceptance, the cutting
+// task, φ_r and ψ_r (Observation 9), eviction and marked removal.
+#include "tlb/core/resource_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlb/tasks/task_set.hpp"
+
+namespace {
+
+using tlb::core::ResourceStack;
+using tlb::tasks::TaskId;
+using tlb::tasks::TaskSet;
+
+TEST(ResourceStackTest, EmptyState) {
+  ResourceStack s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.load(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(ResourceStackTest, PushAcceptingWithinThreshold) {
+  const TaskSet ts({2.0, 3.0, 4.0});
+  ResourceStack s;
+  EXPECT_TRUE(s.push_accepting(0, ts, 10.0));   // h=0, 0+2 <= 10
+  EXPECT_TRUE(s.push_accepting(1, ts, 10.0));   // h=2, 2+3 <= 10
+  EXPECT_TRUE(s.push_accepting(2, ts, 10.0));   // h=5, 5+4 <= 10... 9 <= 10
+  EXPECT_EQ(s.accepted_count(), 3u);
+  EXPECT_DOUBLE_EQ(s.accepted_load(), 9.0);
+  EXPECT_DOUBLE_EQ(s.pending_load(), 0.0);
+}
+
+TEST(ResourceStackTest, PushAcceptingRejectsWhenCutting) {
+  const TaskSet ts({6.0, 6.0});
+  ResourceStack s;
+  EXPECT_TRUE(s.push_accepting(0, ts, 10.0));   // 0+6 <= 10
+  EXPECT_FALSE(s.push_accepting(1, ts, 10.0));  // 6+6 > 10: cuts
+  EXPECT_EQ(s.accepted_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.pending_load(), 6.0);
+}
+
+TEST(ResourceStackTest, BoundaryExactFitIsAccepted) {
+  // h + w == T means "completely below" (cutting needs h + w > T).
+  const TaskSet ts({4.0, 6.0});
+  ResourceStack s;
+  EXPECT_TRUE(s.push_accepting(0, ts, 10.0));
+  EXPECT_TRUE(s.push_accepting(1, ts, 10.0));  // 4 + 6 == 10 exactly
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(ResourceStackTest, OnceRejectedAlwaysRejectedUntilEviction) {
+  // After one unaccepted task, later arrivals must be unaccepted even if
+  // tiny (their height includes the pending weight).
+  const TaskSet ts({8.0, 8.0, 1.0});
+  ResourceStack s;
+  EXPECT_TRUE(s.push_accepting(0, ts, 10.0));
+  EXPECT_FALSE(s.push_accepting(1, ts, 10.0));
+  EXPECT_FALSE(s.push_accepting(2, ts, 10.0));  // 16+1 > 10
+  EXPECT_EQ(s.pending_count(), 2u);
+}
+
+TEST(ResourceStackTest, HeightsArePrefixSums) {
+  const TaskSet ts({2.0, 3.0, 5.0});
+  ResourceStack s;
+  s.push(0, ts);
+  s.push(1, ts);
+  s.push(2, ts);
+  EXPECT_DOUBLE_EQ(s.height_at(0, ts), 0.0);
+  EXPECT_DOUBLE_EQ(s.height_at(1, ts), 2.0);
+  EXPECT_DOUBLE_EQ(s.height_at(2, ts), 5.0);
+  EXPECT_THROW(s.height_at(3, ts), std::out_of_range);
+}
+
+TEST(ResourceStackTest, EvictUnacceptedTakesExactlyTheSuffix) {
+  const TaskSet ts({5.0, 7.0, 2.0});
+  ResourceStack s;
+  s.push_accepting(0, ts, 10.0);  // accepted
+  s.push_accepting(1, ts, 10.0);  // cutting -> pending
+  s.push_accepting(2, ts, 10.0);  // above -> pending
+  std::vector<TaskId> evicted;
+  s.evict_unaccepted(ts, evicted);
+  EXPECT_EQ(evicted, (std::vector<TaskId>{1, 2}));
+  EXPECT_DOUBLE_EQ(s.load(), 5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(ResourceStackTest, EvictOnBalancedStackIsNoop) {
+  const TaskSet ts({5.0});
+  ResourceStack s;
+  s.push_accepting(0, ts, 10.0);
+  std::vector<TaskId> evicted;
+  s.evict_unaccepted(ts, evicted);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(ResourceStackTest, RemoveMarkedPreservesOrder) {
+  const TaskSet ts({1.0, 2.0, 3.0, 4.0, 5.0});
+  ResourceStack s;
+  for (TaskId i = 0; i < 5; ++i) s.push(i, ts);
+  std::vector<TaskId> removed;
+  s.remove_marked({0, 1, 0, 1, 0}, ts, removed);
+  EXPECT_EQ(removed, (std::vector<TaskId>{1, 3}));
+  EXPECT_EQ(s.tasks(), (std::vector<TaskId>{0, 2, 4}));
+  EXPECT_DOUBLE_EQ(s.load(), 1.0 + 3.0 + 5.0);
+}
+
+TEST(ResourceStackTest, RemoveMarkedValidatesMaskSize) {
+  const TaskSet ts({1.0});
+  ResourceStack s;
+  s.push(0, ts);
+  std::vector<TaskId> out;
+  EXPECT_THROW(s.remove_marked({0, 1}, ts, out), std::invalid_argument);
+}
+
+TEST(ResourceStackTest, PhiZeroWhenNotOverloaded) {
+  const TaskSet ts({3.0, 3.0});
+  ResourceStack s;
+  s.push(0, ts);
+  s.push(1, ts);
+  EXPECT_DOUBLE_EQ(s.phi(ts, 6.0), 0.0);   // load == T: not overloaded
+  EXPECT_DOUBLE_EQ(s.phi(ts, 10.0), 0.0);  // below
+}
+
+TEST(ResourceStackTest, PhiCountsCuttingAndAbove) {
+  // Stack (bottom->top): 4, 4, 4 with T = 10. Heights 0, 4, 8.
+  // Task 0: 0+4 <= 10 below. Task 1: 4+4 <= 10 below. Task 2: 8+4 > 10 cuts.
+  const TaskSet ts({4.0, 4.0, 4.0});
+  ResourceStack s;
+  for (TaskId i = 0; i < 3; ++i) s.push(i, ts);
+  EXPECT_DOUBLE_EQ(s.phi(ts, 10.0), 4.0);
+}
+
+TEST(ResourceStackTest, PhiWithTaskFullyAbove) {
+  // Stack: 6, 6, 6 with T = 10: task0 below (6<=10), task1 cuts (6<10<12),
+  // task2 fully above (h=12 >= 10). φ = 12.
+  const TaskSet ts({6.0, 6.0, 6.0});
+  ResourceStack s;
+  for (TaskId i = 0; i < 3; ++i) s.push(i, ts);
+  EXPECT_DOUBLE_EQ(s.phi(ts, 10.0), 12.0);
+}
+
+TEST(ResourceStackTest, PhiDependsOnStackOrder) {
+  // Documented property: φ is defined on heights, so order matters near the
+  // threshold. [50, 1] vs [1, 50] with T = 10.
+  const TaskSet heavy_first({50.0, 1.0});
+  ResourceStack a;
+  a.push(0, heavy_first);
+  a.push(1, heavy_first);
+  EXPECT_DOUBLE_EQ(a.phi(heavy_first, 10.0), 51.0);
+
+  const TaskSet light_first({1.0, 50.0});
+  ResourceStack b;
+  b.push(0, light_first);
+  b.push(1, light_first);
+  EXPECT_DOUBLE_EQ(b.phi(light_first, 10.0), 50.0);
+}
+
+TEST(ResourceStackTest, PsiIsCeilingOfPhiOverWmax) {
+  const TaskSet ts({6.0, 6.0, 6.0});
+  ResourceStack s;
+  for (TaskId i = 0; i < 3; ++i) s.push(i, ts);
+  // φ = 12, w_max = 6 -> ψ = 2. With w_max = 5 -> ceil(12/5) = 3.
+  EXPECT_DOUBLE_EQ(s.psi(ts, 10.0, 6.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.psi(ts, 10.0, 5.0), 3.0);
+}
+
+TEST(ResourceStackTest, ClearResetsEverything) {
+  const TaskSet ts({2.0});
+  ResourceStack s;
+  s.push_accepting(0, ts, 10.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.load(), 0.0);
+  EXPECT_EQ(s.accepted_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for structural graph properties (connectivity, bipartiteness,
+// distances, diameter, degree histogram) against textbook values.
+#include "tlb/graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tlb/graph/builders.hpp"
+
+namespace {
+
+using namespace tlb::graph;
+using tlb::util::Rng;
+
+TEST(PropertiesTest, ConnectivityPositive) {
+  EXPECT_TRUE(is_connected(complete(8)));
+  EXPECT_TRUE(is_connected(cycle(9)));
+  EXPECT_TRUE(is_connected(hypercube(3)));
+}
+
+TEST(PropertiesTest, ConnectivityNegative) {
+  // Two disjoint edges.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(PropertiesTest, BipartitenessKnownFamilies) {
+  EXPECT_TRUE(is_bipartite(hypercube(4)));
+  EXPECT_TRUE(is_bipartite(cycle(8)));    // even cycle
+  EXPECT_FALSE(is_bipartite(cycle(9)));   // odd cycle
+  EXPECT_FALSE(is_bipartite(complete(4)));
+  EXPECT_TRUE(is_bipartite(grid2d(3, 4)));  // grids are bipartite
+  EXPECT_TRUE(is_bipartite(binary_tree(10)));
+}
+
+TEST(PropertiesTest, RegularityKnownFamilies) {
+  EXPECT_TRUE(is_regular(complete(6)));
+  EXPECT_TRUE(is_regular(cycle(7)));
+  EXPECT_TRUE(is_regular(hypercube(3)));
+  EXPECT_TRUE(is_regular(grid2d(4, 4, /*torus=*/true)));
+  EXPECT_FALSE(is_regular(grid2d(4, 4, /*torus=*/false)));
+  EXPECT_FALSE(is_regular(star(5)));
+}
+
+TEST(PropertiesTest, BfsDistancesOnPath) {
+  const auto d = bfs_distances(path(5), 0);
+  for (Node v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(PropertiesTest, BfsMarksUnreachable) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], g.num_nodes());
+  EXPECT_EQ(d[3], g.num_nodes());
+}
+
+TEST(PropertiesTest, DiameterKnownValues) {
+  EXPECT_EQ(diameter(complete(9)), 1u);
+  EXPECT_EQ(diameter(cycle(10)), 5u);
+  EXPECT_EQ(diameter(cycle(11)), 5u);
+  EXPECT_EQ(diameter(path(7)), 6u);
+  EXPECT_EQ(diameter(hypercube(5)), 5u);
+  EXPECT_EQ(diameter(star(12)), 2u);
+  EXPECT_EQ(diameter(grid2d(4, 6)), 3u + 5u);  // Manhattan corner-to-corner
+}
+
+TEST(PropertiesTest, DiameterThrowsOnDisconnected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(diameter(g), std::runtime_error);
+}
+
+TEST(PropertiesTest, EccentricityCentreVsLeaf) {
+  const Graph g = path(9);
+  EXPECT_EQ(eccentricity(g, 4), 4u);  // midpoint
+  EXPECT_EQ(eccentricity(g, 0), 8u);  // endpoint
+}
+
+TEST(PropertiesTest, DegreeHistogram) {
+  const auto h = degree_histogram(star(6));
+  ASSERT_EQ(h.size(), 6u);  // max degree 5
+  EXPECT_EQ(h[1], 5u);      // five leaves
+  EXPECT_EQ(h[5], 1u);      // one centre
+}
+
+TEST(PropertiesTest, RandomRegularIsConnectedExpander) {
+  Rng rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Graph g = random_regular(128, 4, rng);
+    EXPECT_TRUE(is_connected(g));
+    // Expander diameter is O(log n) — generous cap.
+    EXPECT_LE(diameter(g), 12u);
+  }
+}
+
+TEST(PropertiesTest, ErdosRenyiConnectedHelper) {
+  Rng rng(3);
+  const Graph g = tlb::graph::erdos_renyi_connected(
+      200, 3.0 * std::log(200.0) / 200.0, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace

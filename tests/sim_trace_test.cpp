@@ -1,0 +1,60 @@
+// Tests for the round-trace recorder.
+#include "tlb/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using tlb::sim::TraceRecorder;
+
+TEST(TraceRecorderTest, RecordsSummaries) {
+  TraceRecorder rec;
+  rec.record(0, {1.0, 2.0, 3.0, 10.0}, /*threshold=*/5.0, /*potential=*/6.0,
+             /*migrations=*/4);
+  ASSERT_EQ(rec.size(), 1u);
+  const auto& row = rec.row(0);
+  EXPECT_EQ(row.round, 0);
+  EXPECT_DOUBLE_EQ(row.max_load, 10.0);
+  EXPECT_DOUBLE_EQ(row.mean_load, 4.0);
+  EXPECT_EQ(row.overloaded, 1u);
+  EXPECT_DOUBLE_EQ(row.potential, 6.0);
+  EXPECT_EQ(row.migrations, 4u);
+}
+
+TEST(TraceRecorderTest, NonUniformThresholds) {
+  TraceRecorder rec;
+  rec.record(3, {4.0, 4.0}, std::vector<double>{3.0, 5.0}, 1.0, 0);
+  EXPECT_EQ(rec.row(0).overloaded, 1u);  // only the first exceeds its cap
+}
+
+TEST(TraceRecorderTest, TableHasOneRowPerRecord) {
+  TraceRecorder rec;
+  for (long t = 0; t < 5; ++t) rec.record(t, {1.0, 1.0}, 2.0, 0.0, 0);
+  EXPECT_EQ(rec.to_table().rows(), 5u);
+}
+
+TEST(TraceRecorderTest, CsvRoundTrip) {
+  TraceRecorder rec;
+  rec.record(0, {1.0}, 2.0, 0.5, 7);
+  const std::string path = ::testing::TempDir() + "/tlb_trace_test.csv";
+  rec.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "round,max,mean,p95,overloaded,potential,migrations");
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, ClearDropsRows) {
+  TraceRecorder rec;
+  rec.record(0, {1.0}, 2.0, 0.0, 0);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+}  // namespace

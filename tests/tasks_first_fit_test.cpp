@@ -1,0 +1,103 @@
+// Property tests for the first-fit proper assignment (Section 5.2): across
+// weight profiles and system sizes, the max load must stay <= W/n + w_max,
+// every task must be assigned, and loads must be consistent.
+#include "tlb/tasks/first_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tlb/tasks/weights.hpp"
+
+namespace {
+
+using namespace tlb::tasks;
+using tlb::graph::Node;
+using tlb::util::Rng;
+
+struct Profile {
+  const char* name;
+  TaskSet (*make)(std::size_t, Rng&);
+};
+
+TaskSet make_units(std::size_t m, Rng&) { return uniform_unit(m); }
+TaskSet make_two_point(std::size_t m, Rng&) {
+  return two_point(m, std::max<std::size_t>(1, m / 20), 50.0);
+}
+TaskSet make_single_heavy(std::size_t m, Rng&) {
+  return single_heavy(m, 64.0);
+}
+TaskSet make_uniform_real(std::size_t m, Rng& rng) {
+  return uniform_real(m, 16.0, rng);
+}
+TaskSet make_pareto(std::size_t m, Rng& rng) {
+  return bounded_pareto(m, 2.2, 100.0, rng);
+}
+TaskSet make_octaves(std::size_t m, Rng& rng) {
+  return geometric_octaves(m, 7, rng);
+}
+
+class FirstFitPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Profile, std::size_t, Node>> {};
+
+TEST_P(FirstFitPropertyTest, ProperAssignmentBound) {
+  const auto& [profile, m, n] = GetParam();
+  Rng rng(0xf1f1 + m + n);
+  const TaskSet ts = profile.make(m, rng);
+  const ProperAssignment pa = first_fit(ts, n);
+
+  // Every task assigned to a valid resource.
+  ASSERT_EQ(pa.target.size(), ts.size());
+  for (Node r : pa.target) EXPECT_LT(r, n);
+
+  // Loads consistent with targets.
+  std::vector<double> recomputed(n, 0.0);
+  for (TaskId i = 0; i < ts.size(); ++i) recomputed[pa.target[i]] += ts.weight(i);
+  for (Node r = 0; r < n; ++r) EXPECT_NEAR(recomputed[r], pa.load[r], 1e-9);
+
+  // The paper's proper-assignment bound.
+  const double bound = ts.total_weight() / n + ts.max_weight();
+  EXPECT_LE(pa.max_load, bound + 1e-9)
+      << profile.name << " m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, FirstFitPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(Profile{"units", make_units},
+                          Profile{"two_point", make_two_point},
+                          Profile{"single_heavy", make_single_heavy},
+                          Profile{"uniform_real", make_uniform_real},
+                          Profile{"pareto", make_pareto},
+                          Profile{"octaves", make_octaves}),
+        ::testing::Values(std::size_t{50}, std::size_t{500}, std::size_t{5000}),
+        ::testing::Values(Node{1}, Node{10}, Node{64})),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param).name) + "_m" +
+             std::to_string(std::get<1>(param_info.param)) + "_n" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(FirstFitTest, SingleResourceTakesEverything) {
+  const TaskSet ts = uniform_unit(20);
+  const auto pa = first_fit(ts, 1);
+  EXPECT_DOUBLE_EQ(pa.max_load, 20.0);
+}
+
+TEST(FirstFitTest, RejectsZeroResources) {
+  const TaskSet ts = uniform_unit(5);
+  EXPECT_THROW(first_fit(ts, 0), std::invalid_argument);
+}
+
+TEST(FirstFitTest, FillsSequentially) {
+  // Four unit tasks over two resources with W/n = 2: first two land on 0.
+  const TaskSet ts = uniform_unit(4);
+  const auto pa = first_fit(ts, 2);
+  EXPECT_EQ(pa.target[0], 0u);
+  EXPECT_EQ(pa.target[1], 0u);
+  EXPECT_EQ(pa.target[2], 1u);
+  EXPECT_EQ(pa.target[3], 1u);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for the task model: TaskSet aggregates, the paper's weight profiles
+// (Figure 1 two-point, Figure 2 single-heavy), stochastic generators, and
+// initial placements.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/tasks/weights.hpp"
+
+namespace {
+
+using namespace tlb::tasks;
+using tlb::util::Rng;
+
+TEST(TaskSetTest, Aggregates) {
+  const TaskSet ts({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.total_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.min_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.avg_weight(), 2.5);
+  EXPECT_DOUBLE_EQ(ts.weight(2), 3.0);
+}
+
+TEST(TaskSetTest, RejectsEmptyAndSubUnit) {
+  EXPECT_THROW(TaskSet(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(TaskSet({0.5, 1.0}), std::invalid_argument);
+}
+
+TEST(TaskSetTest, NormalizedRescalesToUnitMin) {
+  const TaskSet ts = TaskSet::normalized({0.5, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(ts.min_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.max_weight(), 4.0);
+}
+
+TEST(TaskSetTest, NormalizedRejectsNonPositive) {
+  EXPECT_THROW(TaskSet::normalized({0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(TaskSet::normalized({-1.0}), std::invalid_argument);
+}
+
+TEST(WeightsTest, UniformUnit) {
+  const TaskSet ts = uniform_unit(50);
+  EXPECT_EQ(ts.size(), 50u);
+  EXPECT_DOUBLE_EQ(ts.total_weight(), 50.0);
+  EXPECT_DOUBLE_EQ(ts.max_weight(), 1.0);
+}
+
+TEST(WeightsTest, TwoPointComposition) {
+  const TaskSet ts = two_point(100, 5, 50.0);
+  EXPECT_EQ(ts.size(), 105u);
+  EXPECT_DOUBLE_EQ(ts.total_weight(), 100.0 + 5 * 50.0);
+  EXPECT_DOUBLE_EQ(ts.max_weight(), 50.0);
+  // Heavy tasks come first.
+  for (TaskId i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(ts.weight(i), 50.0);
+  for (TaskId i = 5; i < 105; ++i) EXPECT_DOUBLE_EQ(ts.weight(i), 1.0);
+}
+
+TEST(WeightsTest, Figure1ProfileMatchesPaper) {
+  // Figure 1: m(W,k) = W - k·w_max unit tasks plus k heavies of weight 50.
+  const TaskSet ts = figure1_profile(5000.0, 10, 50.0);
+  EXPECT_DOUBLE_EQ(ts.total_weight(), 5000.0);
+  EXPECT_EQ(ts.size(), 10u + (5000u - 500u));
+}
+
+TEST(WeightsTest, Figure1ProfileRejectsOverfullHeavies) {
+  EXPECT_THROW(figure1_profile(2000.0, 50, 50.0), std::invalid_argument);
+}
+
+TEST(WeightsTest, SingleHeavy) {
+  const TaskSet ts = single_heavy(1000, 128.0);
+  EXPECT_EQ(ts.size(), 1000u);
+  EXPECT_DOUBLE_EQ(ts.weight(0), 128.0);
+  EXPECT_DOUBLE_EQ(ts.total_weight(), 999.0 + 128.0);
+}
+
+TEST(WeightsTest, UniformRealBounds) {
+  Rng rng(1);
+  const TaskSet ts = uniform_real(5000, 10.0, rng);
+  EXPECT_GE(ts.min_weight(), 1.0);
+  EXPECT_LE(ts.max_weight(), 10.0);
+  EXPECT_NEAR(ts.avg_weight(), 5.5, 0.2);
+}
+
+TEST(WeightsTest, ShiftedExponentialMean) {
+  Rng rng(2);
+  const TaskSet ts = shifted_exponential(20000, 0.5, rng);
+  EXPECT_GE(ts.min_weight(), 1.0);
+  EXPECT_NEAR(ts.avg_weight(), 3.0, 0.1);  // 1 + 1/rate
+}
+
+TEST(WeightsTest, BoundedParetoBounds) {
+  Rng rng(3);
+  const TaskSet ts = bounded_pareto(10000, 2.5, 64.0, rng);
+  EXPECT_GE(ts.min_weight(), 1.0);
+  EXPECT_LE(ts.max_weight(), 64.0);
+}
+
+TEST(WeightsTest, GeometricOctavesArePowersOfTwo) {
+  Rng rng(4);
+  const TaskSet ts = geometric_octaves(5000, 8, rng);
+  for (TaskId i = 0; i < ts.size(); ++i) {
+    const double log2w = std::log2(ts.weight(i));
+    EXPECT_DOUBLE_EQ(log2w, std::floor(log2w)) << "weight " << ts.weight(i);
+    EXPECT_LE(ts.weight(i), 256.0);
+  }
+}
+
+TEST(PlacementTest, AllOnOne) {
+  const TaskSet ts = uniform_unit(10);
+  const Placement p = all_on_one(ts, 3);
+  EXPECT_EQ(p.size(), 10u);
+  for (auto r : p) EXPECT_EQ(r, 3u);
+}
+
+TEST(PlacementTest, UniformRandomInRange) {
+  Rng rng(5);
+  const TaskSet ts = uniform_unit(1000);
+  const Placement p = uniform_random(ts, 7, rng);
+  std::set<tlb::graph::Node> used(p.begin(), p.end());
+  for (auto r : p) EXPECT_LT(r, 7u);
+  EXPECT_GT(used.size(), 5u);  // virtually certain with 1000 draws
+}
+
+TEST(PlacementTest, RoundRobinCyclesThroughK) {
+  const TaskSet ts = uniform_unit(10);
+  const Placement p = round_robin(ts, 8, 3);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 1u);
+  EXPECT_EQ(p[2], 2u);
+  EXPECT_EQ(p[3], 0u);
+  EXPECT_THROW(round_robin(ts, 8, 0), std::invalid_argument);
+  EXPECT_THROW(round_robin(ts, 8, 9), std::invalid_argument);
+}
+
+TEST(PlacementTest, Observation8SpreadsCliqueAndLeavesSatelliteEmpty) {
+  const tlb::graph::Node n = 10;
+  const TaskSet ts = uniform_unit(100);
+  const Placement p = observation8_adversarial(ts, n);
+  std::vector<double> load(n, 0.0);
+  for (TaskId i = 0; i < ts.size(); ++i) load[p[i]] += ts.weight(i);
+  EXPECT_DOUBLE_EQ(load[n - 1], 0.0);  // satellite starts empty
+  // Every clique node except the dump node stays near W/n.
+  const double per_node = ts.total_weight() / n;
+  for (tlb::graph::Node v = 1; v < n - 1; ++v) {
+    EXPECT_LE(load[v], per_node + ts.max_weight());
+  }
+  // Node 0 carries the overflow.
+  EXPECT_GT(load[0], per_node);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the exact Binomial sampler: both regimes (inversion / BTRS) must
+// agree with the analytic mean and variance, respect the support, and match
+// each other where their domains overlap. The grouped user-protocol engine's
+// correctness rests on this sampler being exact.
+#include "tlb/util/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace {
+
+using tlb::util::binomial;
+using tlb::util::Rng;
+
+TEST(BinomialTest, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100u);
+  EXPECT_EQ(binomial(rng, 1, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 1, 1.0), 1u);
+}
+
+TEST(BinomialTest, SupportRespected) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(binomial(rng, 17, 0.4), 17u);
+  }
+}
+
+TEST(BinomialTest, SymmetryInP) {
+  // X ~ B(n, p) iff n - X ~ B(n, 1-p); check by comparing moments.
+  Rng rng_a(3), rng_b(3);
+  const int kN = 100000;
+  double mean_a = 0.0, mean_b = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    mean_a += static_cast<double>(binomial(rng_a, 50, 0.7));
+    mean_b += 50.0 - static_cast<double>(binomial(rng_b, 50, 0.3));
+  }
+  EXPECT_NEAR(mean_a / kN, mean_b / kN, 0.2);
+}
+
+struct MomentCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMomentsTest : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatchAnalytic) {
+  const auto [n, p] = GetParam();
+  Rng rng(0xb10'0000 + n);
+  const int kN = 60000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto x = static_cast<double>(binomial(rng, n, p));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  const double true_mean = static_cast<double>(n) * p;
+  const double true_var = true_mean * (1.0 - p);
+  const double se_mean = std::sqrt(true_var / kN);
+  EXPECT_NEAR(mean, true_mean, std::max(5.0 * se_mean, 1e-9))
+      << "n=" << n << " p=" << p;
+  // Variance of the sample variance ~ 2 var^2 / N for near-normal; allow 10%.
+  EXPECT_NEAR(var, true_var, std::max(0.1 * true_var, 0.05))
+      << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(MomentCase{5, 0.5},       // tiny n, inversion
+                      MomentCase{40, 0.1},      // np = 4, inversion
+                      MomentCase{40, 0.9},      // symmetric branch
+                      MomentCase{200, 0.02},    // np = 4, inversion at larger n
+                      MomentCase{200, 0.3},     // np = 60, BTRS
+                      MomentCase{5000, 0.01},   // np = 50, BTRS
+                      MomentCase{5000, 0.5},    // fat centre, BTRS
+                      MomentCase{100000, 0.002}  // large n, small p
+                      ));
+
+TEST(BinomialTest, SamplersAgreeInOverlapRegion) {
+  // np around 10-15 is reachable by both; their moments must coincide.
+  const std::uint64_t n = 100;
+  const double p = 0.12;
+  Rng rng_inv(7), rng_btrs(7);
+  const int kN = 80000;
+  double mean_inv = 0.0, mean_btrs = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    mean_inv +=
+        static_cast<double>(tlb::util::detail::binomial_inversion(rng_inv, n, p));
+    mean_btrs +=
+        static_cast<double>(tlb::util::detail::binomial_btrs(rng_btrs, n, p));
+  }
+  mean_inv /= kN;
+  mean_btrs /= kN;
+  EXPECT_NEAR(mean_inv, 12.0, 0.1);
+  EXPECT_NEAR(mean_btrs, 12.0, 0.1);
+}
+
+TEST(BinomialTest, ProbabilityHalfExactCoin) {
+  // n = 1 must be a fair coin for p = 0.5.
+  Rng rng(11);
+  int ones = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ones += binomial(rng, 1, 0.5);
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.5, 0.01);
+}
+
+TEST(BinomialTest, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(binomial(a, 1000, 0.25), binomial(b, 1000, 0.25));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the CLI flag parser and the table/CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tlb/util/cli.hpp"
+#include "tlb/util/table.hpp"
+
+namespace {
+
+using tlb::util::Cli;
+using tlb::util::Table;
+
+std::vector<char*> make_argv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(CliTest, DefaultsApplyWhenUnset) {
+  Cli cli;
+  cli.add_flag("trials", "100", "number of trials");
+  std::vector<std::string> args = {"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("trials"), 100);
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Cli cli;
+  cli.add_flag("trials", "100", "number of trials");
+  std::vector<std::string> args = {"prog", "--trials=42"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("trials"), 42);
+}
+
+TEST(CliTest, SpaceSyntax) {
+  Cli cli;
+  cli.add_flag("seed", "1", "rng seed");
+  std::vector<std::string> args = {"prog", "--seed", "777"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("seed"), 777);
+}
+
+TEST(CliTest, BooleanFlag) {
+  Cli cli;
+  cli.add_flag("verbose", "false", "chatty output");
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, UnknownFlagFailsParse) {
+  Cli cli;
+  cli.add_flag("trials", "100", "number of trials");
+  std::vector<std::string> args = {"prog", "--tirals=3"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(CliTest, IntAndDoubleLists) {
+  Cli cli;
+  cli.add_flag("sizes", "1,2,3", "sweep sizes");
+  cli.add_flag("epsilons", "0.1,0.2", "sweep epsilons");
+  std::vector<std::string> args = {"prog", "--sizes=64,128,256"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int_list("sizes"),
+            (std::vector<std::int64_t>{64, 128, 256}));
+  const auto eps = cli.get_double_list("epsilons");
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_DOUBLE_EQ(eps[0], 0.1);
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  Cli cli;
+  std::vector<std::string> args = {"prog", "input.txt", "output.txt"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(CliTest, UnregisteredAccessThrows) {
+  Cli cli;
+  EXPECT_THROW(cli.get_string("nope"), std::invalid_argument);
+}
+
+TEST(TableTest, RowCountAndMismatchGuard) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, AsciiContainsAlignedCells) {
+  Table t({"graph", "time"});
+  t.add_row({"complete", "1.5"});
+  t.add_row({"torus", "12"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("graph"), std::string::npos);
+  EXPECT_NE(ascii.find("complete"), std::string::npos);
+  EXPECT_NE(ascii.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2.5"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2.5\n");
+}
+
+TEST(TableTest, WriteCsvCreatesFile) {
+  Table t({"k"});
+  t.add_row({"7"});
+  const std::string path = ::testing::TempDir() + "/tlb_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "k\n7\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.0), "3");
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::int64_t{-5}), "-5");
+  EXPECT_EQ(Table::fmt(std::size_t{12}), "12");
+}
+
+}  // namespace

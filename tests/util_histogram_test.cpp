@@ -1,0 +1,66 @@
+// Tests for the fixed-bin histogram.
+#include "tlb/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using tlb::util::Histogram;
+
+TEST(HistogramTest, BasicBinning) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 3.0);
+}
+
+TEST(HistogramTest, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_all({0.1, 0.2, 0.8});
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(HistogramTest, AsciiRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // the full bar
+  EXPECT_NE(art.find("#####"), std::string::npos);       // the half bar
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, EmptyAsciiIsSafe) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_NO_THROW(h.to_ascii());
+}
+
+}  // namespace

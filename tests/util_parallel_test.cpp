@@ -1,0 +1,93 @@
+// Tests for parallel_for and the thread pool: full index coverage, exception
+// propagation, and deterministic aggregation independent of thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tlb/util/parallel.hpp"
+#include "tlb/util/thread_pool.hpp"
+
+namespace {
+
+using tlb::util::parallel_for;
+using tlb::util::ThreadPool;
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; }, 4);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultIndependentOfThreadCount) {
+  const std::size_t kN = 1000;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(kN);
+    parallel_for(kN, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                 threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  EXPECT_EQ(run(1), run(2));
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The pool must remain usable after an error.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SizeReportsWorkers) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Tests for the deterministic RNG stack (splitmix64, xoshiro256**, helpers).
+#include "tlb/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using tlb::util::derive_seed;
+using tlb::util::Rng;
+using tlb::util::SplitMix64;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DeriveSeedTest, IsPureFunction) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+}
+
+TEST(DeriveSeedTest, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) seeds.insert(derive_seed(99, s));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  // se = 1/sqrt(12*N) ~ 0.00065; allow 5 sigma.
+  EXPECT_NEAR(sum / kN, 0.5, 0.004);
+}
+
+TEST(RngTest, UniformBelowStaysBelow) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformBelowCoversAllResidues) {
+  Rng rng(17);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.uniform_below(7)];
+  for (int h : hits) {
+    // Expected 1000 each; crude 5-sigma band (sd ~ 30).
+    EXPECT_GT(h, 800);
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(41);
+  double sum = 0.0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(43);
+  double sum = 0.0, sum2 = 0.0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, BoundedParetoStaysInRange) {
+  Rng rng(47);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.bounded_pareto(2.5, 1.0, 100.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoSkewsLow) {
+  // With alpha = 2.5 the median is far closer to the lower bound.
+  Rng rng(53);
+  int below_two = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) below_two += (rng.bounded_pareto(2.5, 1.0, 100.0) < 2.0);
+  EXPECT_GT(below_two, kN / 2);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the statistics toolkit (Welford, summaries, fits).
+#include "tlb/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using tlb::util::fit_linear;
+using tlb::util::fit_power_law;
+using tlb::util::pearson;
+using tlb::util::percentile_sorted;
+using tlb::util::summarize;
+using tlb::util::Welford;
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(WelfordTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Welford w;
+  for (double x : xs) w.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), var, 1e-12);
+  EXPECT_EQ(w.min(), 1.0);
+  EXPECT_EQ(w.max(), 9.0);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  Welford all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    all.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptyIsNoop) {
+  Welford a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+}
+
+TEST(WelfordTest, Ci95ShrinksWithSamples) {
+  Welford small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) big.add(i % 3);
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(percentile_sorted(xs, 0.5), 5.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(xs, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(xs, 1.0), 10.0, 1e-12);
+}
+
+TEST(SummaryTest, KnownSample) {
+  const auto s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_NEAR(s.mean, 3.0, 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.median, 3.0, 1e-12);
+}
+
+TEST(SummaryTest, EmptySampleIsSafe) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 1.0);
+  }
+  const auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-10);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-10);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * std::pow(i, 1.7));
+  }
+  const auto f = fit_power_law(x, y);
+  EXPECT_NEAR(f.slope, 1.7, 1e-9);           // the exponent
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-6);  // the constant
+}
+
+TEST(FitPowerLawTest, RejectsNonPositive) {
+  EXPECT_THROW(fit_power_law({0.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x, y, z;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 2.0);
+    z.push_back(-2.0 * i);
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+}  // namespace

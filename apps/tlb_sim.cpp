@@ -1,0 +1,154 @@
+// tlb_sim — unified scenario driver for the threshold load-balancing
+// library.
+//
+// Runs any scenario the tlb::workload subsystem can compose — protocol ×
+// topology × weight model × arrival process — through the deterministic
+// multi-trial runner, and reports either a human-readable summary or a
+// machine-readable JSON object. The JSON is byte-identical for a fixed
+// (scenario, trials, seed) regardless of --threads.
+//
+//   tlb_sim --scenario=resource:hypercube:pareto(2.5,64) --trials=50 --json
+//   tlb_sim --scenario=churn-poisson --n=200 --trials=20
+//   tlb_sim --list
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "tlb/sim/report.hpp"
+#include "tlb/util/cli.hpp"
+#include "tlb/util/table.hpp"
+#include "tlb/util/timer.hpp"
+#include "tlb/workload/arrival.hpp"
+#include "tlb/workload/scenario.hpp"
+#include "tlb/workload/weight_models.hpp"
+
+namespace {
+
+void print_registry() {
+  std::printf("registered scenarios (use the name or any raw spec):\n\n");
+  for (const auto& named : tlb::workload::scenario_registry()) {
+    std::printf("  %-20s %s\n", named.name.c_str(), named.spec.c_str());
+    std::printf("  %-20s   %s\n", "", named.description.c_str());
+  }
+  std::printf("\nspec grammar: <protocol>:<topology>[:<weights>[:<arrivals>]]\n");
+  std::printf("  protocols:  user | resource | graphuser | mixed(beta)\n");
+  std::printf("  topologies: complete | cycle | torus | grid | hypercube | "
+              "regular | erdos_renyi | clique_satellite\n");
+  std::printf("  weights:    %s\n",
+              tlb::workload::weight_model_grammar().c_str());
+  std::printf("  arrivals:   %s\n",
+              tlb::workload::arrival_process_grammar().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+
+  util::Cli cli;
+  cli.add_flag("scenario", "", "registered scenario name or raw spec string");
+  cli.add_flag("list", "false", "list registered scenarios and the grammar");
+  cli.add_flag("n", "256", "number of resources (families may round up)");
+  cli.add_flag("load_factor", "8", "batch tasks per resource (m = lf*n)");
+  cli.add_flag("trials", "50", "independent trials");
+  cli.add_flag("seed", "42", "master RNG seed");
+  cli.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_flag("alpha", "1.0", "user-side migration dampening");
+  cli.add_flag("eps", "0.25", "above-average threshold slack");
+  cli.add_flag("threshold", "above_average",
+               "above_average | tight_resource | tight_user");
+  cli.add_flag("max_rounds", "2000000", "batch-mode round cap per trial");
+  cli.add_flag("warmup", "2000", "churn-mode unrecorded rounds");
+  cli.add_flag("measure", "4000", "churn-mode recorded rounds");
+  cli.add_flag("degree", "8", "degree for the regular family");
+  cli.add_flag("json", "false", "emit one JSON object instead of the table");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.get_bool("list")) {
+    print_registry();
+    return 0;
+  }
+  const std::string scenario_arg = cli.get_string("scenario");
+  if (scenario_arg.empty()) {
+    std::fprintf(stderr,
+                 "tlb_sim: --scenario is required (try --list)\n");
+    return 1;
+  }
+
+  try {
+    const workload::ScenarioSpec spec =
+        workload::resolve_scenario(scenario_arg);
+
+    workload::ScenarioParams params;
+    params.n = static_cast<graph::Node>(cli.get_int("n"));
+    params.load_factor = static_cast<std::size_t>(cli.get_int("load_factor"));
+    params.alpha = cli.get_double("alpha");
+    params.eps = cli.get_double("eps");
+    params.max_rounds = cli.get_int("max_rounds");
+    params.warmup = cli.get_int("warmup");
+    params.measure = cli.get_int("measure");
+    params.degree = static_cast<graph::Node>(cli.get_int("degree"));
+    const std::string tkind = cli.get_string("threshold");
+    if (tkind == "above_average" || tkind == "above") {
+      params.threshold = core::ThresholdKind::kAboveAverage;
+    } else if (tkind == "tight_resource") {
+      params.threshold = core::ThresholdKind::kTightResource;
+    } else if (tkind == "tight_user") {
+      params.threshold = core::ThresholdKind::kTightUser;
+    } else {
+      std::fprintf(stderr, "tlb_sim: unknown --threshold '%s'\n",
+                   tkind.c_str());
+      return 1;
+    }
+
+    const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+    const workload::Scenario scenario(spec, params);
+    util::Stopwatch timer;
+    const workload::ScenarioResult result =
+        scenario.run(trials, seed, threads);
+    const double elapsed = timer.elapsed_seconds();
+
+    if (cli.get_bool("json")) {
+      // Wall time and thread count deliberately stay out of the JSON so the
+      // bytes only depend on (scenario, params, trials, seed).
+      std::printf("%s\n", result.json().c_str());
+      return 0;
+    }
+
+    sim::print_banner("tlb_sim", result.spec.canonical());
+    sim::print_param("n / m", std::to_string(result.n) + " / " +
+                                  std::to_string(result.m));
+    sim::print_param("threshold", std::string(core::to_string(
+                                      params.threshold)) +
+                                      " (eps " + cli.get_string("eps") + ")");
+    sim::print_param("trials / seed", std::to_string(trials) + " / " +
+                                          std::to_string(seed));
+    util::Table table({"metric", "mean", "ci95", "min", "max"});
+    auto row = [&table](const char* label, const util::Welford& w) {
+      table.add_row({label, util::Table::fmt(w.mean(), 2),
+                     util::Table::fmt(w.ci95_halfwidth(), 2),
+                     util::Table::fmt(w.count() ? w.min() : 0.0, 2),
+                     util::Table::fmt(w.count() ? w.max() : 0.0, 2)});
+    };
+    row(result.spec.is_churn() ? "measured rounds" : "balancing time",
+        result.stats.rounds);
+    row("migrations", result.stats.migrations);
+    row(result.spec.is_churn() ? "max/avg load" : "final max load",
+        result.stats.final_max_load);
+    sim::emit_table(table, "");
+    if (result.stats.unbalanced > 0) {
+      std::printf("   %zu/%zu trials %s\n", result.stats.unbalanced, trials,
+                  result.spec.is_churn()
+                      ? "stayed above 5% overloaded resources"
+                      : "hit the round cap without balancing");
+    }
+    std::printf("   [%zu trials in %.2fs]\n", trials, elapsed);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tlb_sim: %s\n", e.what());
+    return 1;
+  }
+}

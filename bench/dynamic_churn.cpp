@@ -12,6 +12,7 @@
 #include "tlb/sim/report.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/table.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 namespace {
 
@@ -29,6 +30,10 @@ core::DynamicMetrics run_one(core::DynamicConfig cfg, long warmup,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("n", "200", "number of resources");
+  cli.add_flag("weights", "mix(1:0.9,8:0.1)",
+               "arrival weight model (" +
+                   tlb::workload::weight_model_grammar() +
+                   "); continuous models are discretized to <= 64 classes");
   cli.add_flag("rates", "5,10,20,40,80", "arrival rates (tasks/round)");
   cli.add_flag("eps_values", "0.05,0.1,0.2,0.4", "headroom sweep (hotspot)");
   cli.add_flag("crash_rates", "0,0.02,0.05,0.1,0.2", "crash probability/round");
@@ -46,8 +51,14 @@ int main(int argc, char** argv) {
                     "user-controlled protocol with continuous arrivals, "
                     "completions and crashes (extension beyond the paper's "
                     "static model)");
+  const auto model = workload::parse_weight_model(cli.get_string("weights"));
+  util::Rng class_rng(util::derive_seed(cli.get_int("seed"), 0));
+  const auto classes = workload::to_weight_classes(*model, 64, class_rng);
+
   sim::print_param("n", std::to_string(n));
-  sim::print_param("weights", "90% weight-1, 10% weight-8 arrivals");
+  sim::print_param("weights", model->name() + " (" +
+                                  std::to_string(classes.size()) +
+                                  " classes)");
   sim::print_param("rounds", std::to_string(warmup) + " warmup + " +
                                  std::to_string(measure) + " measured");
 
@@ -55,7 +66,8 @@ int main(int argc, char** argv) {
   base.n = n;
   base.completion_rate = 0.02;
   base.eps = 0.2;
-  base.classes = {{1.0, 0.9}, {8.0, 0.1}};
+  base.classes.clear();
+  for (const auto& c : classes) base.classes.push_back({c.weight, c.probability});
 
   // ---- Panel (a): arrival-rate sweep -----------------------------------
   util::Table table({"arrivals/round", "steady population", "overloaded frac",

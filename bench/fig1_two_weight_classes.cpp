@@ -16,10 +16,10 @@
 #include "tlb/sim/report.hpp"
 #include "tlb/sim/runner.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/stats.hpp"
 #include "tlb/util/table.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
@@ -64,8 +64,15 @@ int main(int argc, char** argv) {
       ++point;
       const double heavy_weight = static_cast<double>(k) * w_max;
       if (static_cast<double>(W) < heavy_weight + 1.0) continue;  // no room for units
+      // Figure 1's profile through the workload subsystem: k heavies of
+      // weight w_max plus m(W,k) = W - k*w_max unit tasks.
+      const workload::TwoPointWeights model(static_cast<std::size_t>(k),
+                                            w_max);
+      const auto unit_count = static_cast<std::size_t>(
+          std::llround(static_cast<double>(W) - heavy_weight));
+      util::Rng model_rng(0);  // twopoint's composition is deterministic
       const tasks::TaskSet ts =
-          tasks::figure1_profile(static_cast<double>(W), k, w_max);
+          model.make(unit_count + static_cast<std::size_t>(k), model_rng);
       const double T = core::threshold_value(
           core::ThresholdKind::kAboveAverage, ts, n, eps);
 

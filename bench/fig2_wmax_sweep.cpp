@@ -15,10 +15,10 @@
 #include "tlb/sim/report.hpp"
 #include "tlb/sim/runner.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/stats.hpp"
 #include "tlb/util/table.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
@@ -61,9 +61,12 @@ int main(int argc, char** argv) {
     util::Welford height;
     for (std::int64_t m : cli.get_int_list("m_values")) {
       ++point;
+      // Figure 2's single-heavy profile is twopoint(1, w_max) in the
+      // workload subsystem's grammar.
+      const workload::TwoPointWeights model(1, static_cast<double>(w_max));
+      util::Rng model_rng(0);  // twopoint's composition is deterministic
       const tasks::TaskSet ts =
-          tasks::single_heavy(static_cast<std::size_t>(m),
-                              static_cast<double>(w_max));
+          model.make(static_cast<std::size_t>(m), model_rng);
       const double T = core::threshold_value(
           core::ThresholdKind::kAboveAverage, ts, n, eps);
 

@@ -17,9 +17,9 @@
 #include "tlb/sim/report.hpp"
 #include "tlb/sim/runner.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/table.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("n", "144", "number of resources");
   cli.add_flag("load_factor", "8", "m = load_factor*n tasks");
-  cli.add_flag("wmax", "8", "heavy-task weight (8 heavies mixed in)");
+  cli.add_flag("weights", "twopoint(8,8)",
+               "weight model spec (" +
+                   tlb::workload::weight_model_grammar() + ")");
   cli.add_flag("eps", "0.25", "threshold slack ε");
   cli.add_flag("trials", "40", "trials per data point");
   cli.add_flag("seed", "1357", "master RNG seed");
@@ -43,11 +45,14 @@ int main(int argc, char** argv) {
   sim::print_banner("Graph user protocol (E9)",
                     "user-controlled migration on arbitrary graphs vs the "
                     "resource-controlled protocol at the same threshold");
+  const auto model = workload::parse_weight_model(cli.get_string("weights"));
   sim::print_param("n / m", std::to_string(n) + " / " + std::to_string(m));
+  sim::print_param("weights", model->name());
   sim::print_param("trials/point", std::to_string(trials));
 
   util::Rng graph_rng(cli.get_int("seed"));
-  const tasks::TaskSet ts = tasks::two_point(m - 8, 8, cli.get_double("wmax"));
+  util::Rng model_rng(util::derive_seed(cli.get_int("seed"), 0));
+  const tasks::TaskSet ts = model->make(m, model_rng);
 
   util::Table table({"graph", "resource rounds", "ci95", "user rounds", "ci95",
                      "user/resource", "user migrations/resource migrations"});

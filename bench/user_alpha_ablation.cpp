@@ -16,18 +16,21 @@
 #include "tlb/sim/runner.hpp"
 #include "tlb/sim/theory.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/table.hpp"
+#include "tlb/workload/scenario.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
 
   util::Cli cli;
   cli.add_flag("n", "500", "number of resources");
-  cli.add_flag("W", "4000", "total weight (Figure-1 style instance)");
-  cli.add_flag("k", "10", "heavy tasks of weight wmax");
-  cli.add_flag("wmax", "50", "heavy-task weight");
+  cli.add_flag("m", "3510", "number of tasks (Figure-1 default: W=4000, "
+                            "k=10, wmax=50 -> 3500 units + 10 heavies)");
+  cli.add_flag("weights", "twopoint(10,50)",
+               "weight model spec (" +
+                   tlb::workload::weight_model_grammar() + ")");
   cli.add_flag("eps", "0.2", "threshold slack ε");
   cli.add_flag("alphas", "0.0014,0.01,0.05,0.2,0.5,1.0",
                "α values (first ≈ the paper's analytic ε/(120(1+ε)))");
@@ -40,18 +43,19 @@ int main(int argc, char** argv) {
   const double eps = cli.get_double("eps");
   const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
 
-  const tasks::TaskSet ts = tasks::figure1_profile(
-      cli.get_double("W"), static_cast<std::size_t>(cli.get_int("k")),
-      cli.get_double("wmax"));
+  const auto model = workload::parse_weight_model(cli.get_string("weights"));
+  util::Rng model_rng(util::derive_seed(cli.get_int("seed"), 0));
+  const tasks::TaskSet ts =
+      model->make(static_cast<std::size_t>(cli.get_int("m")), model_rng);
   const double T =
       core::threshold_value(core::ThresholdKind::kAboveAverage, ts, n, eps);
 
   sim::print_banner("α ablation (E4a)",
                     "user-controlled: effect of the migration dampening α "
                     "(paper analysis: ε/(120(1+ε)); paper simulations: 1)");
-  sim::print_param("n / W / k / wmax",
-                   std::to_string(n) + " / " + cli.get_string("W") + " / " +
-                       cli.get_string("k") + " / " + cli.get_string("wmax"));
+  sim::print_param("n / m / weights",
+                   std::to_string(n) + " / " + std::to_string(ts.size()) +
+                       " / " + model->name());
   sim::print_param("analytic alpha", util::Table::fmt(sim::paper_alpha(eps), 5));
   sim::print_param("trials/point", std::to_string(trials));
 
@@ -68,8 +72,8 @@ int main(int argc, char** argv) {
     const auto stats = sim::run_trials(
         trials, util::derive_seed(cli.get_int("seed"), point),
         [&](util::Rng& rng) {
-          core::GroupedUserEngine engine(ts, n, cfg);
-          return engine.run(tasks::all_on_one(ts), rng);
+          return workload::run_user_trial(ts, n, cfg, tasks::all_on_one(ts),
+                                          rng);
         });
     const double bound = sim::theorem11_bound(eps, alpha, ts.max_weight(),
                                               ts.min_weight(), ts.size());

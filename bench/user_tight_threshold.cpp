@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     const double lnm = std::log(static_cast<double>(m));
     const double analytic_alpha = 1.0 / (120.0 * static_cast<double>(n));
     const double bound = sim::theorem12_bound(n, analytic_alpha, w_max, 1.0, m);
-    table.add_row({util::Table::fmt(n_i), util::Table::fmt(std::int64_t{m}),
+    table.add_row({util::Table::fmt(n_i), util::Table::fmt(m),
                    util::Table::fmt(stats.rounds.mean(), 1),
                    util::Table::fmt(stats.rounds.ci95_halfwidth(), 1),
                    util::Table::fmt(stats.rounds.mean() / lnm, 3),

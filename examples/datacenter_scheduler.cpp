@@ -16,29 +16,16 @@
 #include "tlb/core/threshold.hpp"
 #include "tlb/core/user_protocol.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/rng.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 namespace {
 
 using namespace tlb;
 
-/// VM sizes in CPU shares: lots of small instances, some medium, few large.
-tasks::TaskSet make_vm_burst(std::size_t count, util::Rng& rng) {
-  std::vector<double> w;
-  w.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const double roll = rng.uniform01();
-    if (roll < 0.70) {
-      w.push_back(1.0);  // small
-    } else if (roll < 0.95) {
-      w.push_back(4.0);  // medium
-    } else {
-      w.push_back(16.0);  // large
-    }
-  }
-  return tasks::TaskSet(std::move(w));
-}
+/// VM sizes in CPU shares: lots of small instances, some medium, few large —
+/// a discrete mixture straight from the workload subsystem's grammar.
+const char* kVmSizeModel = "mix(1:0.70,4:0.25,16:0.05)";
 
 void run_scenario(const char* label, const tasks::TaskSet& vms,
                   graph::Node hosts, double threshold, double alpha,
@@ -78,7 +65,8 @@ int main() {
 
   const graph::Node hosts = 200;
   util::Rng rng(2024);
-  const tasks::TaskSet vms = make_vm_burst(2000, rng);
+  const tasks::TaskSet vms =
+      workload::parse_weight_model(kVmSizeModel)->make(2000, rng);
   std::printf("datacenter: %u hypervisors, %zu VMs, total %.0f CPU shares, "
               "largest VM %.0f, average load %.1f\n",
               hosts, vms.size(), vms.total_weight(), vms.max_weight(),

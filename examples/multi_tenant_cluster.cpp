@@ -13,9 +13,9 @@
 #include "tlb/core/hetero.hpp"
 #include "tlb/core/user_protocol.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/histogram.hpp"
 #include "tlb/util/rng.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 int main() {
   using namespace tlb;
@@ -30,8 +30,10 @@ int main() {
   for (graph::Node v = 0; v < gen3; ++v) speeds[v] = 4.0;
   for (graph::Node v = gen3; v < gen3 + gen2; ++v) speeds[v] = 2.0;
 
-  // Container workloads: mixed CPU weights.
-  const tasks::TaskSet jobs = tasks::bounded_pareto(1500, 2.5, 12.0, rng);
+  // Container workloads: mixed CPU weights from the workload subsystem's
+  // heavy-tailed model.
+  const tasks::TaskSet jobs =
+      workload::parse_weight_model("pareto(2.5,12)")->make(1500, rng);
 
   // Speed-proportional thresholds with 25% headroom.
   const auto caps = core::speed_proportional_thresholds(

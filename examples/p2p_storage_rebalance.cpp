@@ -17,8 +17,8 @@
 #include "tlb/graph/builders.hpp"
 #include "tlb/randomwalk/mixing.hpp"
 #include "tlb/tasks/placement.hpp"
-#include "tlb/tasks/weights.hpp"
 #include "tlb/util/rng.hpp"
+#include "tlb/workload/weight_models.hpp"
 
 namespace {
 
@@ -26,9 +26,7 @@ using namespace tlb;
 
 /// Object sizes: bounded Pareto (lots of small objects, a heavy tail of
 /// large blobs), the classic storage-workload shape.
-tasks::TaskSet make_objects(std::size_t count, util::Rng& rng) {
-  return tasks::bounded_pareto(count, /*alpha=*/2.2, /*hi=*/64.0, rng);
-}
+const char* kObjectSizeModel = "pareto(2.2,64)";
 
 void run_overlay(const char* label, const graph::Graph& overlay,
                  randomwalk::WalkKind walk, const tasks::TaskSet& objects,
@@ -61,7 +59,8 @@ int main() {
 
   const graph::Node nodes = 256;
   util::Rng rng(31);
-  const tasks::TaskSet objects = make_objects(4096, rng);
+  const tasks::TaskSet objects =
+      workload::parse_weight_model(kObjectSizeModel)->make(4096, rng);
   std::printf("p2p store: %u nodes, %zu objects, %.0f GB total, largest "
               "object %.1f GB\n\n",
               nodes, objects.size(), objects.total_weight(),

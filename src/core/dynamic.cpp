@@ -60,10 +60,15 @@ void DynamicUserEngine::recompute_threshold() {
 }
 
 void DynamicUserEngine::do_arrivals(util::Rng& rng) {
-  // Dispersed arrival count with the right mean: Binomial(2λ, 1/2).
-  const auto budget = static_cast<std::uint64_t>(
-      std::llround(2.0 * config_.arrival_rate));
-  const std::uint64_t count = util::binomial(rng, budget, 0.5);
+  std::uint64_t count = 0;
+  if (config_.arrival_fn) {
+    count = config_.arrival_fn(round_, rng);
+  } else {
+    // Dispersed arrival count with the right mean: Binomial(2λ, 1/2).
+    const auto budget = static_cast<std::uint64_t>(
+        std::llround(2.0 * config_.arrival_rate));
+    count = util::binomial(rng, budget, 0.5);
+  }
   const std::size_t C = class_weights_.size();
   for (std::uint64_t i = 0; i < count; ++i) {
     const double u = rng.uniform01();
@@ -187,6 +192,7 @@ double DynamicUserEngine::phi_of(graph::Node r) const {
 
 void DynamicUserEngine::step(util::Rng& rng) {
   do_arrivals(rng);
+  ++round_;
   do_completions(rng);
   do_crash(rng);
   recompute_threshold();

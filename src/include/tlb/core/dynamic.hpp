@@ -21,6 +21,7 @@
 // over a measurement window after warm-up.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tlb/core/threshold.hpp"
@@ -36,10 +37,18 @@ struct DynamicWeightClass {
   double probability = 1.0;  ///< selection probability (normalised at init)
 };
 
+/// Per-round arrival-count override: (round index, rng) -> number of fresh
+/// tasks. Lets tlb::workload inject Poisson or bursty/adversarial arrival
+/// processes without the engine knowing about them.
+using ArrivalCountFn = std::function<std::uint64_t(long, util::Rng&)>;
+
 /// Configuration of a dynamic run.
 struct DynamicConfig {
   graph::Node n = 100;                ///< resources (complete graph)
   double arrival_rate = 10.0;         ///< expected new tasks per round
+  /// When set, overrides arrival_rate's binomial dispersal as the per-round
+  /// arrival count (weights are still drawn from `classes`).
+  ArrivalCountFn arrival_fn;
   double completion_rate = 0.01;      ///< per-task finish probability/round
   double crash_rate = 0.0;            ///< probability of one crash per round
   bool hotspot_arrivals = false;      ///< all arrivals land on resource 0
@@ -101,6 +110,7 @@ class DynamicUserEngine {
   double total_weight_ = 0.0;
   std::uint64_t population_ = 0;
   double threshold_ = 1.0;
+  long round_ = 0;                      // rounds stepped since construction
   std::size_t last_migrations_ = 0;
   DynamicMetrics* metrics_ = nullptr;   // non-null during measured rounds
 };

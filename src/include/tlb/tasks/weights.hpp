@@ -4,11 +4,33 @@
 // condition, Peres et al.'s (1+β) weighted analysis).
 
 #include <cstddef>
+#include <string>
 
 #include "tlb/tasks/task_set.hpp"
 #include "tlb/util/rng.hpp"
 
 namespace tlb::tasks {
+
+/// Abstract weight distribution. Concrete models live in tlb::workload
+/// (uniform, bimodal, Zipf, Pareto, octaves, mixtures, trace replay); the
+/// interface sits here so core/task code can accept any model without
+/// depending on the workload layer.
+class WeightModel {
+ public:
+  virtual ~WeightModel() = default;
+
+  /// Draw one task weight (always >= 1, the paper's w_min normalisation).
+  virtual double sample(util::Rng& rng) const = 0;
+
+  /// Materialise a task set of m tasks. The default draws m independent
+  /// sample()s; models with a deterministic composition (fixed heavy counts,
+  /// trace replay) override this.
+  virtual TaskSet make(std::size_t m, util::Rng& rng) const;
+
+  /// Canonical spec string, e.g. "pareto(2.5,64)". parse_weight_model() in
+  /// tlb::workload accepts exactly this syntax, so name() round-trips.
+  virtual std::string name() const = 0;
+};
 
 /// m unit-weight tasks (the Ackermann et al. / Hoefer–Sauerwald setting).
 TaskSet uniform_unit(std::size_t m);

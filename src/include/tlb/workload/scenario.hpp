@@ -1,0 +1,150 @@
+#pragma once
+// Scenario composition: protocol × graph topology × weight model × arrival
+// process, parsed from one spec string and run through sim::run_trials.
+//
+// Spec grammar (colon-separated, later fields optional):
+//   <protocol>:<topology>[:<weights>[:<arrivals>]]
+// e.g.
+//   user:complete:twopoint(10,50)
+//   resource:hypercube:pareto(2.5,64)
+//   graphuser:regular:zipf(1.1,64):batch
+//   mixed(0.5):torus:octaves(6)
+//   user:complete:mix(1:0.9,8:0.1):poisson(20,0.02)
+//
+// Protocols: user (Algorithm 6.1, complete graph; grouped engine when the
+// weight classes allow, exact otherwise), resource (Algorithm 5.1, any
+// graph), graphuser (Algorithm 6.1 with one P-step per migration, any
+// graph), mixed(beta) (resource with probability beta, else user). Churn
+// arrivals (poisson/burst) currently require user:complete — they run the
+// grouped dynamic engine with the weight model reduced to a class table.
+//
+// Determinism: every run derives all randomness from (seed, trial index)
+// via util::derive_seed, and randomised graphs are built once from a
+// dedicated stream — so results (and the JSON report) are identical
+// regardless of the number of worker threads.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlb/core/threshold.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/sim/config.hpp"
+#include "tlb/sim/runner.hpp"
+#include "tlb/tasks/weights.hpp"
+
+namespace tlb::workload {
+
+class ArrivalProcess;
+
+/// Which migration protocol a scenario runs.
+enum class ProtocolKind {
+  kUser,      ///< Algorithm 6.1 on the complete graph
+  kResource,  ///< Algorithm 5.1 on an arbitrary graph
+  kGraphUser, ///< user-controlled with one P-step per migration
+  kMixed,     ///< blend: resource w.p. beta, user otherwise
+};
+
+/// Canonical protocol name ("user", "resource", "graphuser", "mixed").
+const char* protocol_name(ProtocolKind kind);
+
+/// Parsed scenario spec. weights/arrivals are stored canonicalised (the
+/// sub-model parsers round-trip them), so canonical() is stable.
+struct ScenarioSpec {
+  ProtocolKind protocol = ProtocolKind::kUser;
+  double mixed_beta = 0.5;  ///< kMixed only
+  sim::GraphFamily family = sim::GraphFamily::kComplete;
+  std::string weights = "unit";
+  std::string arrivals = "batch";
+
+  /// Parse a spec string (grammar above). Throws std::invalid_argument with
+  /// a message naming the offending field.
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Canonical spec string; parse(canonical()) == *this.
+  std::string canonical() const;
+
+  /// True iff the arrival process is not the static batch.
+  bool is_churn() const;
+};
+
+/// Size/tuning knobs that are not part of the scenario identity.
+struct ScenarioParams {
+  graph::Node n = 256;            ///< requested resources (family may round)
+  std::size_t load_factor = 8;    ///< batch mode: m = load_factor * n
+  double alpha = 1.0;             ///< user-side migration dampening
+  double eps = 0.25;              ///< above-average threshold slack
+  core::ThresholdKind threshold = core::ThresholdKind::kAboveAverage;
+  long max_rounds = 2000000;      ///< batch mode round cap
+  long warmup = 2000;             ///< churn mode unrecorded rounds
+  long measure = 4000;            ///< churn mode recorded rounds
+  graph::Node degree = 8;         ///< regular family degree
+};
+
+/// Everything a run produced, ready for table or JSON emission.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  ScenarioParams params;
+  graph::Node n = 0;    ///< actual node count after family rounding
+  std::size_t m = 0;    ///< batch task count (0 in churn mode)
+  std::size_t trials = 0;
+  std::uint64_t seed = 0;
+  sim::TrialStats stats;
+
+  /// Deterministic JSON object. In churn mode `rounds` counts measured
+  /// rounds per trial, `migrations` the migrations over the measured
+  /// window, and `final_max_load` the mean max/avg load ratio.
+  std::string json() const;
+};
+
+/// A runnable scenario. Construction validates the spec/params combination
+/// (e.g. churn requires user:complete) and parses the sub-models.
+class Scenario {
+ public:
+  Scenario(ScenarioSpec spec, ScenarioParams params);
+  ~Scenario();
+  Scenario(Scenario&&) noexcept;
+  Scenario& operator=(Scenario&&) noexcept;
+
+  /// Run `trials` independent trials (threads == 0: hardware concurrency).
+  /// Deterministic in (trials, seed) regardless of `threads`.
+  ScenarioResult run(std::size_t trials, std::uint64_t seed,
+                     std::size_t threads = 0) const;
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+  const ScenarioParams& params() const noexcept { return params_; }
+
+ private:
+  ScenarioSpec spec_;
+  ScenarioParams params_;
+  std::unique_ptr<tasks::WeightModel> model_;
+  std::unique_ptr<ArrivalProcess> process_;
+};
+
+/// A named preset in the registry.
+struct NamedScenario {
+  std::string name;
+  std::string spec;
+  std::string description;
+};
+
+/// True iff the grouped user engine can represent `ts` (it accepts at most
+/// GroupedUserEngine::kMaxClasses distinct weights).
+bool grouped_engine_applicable(const tasks::TaskSet& ts);
+
+/// Run one user-protocol trial from `start`, choosing the grouped engine
+/// when the task set allows (it is hundreds of times faster) and the exact
+/// per-task-coin engine otherwise. Shared by Scenario::run and the benches.
+core::RunResult run_user_trial(const tasks::TaskSet& ts, graph::Node n,
+                               const core::UserProtocolConfig& cfg,
+                               const tasks::Placement& start, util::Rng& rng);
+
+/// Built-in presets covering every protocol and the main weight families.
+const std::vector<NamedScenario>& scenario_registry();
+
+/// Resolve a --scenario argument: a registered preset name or a raw spec.
+ScenarioSpec resolve_scenario(const std::string& arg);
+
+}  // namespace tlb::workload

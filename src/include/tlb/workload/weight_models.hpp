@@ -1,0 +1,194 @@
+#pragma once
+// Concrete weight-distribution models behind the tasks::WeightModel
+// interface, plus a spec-string parser so benches, examples and the tlb_sim
+// driver can select a distribution from the command line.
+//
+// Families (related work motivates the heavy tails: Talwar–Wieder's
+// finite-second-moment condition, Goldsztajn et al.'s learned thresholds
+// under heavy-tailed service times):
+//   unit                      all weights 1 (Ackermann et al. setting)
+//   uniform(hi)               uniform real on [1, hi]
+//   bimodal(wmax,frac)        two classes: round(frac*m) tasks of weight
+//                             wmax, the rest weight 1 (deterministic counts)
+//   twopoint(k,wmax)          exactly k heavy tasks of weight wmax + m-k
+//                             units (the Figure 1/2 profiles)
+//   zipf(s,wmax)              integer weights {1..wmax}, P(w) ∝ w^-s
+//   pareto(alpha[,hi])        bounded Pareto on [1, hi] (default hi 1e6)
+//   octaves(maxexp)           w = 2^G, G ~ Geometric(1/2) truncated —
+//                             discretized-integer weights, one class/octave
+//   mix(w:p,w:p,...)          discrete mixture with explicit probabilities
+//   trace(path)               replay weights from a CSV/newline file
+//
+// Every model samples >= 1 so TaskSet's w_min >= 1 invariant always holds.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/tasks/weights.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::workload {
+
+/// All weights 1.
+class UnitWeights final : public tasks::WeightModel {
+ public:
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+};
+
+/// Uniform real on [1, hi].
+class UniformWeights final : public tasks::WeightModel {
+ public:
+  explicit UniformWeights(double hi);
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  double hi_;
+};
+
+/// Two-class profile with a heavy *fraction*: make(m) emits
+/// round(frac*m) tasks of weight wmax (ids first) and the rest weight 1.
+/// sample() draws the class as a Bernoulli(frac).
+class BimodalWeights final : public tasks::WeightModel {
+ public:
+  BimodalWeights(double w_max, double heavy_fraction);
+  double sample(util::Rng& rng) const override;
+  tasks::TaskSet make(std::size_t m, util::Rng& rng) const override;
+  std::string name() const override;
+  double w_max() const noexcept { return w_max_; }
+  double heavy_fraction() const noexcept { return frac_; }
+
+ private:
+  double w_max_;
+  double frac_;
+};
+
+/// Two-class profile with an exact heavy *count*: make(m) is deterministic —
+/// k tasks of weight wmax followed by m-k units (Figure 1's profile; k=1 is
+/// Figure 2's single-heavy). The heavies are a fixed feature of the
+/// composition, so stream sample() draws from the unit bulk.
+class TwoPointWeights final : public tasks::WeightModel {
+ public:
+  TwoPointWeights(std::size_t heavy_count, double w_max);
+  double sample(util::Rng& rng) const override;
+  tasks::TaskSet make(std::size_t m, util::Rng& rng) const override;
+  std::string name() const override;
+  std::size_t heavy_count() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  double w_max_;
+};
+
+/// Zipf over integer weights {1, ..., wmax}: P(w) ∝ w^-s. s = 0 is uniform
+/// over the support; larger s concentrates on small weights with a
+/// polynomial tail towards wmax.
+class ZipfWeights final : public tasks::WeightModel {
+ public:
+  ZipfWeights(double s, std::uint64_t w_max);
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+  /// Analytic mean of the distribution (for tests).
+  double mean() const;
+  std::uint64_t w_max() const noexcept { return w_max_; }
+  /// CDF value P(weight <= w) for w in {1..w_max}.
+  double cdf_at(std::uint64_t w) const { return cdf_[w - 1]; }
+
+ private:
+  double s_;
+  std::uint64_t w_max_;
+  std::vector<double> cdf_;  // cumulative over {1..w_max}
+};
+
+/// Bounded Pareto on [1, hi] with tail index alpha (finite second moment for
+/// alpha > 2 — the Talwar–Wieder regime).
+class ParetoWeights final : public tasks::WeightModel {
+ public:
+  ParetoWeights(double alpha, double hi);
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+  /// Analytic mean of the bounded Pareto (for tests).
+  double mean() const;
+
+ private:
+  double alpha_;
+  double hi_;
+};
+
+/// Discretized-integer weights: w = 2^G with G ~ Geometric(1/2) truncated at
+/// max_exponent. Wide dynamic range, one point mass per octave.
+class OctaveWeights final : public tasks::WeightModel {
+ public:
+  explicit OctaveWeights(int max_exponent);
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+  int max_exponent() const noexcept { return max_exponent_; }
+
+ private:
+  int max_exponent_;
+};
+
+/// Explicit discrete mixture: weight w_i with probability p_i (normalised).
+class MixtureWeights final : public tasks::WeightModel {
+ public:
+  struct Component {
+    double weight = 1.0;
+    double probability = 1.0;
+  };
+  explicit MixtureWeights(std::vector<Component> components);
+  double sample(util::Rng& rng) const override;
+  std::string name() const override;
+  const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+ private:
+  std::vector<Component> components_;  // ascending weight, probs normalised
+  std::vector<double> cdf_;
+};
+
+/// Trace replay: weights loaded from a file (one value per line; commas and
+/// whitespace both separate; '#' starts a comment). make(m) replays the
+/// trace cyclically; sample() draws a uniform trace entry.
+class TraceWeights final : public tasks::WeightModel {
+ public:
+  explicit TraceWeights(const std::string& path);
+  /// In-memory trace (tests, programmatic use). `label` is echoed by name().
+  TraceWeights(std::vector<double> weights, std::string label);
+  double sample(util::Rng& rng) const override;
+  tasks::TaskSet make(std::size_t m, util::Rng& rng) const override;
+  std::string name() const override;
+  std::size_t trace_length() const noexcept { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  std::string label_;
+};
+
+/// Parse a weight-model spec string (grammar in the header comment above).
+/// Throws std::invalid_argument with a message naming the bad spec.
+std::unique_ptr<tasks::WeightModel> parse_weight_model(const std::string& spec);
+
+/// One-line grammar summary for --help output.
+std::string weight_model_grammar();
+
+/// Reduce a model to K weight classes with probabilities, for engines that
+/// need a finite class table (core::DynamicUserEngine). Discrete models
+/// (unit/bimodal/mix/octaves/zipf) convert exactly when they have
+/// <= max_classes support points; continuous models (and oversized discrete
+/// supports) are discretized by equal-mass bucketing of `samples` draws
+/// from `rng`. twopoint is rejected with std::invalid_argument: its heavy
+/// count describes one batch composition, not a per-task distribution.
+struct WeightClass {
+  double weight = 1.0;
+  double probability = 1.0;
+};
+std::vector<WeightClass> to_weight_classes(const tasks::WeightModel& model,
+                                           std::size_t max_classes,
+                                           util::Rng& rng,
+                                           std::size_t samples = 65536);
+
+}  // namespace tlb::workload

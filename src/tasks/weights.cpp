@@ -5,6 +5,13 @@
 
 namespace tlb::tasks {
 
+TaskSet WeightModel::make(std::size_t m, util::Rng& rng) const {
+  if (m == 0) throw std::invalid_argument("WeightModel::make: need m >= 1");
+  std::vector<double> w(m);
+  for (double& x : w) x = sample(rng);
+  return TaskSet(std::move(w));
+}
+
 TaskSet uniform_unit(std::size_t m) {
   return TaskSet(std::vector<double>(m, 1.0));
 }

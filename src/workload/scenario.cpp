@@ -1,0 +1,380 @@
+#include "tlb/workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "spec_parse.hpp"
+#include "tlb/core/dynamic.hpp"
+#include "tlb/core/graph_user_protocol.hpp"
+#include "tlb/core/mixed_protocol.hpp"
+#include "tlb/core/resource_protocol.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/sim/report.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/workload/arrival.hpp"
+#include "tlb/workload/weight_models.hpp"
+
+namespace tlb::workload {
+
+namespace {
+
+/// Dedicated derive_seed streams so graph construction, class-table
+/// discretisation and the trials never share randomness.
+constexpr std::uint64_t kGraphStream = 0x6772617068ULL;    // "graph"
+constexpr std::uint64_t kClassesStream = 0x636c617373ULL;  // "class"
+
+[[noreturn]] void bad_scenario(const std::string& text,
+                               const std::string& why) {
+  throw std::invalid_argument("scenario '" + text + "': " + why);
+}
+
+/// Split on top-level colons only — colons inside (...) belong to mix()
+/// component syntax (mix(1:0.9,...)).
+std::vector<std::string> split_fields(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ':' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kUser: return "user";
+    case ProtocolKind::kResource: return "resource";
+    case ProtocolKind::kGraphUser: return "graphuser";
+    case ProtocolKind::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  const std::vector<std::string> fields = split_fields(text);
+  if (fields.size() < 2 || fields.size() > 4) {
+    bad_scenario(text,
+                 "want <protocol>:<topology>[:<weights>[:<arrivals>]]");
+  }
+  ScenarioSpec spec;
+
+  const std::string& proto = fields[0];
+  if (proto == "user") {
+    spec.protocol = ProtocolKind::kUser;
+  } else if (proto == "resource") {
+    spec.protocol = ProtocolKind::kResource;
+  } else if (proto == "graphuser" || proto == "graph_user") {
+    spec.protocol = ProtocolKind::kGraphUser;
+  } else if (proto.rfind("mixed", 0) == 0) {
+    spec.protocol = ProtocolKind::kMixed;
+    spec.mixed_beta = 0.5;
+    if (proto != "mixed") {
+      if (proto.size() < 8 || proto[5] != '(' || proto.back() != ')') {
+        bad_scenario(text, "mixed takes the form mixed(beta)");
+      }
+      try {
+        spec.mixed_beta = std::stod(proto.substr(6, proto.size() - 7));
+      } catch (const std::exception&) {
+        bad_scenario(text, "mixed(beta): beta is not a number");
+      }
+      if (spec.mixed_beta < 0.0 || spec.mixed_beta > 1.0) {
+        bad_scenario(text, "mixed(beta): beta in [0, 1]");
+      }
+    }
+  } else {
+    bad_scenario(text, "unknown protocol '" + proto +
+                           "' (want user | resource | graphuser | "
+                           "mixed(beta))");
+  }
+
+  try {
+    spec.family = sim::parse_family(fields[1]);
+  } catch (const std::exception& e) {
+    bad_scenario(text, e.what());
+  }
+
+  if (fields.size() >= 3 && !fields[2].empty()) {
+    try {
+      spec.weights = parse_weight_model(fields[2])->name();
+    } catch (const std::exception& e) {
+      bad_scenario(text, e.what());
+    }
+  }
+  if (fields.size() >= 4 && !fields[3].empty()) {
+    try {
+      spec.arrivals = parse_arrival_process(fields[3])->name();
+    } catch (const std::exception& e) {
+      bad_scenario(text, e.what());
+    }
+  }
+
+  if (spec.protocol == ProtocolKind::kUser &&
+      spec.family != sim::GraphFamily::kComplete) {
+    bad_scenario(text,
+                 "the user protocol runs on the complete graph; use "
+                 "graphuser for other topologies");
+  }
+  if (spec.is_churn() && (spec.protocol != ProtocolKind::kUser ||
+                          spec.family != sim::GraphFamily::kComplete)) {
+    bad_scenario(text,
+                 "churn arrivals (poisson/burst) currently require "
+                 "user:complete");
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::canonical() const {
+  std::string out = protocol_name(protocol);
+  if (protocol == ProtocolKind::kMixed) {
+    out.append("(").append(detail::fmt_param(mixed_beta)).append(")");
+  }
+  out.append(":").append(sim::family_name(family));
+  out.append(":").append(weights);
+  out.append(":").append(arrivals);
+  return out;
+}
+
+bool ScenarioSpec::is_churn() const {
+  return arrivals != "batch";
+}
+
+// ---- Scenario -------------------------------------------------------------
+
+Scenario::Scenario(ScenarioSpec spec, ScenarioParams params)
+    : spec_(std::move(spec)), params_(params) {
+  // Re-validate through the canonical string so programmatically-built
+  // specs hit the same checks as parsed ones.
+  spec_ = ScenarioSpec::parse(spec_.canonical());
+  model_ = parse_weight_model(spec_.weights);
+  process_ = parse_arrival_process(spec_.arrivals);
+  if (params_.n < 2) throw std::invalid_argument("scenario: n >= 2");
+  if (params_.load_factor < 1) {
+    throw std::invalid_argument("scenario: load_factor >= 1");
+  }
+  if (params_.threshold == core::ThresholdKind::kAboveAverage &&
+      params_.eps <= 0.0) {
+    throw std::invalid_argument("scenario: eps > 0 for the above-average threshold");
+  }
+}
+
+Scenario::~Scenario() = default;
+Scenario::Scenario(Scenario&&) noexcept = default;
+Scenario& Scenario::operator=(Scenario&&) noexcept = default;
+
+ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
+                             std::size_t threads) const {
+  ScenarioResult result;
+  result.spec = spec_;
+  result.params = params_;
+  result.trials = trials;
+  result.seed = seed;
+
+  if (spec_.is_churn()) {
+    // Dynamic mode: grouped dynamic engine, weight model reduced to a class
+    // table with a dedicated randomness stream (identical for every trial).
+    util::Rng class_rng(util::derive_seed(seed, kClassesStream));
+    const std::vector<WeightClass> classes =
+        to_weight_classes(*model_, core::GroupedUserEngine::kMaxClasses,
+                          class_rng);
+    core::DynamicConfig cfg;
+    cfg.n = params_.n;
+    cfg.arrival_rate = process_->mean_rate();
+    cfg.completion_rate = process_->completion_rate();
+    cfg.eps = params_.eps;
+    cfg.alpha = params_.alpha;
+    cfg.classes.clear();
+    for (const WeightClass& c : classes) {
+      cfg.classes.push_back({c.weight, c.probability});
+    }
+    const ArrivalProcess* process = process_.get();
+    cfg.arrival_fn = [process](long round, util::Rng& rng) {
+      return process->arrivals(round, rng);
+    };
+    result.n = params_.n;
+    result.m = 0;
+
+    const long warmup = params_.warmup;
+    const long measure = params_.measure;
+    result.stats = sim::run_trials(
+        trials, seed,
+        [&cfg, warmup, measure](util::Rng& rng) {
+          core::DynamicUserEngine engine(cfg);
+          const core::DynamicMetrics metrics =
+              engine.run(warmup, measure, rng);
+          core::RunResult r;
+          r.rounds = measure;
+          r.balanced = metrics.overloaded_fraction.mean() <= 0.05;
+          r.migrations = static_cast<std::uint64_t>(std::llround(
+              metrics.migrations_per_round.mean() *
+              static_cast<double>(metrics.migrations_per_round.count())));
+          r.final_max_load = metrics.max_over_avg.mean();
+          r.threshold = engine.current_threshold();
+          return r;
+        },
+        threads);
+    return result;
+  }
+
+  // Batch mode: build the topology once from its own randomness stream,
+  // then run trials that each draw a task set from the weight model.
+  sim::GraphSpec gspec;
+  gspec.family = spec_.family;
+  gspec.n = params_.n;
+  gspec.degree = params_.degree;
+  util::Rng graph_rng(util::derive_seed(seed, kGraphStream));
+  const graph::Graph g = gspec.build(graph_rng);
+  const randomwalk::WalkKind walk = gspec.recommended_walk();
+  const graph::Node n = g.num_nodes();
+  const std::size_t m = params_.load_factor * static_cast<std::size_t>(n);
+  result.n = n;
+  result.m = m;
+
+  const tasks::WeightModel& model = *model_;
+  const ScenarioParams& p = params_;
+  const ProtocolKind protocol = spec_.protocol;
+  const double beta = spec_.mixed_beta;
+
+  result.stats = sim::run_trials(
+      trials, seed,
+      [&model, &p, &g, protocol, beta, walk, n, m](util::Rng& rng) {
+        const tasks::TaskSet ts = model.make(m, rng);
+        const double T =
+            core::threshold_value(p.threshold, ts, n, p.eps);
+        const tasks::Placement start = tasks::all_on_one(ts);
+        switch (protocol) {
+          case ProtocolKind::kUser: {
+            core::UserProtocolConfig cfg;
+            cfg.threshold = T;
+            cfg.alpha = p.alpha;
+            cfg.options.max_rounds = p.max_rounds;
+            return run_user_trial(ts, n, cfg, start, rng);
+          }
+          case ProtocolKind::kResource: {
+            core::ResourceProtocolConfig cfg;
+            cfg.threshold = T;
+            cfg.walk = walk;
+            cfg.options.max_rounds = p.max_rounds;
+            core::ResourceControlledEngine engine(g, ts, cfg);
+            return engine.run(start, rng);
+          }
+          case ProtocolKind::kGraphUser: {
+            core::GraphUserConfig cfg;
+            cfg.threshold = T;
+            cfg.alpha = p.alpha;
+            cfg.walk = walk;
+            cfg.options.max_rounds = p.max_rounds;
+            core::GraphUserEngine engine(g, ts, cfg);
+            return engine.run(start, rng);
+          }
+          case ProtocolKind::kMixed: {
+            core::MixedProtocolConfig cfg;
+            cfg.threshold = T;
+            cfg.resource_probability = beta;
+            cfg.alpha = p.alpha;
+            cfg.walk = walk;
+            cfg.options.max_rounds = p.max_rounds;
+            core::MixedProtocolEngine engine(g, ts, cfg);
+            return engine.run(start, rng);
+          }
+        }
+        throw std::logic_error("scenario: unreachable protocol");
+      },
+      threads);
+  return result;
+}
+
+std::string ScenarioResult::json() const {
+  sim::Json j;
+  j.add("scenario", spec.canonical())
+      .add("protocol", protocol_name(spec.protocol))
+      .add("graph", sim::family_name(spec.family))
+      .add("weights", spec.weights)
+      .add("arrivals", spec.arrivals)
+      .add("mode", spec.is_churn() ? "churn" : "batch")
+      .add("n", static_cast<std::uint64_t>(n))
+      .add("m", m)
+      .add("load_factor", params.load_factor)
+      .add("threshold_kind", core::to_string(params.threshold))
+      .add("eps", params.eps)
+      .add("alpha", params.alpha);
+  if (spec.protocol == ProtocolKind::kMixed) {
+    j.add("beta", spec.mixed_beta);
+  }
+  if (spec.is_churn()) {
+    j.add("warmup", static_cast<std::int64_t>(params.warmup))
+        .add("measure", static_cast<std::int64_t>(params.measure));
+  } else {
+    j.add("max_rounds", static_cast<std::int64_t>(params.max_rounds));
+  }
+  j.add("trials", trials)
+      .add("seed", seed)
+      .add_raw("results", sim::trial_stats_json(stats));
+  return j.str();
+}
+
+bool grouped_engine_applicable(const tasks::TaskSet& ts) {
+  const std::set<double> distinct(ts.weights().begin(), ts.weights().end());
+  return distinct.size() <= core::GroupedUserEngine::kMaxClasses;
+}
+
+core::RunResult run_user_trial(const tasks::TaskSet& ts, graph::Node n,
+                               const core::UserProtocolConfig& cfg,
+                               const tasks::Placement& start,
+                               util::Rng& rng) {
+  if (grouped_engine_applicable(ts)) {
+    core::GroupedUserEngine engine(ts, n, cfg);
+    return engine.run(start, rng);
+  }
+  core::UserControlledEngine engine(ts, n, cfg);
+  return engine.run(start, rng);
+}
+
+// ---- registry -------------------------------------------------------------
+
+const std::vector<NamedScenario>& scenario_registry() {
+  static const std::vector<NamedScenario> registry = {
+      {"fig1", "user:complete:twopoint(10,50):batch",
+       "the paper's Figure 1 profile: 10 heavies of weight 50 "
+       "(user-controlled, complete graph)"},
+      {"fig2", "user:complete:twopoint(1,128):batch",
+       "Figure 2's single heavy task among units"},
+      {"heavy-tail-hypercube", "resource:hypercube:pareto(2.5,64):batch",
+       "bounded-Pareto weights (Talwar-Wieder regime) drained by the "
+       "resource protocol on the hypercube"},
+      {"zipf-expander", "graphuser:regular:zipf(1.1,64):batch",
+       "Zipf-weighted tasks, selfish users on a random regular expander"},
+      {"storage-torus", "resource:torus:pareto(2.2,64):batch",
+       "P2P-storage-shaped object sizes on rack-local torus wiring"},
+      {"octave-mixed", "mixed(0.5):torus:octaves(6):batch",
+       "power-of-two weight classes under the 50/50 resource/user blend"},
+      {"uniform-er", "resource:erdos_renyi:uniform(8):batch",
+       "uniform real weights on a connected Erdos-Renyi graph"},
+      {"churn-poisson", "user:complete:mix(1:0.9,8:0.1):poisson(20,0.02)",
+       "steady Poisson churn with a 90/10 light/heavy mixture"},
+      {"churn-burst", "user:complete:bimodal(8,0.1):burst(50,400,0.02)",
+       "adversarial arrival spikes: 400 tasks land together every 50 "
+       "rounds"},
+  };
+  return registry;
+}
+
+ScenarioSpec resolve_scenario(const std::string& arg) {
+  for (const NamedScenario& named : scenario_registry()) {
+    if (named.name == arg) return ScenarioSpec::parse(named.spec);
+  }
+  return ScenarioSpec::parse(arg);
+}
+
+}  // namespace tlb::workload

@@ -1,0 +1,449 @@
+#include "tlb/workload/weight_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "spec_parse.hpp"
+
+namespace tlb::workload {
+
+namespace {
+
+constexpr const char* kKind = "weight model";
+
+using detail::fmt_param;
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  detail::bad_call(kKind, spec, why);
+}
+
+}  // namespace
+
+// ---- unit -----------------------------------------------------------------
+
+double UnitWeights::sample(util::Rng&) const { return 1.0; }
+std::string UnitWeights::name() const { return "unit"; }
+
+// ---- uniform --------------------------------------------------------------
+
+UniformWeights::UniformWeights(double hi) : hi_(hi) {
+  if (!(hi >= 1.0)) {
+    throw std::invalid_argument("uniform: hi must be >= 1");
+  }
+}
+
+double UniformWeights::sample(util::Rng& rng) const {
+  return 1.0 + rng.uniform01() * (hi_ - 1.0);
+}
+
+std::string UniformWeights::name() const {
+  return "uniform(" + fmt_param(hi_) + ")";
+}
+
+// ---- bimodal --------------------------------------------------------------
+
+BimodalWeights::BimodalWeights(double w_max, double heavy_fraction)
+    : w_max_(w_max), frac_(heavy_fraction) {
+  if (!(w_max >= 1.0)) throw std::invalid_argument("bimodal: wmax >= 1");
+  if (!(heavy_fraction >= 0.0 && heavy_fraction <= 1.0)) {
+    throw std::invalid_argument("bimodal: frac in [0, 1]");
+  }
+}
+
+double BimodalWeights::sample(util::Rng& rng) const {
+  return rng.bernoulli(frac_) ? w_max_ : 1.0;
+}
+
+tasks::TaskSet BimodalWeights::make(std::size_t m, util::Rng&) const {
+  if (m == 0) throw std::invalid_argument("bimodal: need m >= 1");
+  const auto heavies = static_cast<std::size_t>(
+      std::llround(frac_ * static_cast<double>(m)));
+  std::vector<double> w;
+  w.reserve(m);
+  w.insert(w.end(), std::min(heavies, m), w_max_);
+  w.insert(w.end(), m - std::min(heavies, m), 1.0);
+  return tasks::TaskSet(std::move(w));
+}
+
+std::string BimodalWeights::name() const {
+  return "bimodal(" + fmt_param(w_max_) + "," + fmt_param(frac_) + ")";
+}
+
+// ---- twopoint -------------------------------------------------------------
+
+TwoPointWeights::TwoPointWeights(std::size_t heavy_count, double w_max)
+    : k_(heavy_count), w_max_(w_max) {
+  if (!(w_max >= 1.0)) throw std::invalid_argument("twopoint: wmax >= 1");
+}
+
+double TwoPointWeights::sample(util::Rng&) const {
+  // twopoint is a composition model: the k heavies are a fixed feature of
+  // make()'s task set, not a per-task probability (which would depend on m).
+  // Stream sampling therefore draws from the unit bulk.
+  return 1.0;
+}
+
+tasks::TaskSet TwoPointWeights::make(std::size_t m, util::Rng&) const {
+  if (m <= k_) {
+    throw std::invalid_argument(
+        "twopoint: need m > k (room for at least one unit task)");
+  }
+  std::vector<double> w;
+  w.reserve(m);
+  w.insert(w.end(), k_, w_max_);
+  w.insert(w.end(), m - k_, 1.0);
+  return tasks::TaskSet(std::move(w));
+}
+
+std::string TwoPointWeights::name() const {
+  return "twopoint(" + std::to_string(k_) + "," + fmt_param(w_max_) + ")";
+}
+
+// ---- zipf -----------------------------------------------------------------
+
+ZipfWeights::ZipfWeights(double s, std::uint64_t w_max)
+    : s_(s), w_max_(w_max) {
+  if (!(s >= 0.0)) throw std::invalid_argument("zipf: s >= 0");
+  if (w_max < 1 || w_max > (1ULL << 26)) {
+    throw std::invalid_argument("zipf: wmax in [1, 2^26]");
+  }
+  cdf_.resize(w_max_);
+  double acc = 0.0;
+  for (std::uint64_t w = 1; w <= w_max_; ++w) {
+    acc += std::pow(static_cast<double>(w), -s_);
+    cdf_[w - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+double ZipfWeights::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<double>((it - cdf_.begin()) + 1);
+}
+
+double ZipfWeights::mean() const {
+  double num = 0.0, den = 0.0;
+  for (std::uint64_t w = 1; w <= w_max_; ++w) {
+    const double p = std::pow(static_cast<double>(w), -s_);
+    num += static_cast<double>(w) * p;
+    den += p;
+  }
+  return num / den;
+}
+
+std::string ZipfWeights::name() const {
+  return "zipf(" + fmt_param(s_) + "," + std::to_string(w_max_) + ")";
+}
+
+// ---- pareto ---------------------------------------------------------------
+
+ParetoWeights::ParetoWeights(double alpha, double hi)
+    : alpha_(alpha), hi_(hi) {
+  if (!(alpha > 0.0)) throw std::invalid_argument("pareto: alpha > 0");
+  if (!(hi >= 1.0)) throw std::invalid_argument("pareto: hi >= 1");
+}
+
+double ParetoWeights::sample(util::Rng& rng) const {
+  return rng.bounded_pareto(alpha_, 1.0, hi_);
+}
+
+double ParetoWeights::mean() const {
+  // E[X] for the bounded Pareto on [L, H], L = 1.
+  const double H = hi_, a = alpha_;
+  if (H == 1.0) return 1.0;
+  if (std::abs(a - 1.0) < 1e-12) {
+    return std::log(H) / (1.0 - 1.0 / H);
+  }
+  return (a / (a - 1.0)) * (1.0 - std::pow(H, 1.0 - a)) /
+         (1.0 - std::pow(H, -a));
+}
+
+std::string ParetoWeights::name() const {
+  return "pareto(" + fmt_param(alpha_) + "," + fmt_param(hi_) + ")";
+}
+
+// ---- octaves --------------------------------------------------------------
+
+OctaveWeights::OctaveWeights(int max_exponent) : max_exponent_(max_exponent) {
+  if (max_exponent < 0 || max_exponent > 50) {
+    throw std::invalid_argument("octaves: exponent in [0, 50]");
+  }
+}
+
+double OctaveWeights::sample(util::Rng& rng) const {
+  int g = 0;
+  while (g < max_exponent_ && rng.bernoulli(0.5)) ++g;
+  return std::ldexp(1.0, g);  // 2^g
+}
+
+std::string OctaveWeights::name() const {
+  return "octaves(" + std::to_string(max_exponent_) + ")";
+}
+
+// ---- mix ------------------------------------------------------------------
+
+MixtureWeights::MixtureWeights(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("mix: need >= 1 component");
+  }
+  std::sort(components_.begin(), components_.end(),
+            [](const Component& a, const Component& b) {
+              return a.weight < b.weight;
+            });
+  double total = 0.0;
+  for (const Component& c : components_) {
+    if (!(c.weight >= 1.0)) throw std::invalid_argument("mix: weights >= 1");
+    if (!(c.probability > 0.0)) {
+      throw std::invalid_argument("mix: probabilities > 0");
+    }
+    total += c.probability;
+  }
+  double acc = 0.0;
+  for (Component& c : components_) {
+    c.probability /= total;
+    acc += c.probability;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+double MixtureWeights::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return components_[static_cast<std::size_t>(it - cdf_.begin())].weight;
+}
+
+std::string MixtureWeights::name() const {
+  std::string out = "mix(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) out += ",";
+    out += fmt_param(components_[i].weight) + ":" +
+           fmt_param(components_[i].probability);
+  }
+  return out + ")";
+}
+
+// ---- trace ----------------------------------------------------------------
+
+TraceWeights::TraceWeights(const std::string& path) : label_(path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("trace: cannot open '" + path + "'");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (char& c : line) {
+      if (c == ',' || c == ';' || c == '\t') c = ' ';
+    }
+    std::istringstream fields(line);
+    double v = 0.0;
+    while (fields >> v) {
+      if (!(v >= 1.0)) {
+        throw std::invalid_argument("trace: weights must be >= 1, got " +
+                                    std::to_string(v) + " in '" + path + "'");
+      }
+      weights_.push_back(v);
+    }
+  }
+  if (weights_.empty()) {
+    throw std::invalid_argument("trace: '" + path + "' holds no weights");
+  }
+}
+
+TraceWeights::TraceWeights(std::vector<double> weights, std::string label)
+    : weights_(std::move(weights)), label_(std::move(label)) {
+  if (weights_.empty()) throw std::invalid_argument("trace: empty weights");
+  for (double v : weights_) {
+    if (!(v >= 1.0)) throw std::invalid_argument("trace: weights must be >= 1");
+  }
+}
+
+double TraceWeights::sample(util::Rng& rng) const {
+  return weights_[rng.uniform_below(weights_.size())];
+}
+
+tasks::TaskSet TraceWeights::make(std::size_t m, util::Rng&) const {
+  if (m == 0) throw std::invalid_argument("trace: need m >= 1");
+  std::vector<double> w(m);
+  for (std::size_t i = 0; i < m; ++i) w[i] = weights_[i % weights_.size()];
+  return tasks::TaskSet(std::move(w));
+}
+
+std::string TraceWeights::name() const { return "trace(" + label_ + ")"; }
+
+// ---- parser ---------------------------------------------------------------
+
+namespace {
+
+double arg_double(const std::string& spec, const std::string& arg) {
+  return detail::arg_double(kKind, spec, arg);
+}
+
+std::uint64_t arg_uint(const std::string& spec, const std::string& arg) {
+  return detail::arg_uint(kKind, spec, arg);
+}
+
+void need_args(const std::string& spec, const detail::ParsedCall& call,
+               std::size_t lo, std::size_t hi) {
+  detail::need_args(kKind, spec, call, lo, hi);
+}
+
+}  // namespace
+
+std::unique_ptr<tasks::WeightModel> parse_weight_model(
+    const std::string& spec) {
+  const detail::ParsedCall call = detail::parse_call(kKind, spec);
+  if (call.name == "unit") {
+    need_args(spec, call, 0, 0);
+    return std::make_unique<UnitWeights>();
+  }
+  if (call.name == "uniform") {
+    need_args(spec, call, 1, 1);
+    return std::make_unique<UniformWeights>(arg_double(spec, call.args[0]));
+  }
+  if (call.name == "bimodal") {
+    need_args(spec, call, 2, 2);
+    return std::make_unique<BimodalWeights>(arg_double(spec, call.args[0]),
+                                            arg_double(spec, call.args[1]));
+  }
+  if (call.name == "twopoint") {
+    need_args(spec, call, 2, 2);
+    return std::make_unique<TwoPointWeights>(arg_uint(spec, call.args[0]),
+                                             arg_double(spec, call.args[1]));
+  }
+  if (call.name == "zipf") {
+    need_args(spec, call, 2, 2);
+    return std::make_unique<ZipfWeights>(arg_double(spec, call.args[0]),
+                                         arg_uint(spec, call.args[1]));
+  }
+  if (call.name == "pareto") {
+    need_args(spec, call, 1, 2);
+    const double hi =
+        call.args.size() == 2 ? arg_double(spec, call.args[1]) : 1e6;
+    return std::make_unique<ParetoWeights>(arg_double(spec, call.args[0]), hi);
+  }
+  if (call.name == "octaves") {
+    need_args(spec, call, 1, 1);
+    return std::make_unique<OctaveWeights>(
+        static_cast<int>(arg_uint(spec, call.args[0])));
+  }
+  if (call.name == "mix") {
+    need_args(spec, call, 1, 64);
+    std::vector<MixtureWeights::Component> comps;
+    for (const std::string& arg : call.args) {
+      const auto colon = arg.find(':');
+      if (colon == std::string::npos) {
+        bad_spec(spec, "mix components are weight:probability, got '" + arg +
+                           "'");
+      }
+      comps.push_back({arg_double(spec, arg.substr(0, colon)),
+                       arg_double(spec, arg.substr(colon + 1))});
+    }
+    return std::make_unique<MixtureWeights>(std::move(comps));
+  }
+  if (call.name == "trace") {
+    need_args(spec, call, 1, 1);
+    return std::make_unique<TraceWeights>(call.args[0]);
+  }
+  bad_spec(spec, "unknown model (want " + weight_model_grammar() + ")");
+}
+
+std::string weight_model_grammar() {
+  return "unit | uniform(hi) | bimodal(wmax,frac) | twopoint(k,wmax) | "
+         "zipf(s,wmax) | pareto(alpha[,hi]) | octaves(maxexp) | "
+         "mix(w:p,...) | trace(path)";
+}
+
+// ---- class-table reduction ------------------------------------------------
+
+std::vector<WeightClass> to_weight_classes(const tasks::WeightModel& model,
+                                           std::size_t max_classes,
+                                           util::Rng& rng,
+                                           std::size_t samples) {
+  if (max_classes == 0) {
+    throw std::invalid_argument("to_weight_classes: max_classes >= 1");
+  }
+  // twopoint's heavy count is a property of a concrete m-task composition,
+  // not of the per-task distribution a class table describes — sample()
+  // would silently drop the heavies. Refuse rather than degrade.
+  if (dynamic_cast<const TwoPointWeights*>(&model)) {
+    throw std::invalid_argument(
+        "to_weight_classes: twopoint(k,wmax) has no per-task distribution "
+        "(its k heavies are a fixed feature of one batch); use "
+        "bimodal(wmax,frac) or mix(...) for class-based/churn workloads");
+  }
+  // Exact conversions for models with small discrete support.
+  if (dynamic_cast<const UnitWeights*>(&model)) return {{1.0, 1.0}};
+  if (const auto* bi = dynamic_cast<const BimodalWeights*>(&model)) {
+    if (bi->heavy_fraction() <= 0.0) return {{1.0, 1.0}};
+    if (bi->heavy_fraction() >= 1.0) return {{bi->w_max(), 1.0}};
+    return {{1.0, 1.0 - bi->heavy_fraction()},
+            {bi->w_max(), bi->heavy_fraction()}};
+  }
+  if (const auto* mx = dynamic_cast<const MixtureWeights*>(&model)) {
+    if (mx->components().size() <= max_classes) {
+      std::vector<WeightClass> out;
+      for (const auto& c : mx->components()) {
+        out.push_back({c.weight, c.probability});
+      }
+      return out;
+    }
+  }
+  if (const auto* oct = dynamic_cast<const OctaveWeights*>(&model)) {
+    const int top = oct->max_exponent();
+    if (static_cast<std::size_t>(top) + 1 <= max_classes) {
+      // P(2^g) = 2^-(g+1) for g < top; the truncation mass lands on 2^top.
+      std::vector<WeightClass> out;
+      for (int g = 0; g <= top; ++g) {
+        const double p =
+            g < top ? std::ldexp(1.0, -(g + 1)) : std::ldexp(1.0, -top);
+        out.push_back({std::ldexp(1.0, g), p});
+      }
+      return out;
+    }
+  }
+  if (const auto* zipf = dynamic_cast<const ZipfWeights*>(&model)) {
+    if (zipf->w_max() <= max_classes) {
+      std::vector<WeightClass> out;
+      double prev = 0.0;
+      for (std::uint64_t w = 1; w <= zipf->w_max(); ++w) {
+        const double c = zipf->cdf_at(w);
+        out.push_back({static_cast<double>(w), c - prev});
+        prev = c;
+      }
+      return out;
+    }
+  }
+  // Generic path: empirical equal-mass bucketing of sampled draws.
+  std::vector<double> draws(samples);
+  for (double& d : draws) d = model.sample(rng);
+  std::sort(draws.begin(), draws.end());
+  std::vector<WeightClass> out;
+  const std::size_t buckets = std::min(max_classes, samples);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * samples / buckets;
+    const std::size_t hi = (b + 1) * samples / buckets;
+    if (hi == lo) continue;
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += draws[i];
+    const double mean = sum / static_cast<double>(hi - lo);
+    const double prob =
+        static_cast<double>(hi - lo) / static_cast<double>(samples);
+    // Merge buckets that collapse to the same representative (discrete
+    // models with few support points).
+    if (!out.empty() && std::abs(out.back().weight - mean) < 1e-12) {
+      out.back().probability += prob;
+    } else {
+      out.push_back({std::max(1.0, mean), prob});
+    }
+  }
+  return out;
+}
+
+}  // namespace tlb::workload

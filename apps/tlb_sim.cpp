@@ -10,15 +10,18 @@
 //   tlb_sim --scenario=resource:hypercube:pareto(2.5,64) --trials=50 --json
 //   tlb_sim --scenario=churn-poisson --n=200 --trials=20
 //   tlb_sim --list
+//   tlb_sim --bench --bench_set=smoke --timings=false
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "tlb/sim/report.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/table.hpp"
 #include "tlb/util/timer.hpp"
 #include "tlb/workload/arrival.hpp"
+#include "tlb/workload/perf_suite.hpp"
 #include "tlb/workload/scenario.hpp"
 #include "tlb/workload/weight_models.hpp"
 
@@ -62,11 +65,30 @@ int main(int argc, char** argv) {
   cli.add_flag("measure", "4000", "churn-mode recorded rounds");
   cli.add_flag("degree", "8", "degree for the regular family");
   cli.add_flag("json", "false", "emit one JSON object instead of the table");
+  cli.add_flag("bench", "false", "run the perf suite instead of a scenario");
+  cli.add_flag("bench_set", "smoke", "perf suite presets: smoke | full");
+  cli.add_flag("timings", "true",
+               "perf suite: include wall-clock fields (false => "
+               "byte-deterministic JSON)");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_bool("list")) {
     print_registry();
     return 0;
+  }
+  if (cli.get_bool("bench")) {
+    try {
+      std::printf("%s\n",
+                  workload::run_perf_set(
+                      cli.get_string("bench_set"), /*only=*/"",
+                      static_cast<std::uint64_t>(cli.get_int("seed")),
+                      cli.get_bool("timings"))
+                      .c_str());
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tlb_sim: %s\n", e.what());
+      return 1;
+    }
   }
   const std::string scenario_arg = cli.get_string("scenario");
   if (scenario_arg.empty()) {

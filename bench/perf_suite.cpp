@@ -1,0 +1,41 @@
+// perf_suite — the repo's recorded throughput benchmark (see
+// tlb/workload/perf_suite.hpp).
+//
+// Runs the scenario-driven perf presets and emits one JSON report on
+// stdout. Counter fields are deterministic in --seed; pass --timings=false
+// to drop the wall-clock fields entirely, which makes the report
+// byte-identical across runs (CI checks exactly that on the smoke set).
+//
+//   perf_suite --set=smoke --timings=false        # deterministic, seconds
+//   perf_suite --set=full > BENCH_perf_run.json   # baseline, minutes
+//   perf_suite --set=full --only=grouped-unit-1m  # one preset
+#include <cstdio>
+#include <exception>
+
+#include "tlb/util/cli.hpp"
+#include "tlb/workload/perf_suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+
+  util::Cli cli;
+  cli.add_flag("set", "smoke", "preset set: smoke (CI-sized) | full (n up to 1e6)");
+  cli.add_flag("only", "", "run only the preset with this name");
+  cli.add_flag("seed", "42", "master RNG seed");
+  cli.add_flag("timings", "true",
+               "include wall-clock fields (false => byte-deterministic)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  try {
+    std::printf("%s\n",
+                workload::run_perf_set(
+                    cli.get_string("set"), cli.get_string("only"),
+                    static_cast<std::uint64_t>(cli.get_int("seed")),
+                    cli.get_bool("timings"))
+                    .c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_suite: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "tlb/util/binomial.hpp"
 
@@ -47,6 +48,7 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
   counts_.assign(static_cast<std::size_t>(config_.n) * class_weights_.size(), 0);
   loads_.assign(config_.n, 0.0);
   task_counts_.assign(config_.n, 0);
+  over_.reset(config_.n);
   recompute_threshold();
 }
 
@@ -57,6 +59,19 @@ void DynamicUserEngine::recompute_threshold() {
   threshold_ = (1.0 + config_.eps) * total_weight_ /
                    static_cast<double>(config_.n) +
                w_max_;
+  // A global threshold change can flip the status of any resource.
+  over_.mark_all_dirty();
+}
+
+const std::vector<graph::Node>& DynamicUserEngine::overloaded_now() const {
+  over_.flush([this](graph::Node r) { return loads_[r] > threshold_; });
+  return over_.items();
+}
+
+void DynamicUserEngine::check_overloaded_invariant() const {
+  over_.audit(
+      config_.n, [this](graph::Node r) { return loads_[r] > threshold_; },
+      "DynamicUserEngine");
 }
 
 void DynamicUserEngine::do_arrivals(util::Rng& rng) {
@@ -81,6 +96,7 @@ void DynamicUserEngine::do_arrivals(util::Rng& rng) {
     ++counts_[static_cast<std::size_t>(dst) * C + cls];
     loads_[dst] += class_weights_[cls];
     ++task_counts_[dst];
+    over_.mark_dirty(dst);
     total_weight_ += class_weights_[cls];
     ++population_;
     if (metrics_) ++metrics_->arrivals;
@@ -100,6 +116,7 @@ void DynamicUserEngine::do_completions(util::Rng& rng) {
       slot -= done;
       loads_[r] -= static_cast<double>(done) * class_weights_[c];
       task_counts_[r] -= done;
+      over_.mark_dirty(r);
       total_weight_ -= static_cast<double>(done) * class_weights_[c];
       population_ -= done;
       if (metrics_) metrics_->completions += done;
@@ -122,10 +139,12 @@ void DynamicUserEngine::do_crash(util::Rng& rng) {
       ++counts_[static_cast<std::size_t>(dst) * C + c];
       loads_[dst] += class_weights_[c];
       ++task_counts_[dst];
+      over_.mark_dirty(dst);
     }
   }
   loads_[victim] = 0.0;
   task_counts_[victim] = 0;
+  over_.mark_dirty(victim);
   if (metrics_) ++metrics_->crashes;
 }
 
@@ -139,8 +158,8 @@ std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
   };
   static thread_local std::vector<Departure> departures;
   departures.clear();
-  for (graph::Node r = 0; r < config_.n; ++r) {
-    if (loads_[r] <= threshold_ || task_counts_[r] == 0) continue;
+  for (graph::Node r : overloaded_now()) {
+    if (task_counts_[r] == 0) continue;
     const double phi = phi_of(r);
     if (phi <= 0.0) continue;
     const double p =
@@ -158,6 +177,7 @@ std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
     counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
     loads_[d.src] -= static_cast<double>(d.count) * class_weights_[d.cls];
     task_counts_[d.src] -= d.count;
+    over_.mark_dirty(d.src);
   }
   for (const auto& d : departures) {
     for (std::uint32_t i = 0; i < d.count; ++i) {
@@ -165,6 +185,7 @@ std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
       ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
       loads_[dst] += class_weights_[d.cls];
       ++task_counts_[dst];
+      over_.mark_dirty(dst);
       ++migrations;
     }
   }
@@ -197,12 +218,13 @@ void DynamicUserEngine::step(util::Rng& rng) {
   do_crash(rng);
   recompute_threshold();
   last_migrations_ = do_protocol_step(rng);
+  if (config_.paranoid_checks) check_overloaded_invariant();
 
   if (metrics_) {
-    graph::Node over = 0;
+    const auto over =
+        static_cast<graph::Node>(overloaded_now().size());
     double max_load = 0.0;
     for (graph::Node r = 0; r < config_.n; ++r) {
-      over += loads_[r] > threshold_;
       max_load = std::max(max_load, loads_[r]);
     }
     metrics_->overloaded_fraction.add(static_cast<double>(over) /

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "tlb/core/potential.hpp"
 
@@ -31,6 +32,7 @@ GraphUserEngine::GraphUserEngine(const graph::Graph& g,
   if (config_.alpha <= 0.0) {
     throw std::invalid_argument("GraphUserEngine: alpha must be > 0");
   }
+  state_.set_thresholds(thresholds_);
 }
 
 void GraphUserEngine::reset(const tasks::Placement& placement) {
@@ -38,16 +40,15 @@ void GraphUserEngine::reset(const tasks::Placement& placement) {
 }
 
 std::size_t GraphUserEngine::step(util::Rng& rng) {
-  const Node n = state_.num_resources();
   const double w_max = tasks_->max_weight();
 
   // Phase 1: departure decisions against the round-start state, exactly the
-  // Algorithm 6.1 rule per resource.
+  // Algorithm 6.1 rule per resource. The state's incremental overloaded set
+  // makes this O(#overloaded + #movers) instead of an O(n) sweep.
   movers_.clear();
   mover_origin_.clear();
-  for (Node r = 0; r < n; ++r) {
-    ResourceStack& stack = state_.stack(r);
-    if (stack.load() <= thresholds_[r]) continue;
+  for (Node r : state_.overloaded()) {
+    const ResourceStack& stack = std::as_const(state_).stack(r);
     const double phi = stack.phi(*tasks_, thresholds_[r]);
     if (phi <= 0.0) continue;
     const double p = std::min(
@@ -63,7 +64,7 @@ std::size_t GraphUserEngine::step(util::Rng& rng) {
     }
     if (!any) continue;
     const std::size_t before = movers_.size();
-    stack.remove_marked(leave_mask_, *tasks_, movers_);
+    state_.remove_marked(r, leave_mask_, movers_);
     mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
   }
 
@@ -72,12 +73,12 @@ std::size_t GraphUserEngine::step(util::Rng& rng) {
   // stationary distribution the analysis relies on.
   for (std::size_t i = 0; i < movers_.size(); ++i) {
     const Node dst = walk_.step(mover_origin_[i], rng);
-    state_.stack(dst).push(movers_[i], *tasks_);
+    state_.push(dst, movers_[i]);
   }
   return movers_.size();
 }
 
-bool GraphUserEngine::balanced() const { return state_.balanced(thresholds_); }
+bool GraphUserEngine::balanced() const { return state_.balanced(); }
 
 RunResult GraphUserEngine::run(util::Rng& rng) {
   RunResult result;
@@ -89,7 +90,7 @@ RunResult GraphUserEngine::run(util::Rng& rng) {
       result.potential_trace.push_back(user_potential(state_, thresholds_));
     }
     if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+      result.overloaded_trace.push_back(state_.overloaded_count());
     }
     if (opt.paranoid_checks) state_.check_invariants();
     result.migrations += step(rng);
@@ -99,7 +100,7 @@ RunResult GraphUserEngine::run(util::Rng& rng) {
     result.potential_trace.push_back(user_potential(state_, thresholds_));
   }
   if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    result.overloaded_trace.push_back(state_.overloaded_count());
   }
   result.balanced = balanced();
   result.final_max_load = state_.max_load();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "tlb/core/potential.hpp"
 
@@ -35,6 +36,7 @@ MixedProtocolEngine::MixedProtocolEngine(const graph::Graph& g,
   if (config_.alpha <= 0.0) {
     throw std::invalid_argument("MixedProtocolEngine: alpha must be > 0");
   }
+  state_.set_thresholds(thresholds_);
 }
 
 void MixedProtocolEngine::reset(const tasks::Placement& placement) {
@@ -43,26 +45,24 @@ void MixedProtocolEngine::reset(const tasks::Placement& placement) {
 }
 
 std::size_t MixedProtocolEngine::step(util::Rng& rng) {
-  const Node n = state_.num_resources();
   const double w_max = tasks_->max_weight();
 
   // Phase 1: per overloaded resource, choose the mode for this round, then
-  // collect leavers (decisions against the round-start state).
+  // collect leavers (decisions against the round-start state). The state's
+  // incremental overloaded set makes this O(#overloaded + #movers).
   movers_.clear();
   mover_origin_.clear();
   bool any_resource_mode = false;
-  for (Node r = 0; r < n; ++r) {
-    ResourceStack& stack = state_.stack(r);
-    if (stack.load() <= thresholds_[r]) continue;
-
+  for (Node r : state_.overloaded()) {
     if (rng.bernoulli(config_.resource_probability)) {
       // Resource-controlled round: evict the whole above-threshold suffix.
       any_resource_mode = true;
       const std::size_t before = movers_.size();
-      stack.evict_above(*tasks_, thresholds_[r], movers_);
+      state_.evict_above(r, movers_);
       mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
     } else {
       // User-controlled round: Algorithm 6.1's per-task coin.
+      const ResourceStack& stack = std::as_const(state_).stack(r);
       const double phi = stack.phi(*tasks_, thresholds_[r]);
       if (phi <= 0.0) continue;
       const double p = std::min(
@@ -78,7 +78,7 @@ std::size_t MixedProtocolEngine::step(util::Rng& rng) {
       }
       if (!any) continue;
       const std::size_t before = movers_.size();
-      stack.remove_marked(leave_mask_, *tasks_, movers_);
+      state_.remove_marked(r, leave_mask_, movers_);
       mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
     }
   }
@@ -87,14 +87,12 @@ std::size_t MixedProtocolEngine::step(util::Rng& rng) {
   // Phase 2: every leaver takes one P-step from its origin.
   for (std::size_t i = 0; i < movers_.size(); ++i) {
     const Node dst = walk_.step(mover_origin_[i], rng);
-    state_.stack(dst).push(movers_[i], *tasks_);
+    state_.push(dst, movers_[i]);
   }
   return movers_.size();
 }
 
-bool MixedProtocolEngine::balanced() const {
-  return state_.balanced(thresholds_);
-}
+bool MixedProtocolEngine::balanced() const { return state_.balanced(); }
 
 RunResult MixedProtocolEngine::run(util::Rng& rng) {
   RunResult result;
@@ -106,7 +104,7 @@ RunResult MixedProtocolEngine::run(util::Rng& rng) {
       result.potential_trace.push_back(user_potential(state_, thresholds_));
     }
     if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+      result.overloaded_trace.push_back(state_.overloaded_count());
     }
     if (opt.paranoid_checks) state_.check_invariants();
     result.migrations += step(rng);
@@ -116,7 +114,7 @@ RunResult MixedProtocolEngine::run(util::Rng& rng) {
     result.potential_trace.push_back(user_potential(state_, thresholds_));
   }
   if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    result.overloaded_trace.push_back(state_.overloaded_count());
   }
   result.balanced = balanced();
   result.final_max_load = state_.max_load();

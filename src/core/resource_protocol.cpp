@@ -35,46 +35,33 @@ ResourceControlledEngine::ResourceControlledEngine(const graph::Graph& g,
     thresholds_ = config_.thresholds;
   }
   max_threshold_ = *std::max_element(thresholds_.begin(), thresholds_.end());
-  is_active_.assign(g.num_nodes(), 0);
+  state_.set_thresholds(thresholds_);
 }
 
 void ResourceControlledEngine::reset(const tasks::Placement& placement) {
   state_.place(placement, thresholds_);
-  active_resources_.clear();
-  std::fill(is_active_.begin(), is_active_.end(), 0);
-  for (Node r = 0; r < state_.num_resources(); ++r) {
-    if (state_.stack(r).pending_count() > 0) {
-      active_resources_.push_back(r);
-      is_active_[r] = 1;
-    }
-  }
 }
 
 std::size_t ResourceControlledEngine::step(util::Rng& rng) {
-  // Phase 1: evict every unaccepted suffix. By the stack invariant each
-  // active resource is overloaded (x_r > T_r), which is Algorithm 5.1's
-  // guard (per-resource threshold in the non-uniform extension).
+  // Phase 1: evict every unaccepted suffix. By the stack invariant the
+  // overloaded resources are exactly those holding unaccepted tasks, which
+  // is Algorithm 5.1's guard (per-resource threshold in the non-uniform
+  // extension). The state's incremental set makes this O(#overloaded);
+  // mutations below only mark dirty, so iterating the list is safe.
   movers_.clear();
   mover_origin_.clear();
-  for (Node r : active_resources_) {
+  for (Node r : state_.overloaded()) {
     const std::size_t before = movers_.size();
-    state_.stack(r).evict_unaccepted(*tasks_, movers_);
+    state_.evict_unaccepted(r, movers_);
     mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
-    is_active_[r] = 0;
   }
-  active_resources_.clear();
 
   // Phase 2+3: one P-step per evicted task, then append at the destination
   // (acceptance test happens on push). Arrival order = eviction order, which
   // the model leaves arbitrary.
   for (std::size_t i = 0; i < movers_.size(); ++i) {
     const Node dst = walk_.step(mover_origin_[i], rng);
-    const bool accepted =
-        state_.stack(dst).push_accepting(movers_[i], *tasks_, thresholds_[dst]);
-    if (!accepted && !is_active_[dst]) {
-      is_active_[dst] = 1;
-      active_resources_.push_back(dst);
-    }
+    state_.push_accepting(dst, movers_[i]);
   }
   return movers_.size();
 }
@@ -88,7 +75,7 @@ RunResult ResourceControlledEngine::run(util::Rng& rng) {
       result.potential_trace.push_back(resource_potential(state_));
     }
     if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+      result.overloaded_trace.push_back(state_.overloaded_count());
     }
     if (opt.paranoid_checks) state_.check_invariants();
     result.migrations += step(rng);
@@ -98,7 +85,7 @@ RunResult ResourceControlledEngine::run(util::Rng& rng) {
     result.potential_trace.push_back(resource_potential(state_));
   }
   if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    result.overloaded_trace.push_back(state_.overloaded_count());
   }
   result.balanced = balanced();
   result.final_max_load = state_.max_load();

@@ -30,11 +30,17 @@ void ResourceStack::push(TaskId id, const tasks::TaskSet& ts) {
 
 void ResourceStack::evict_unaccepted(const tasks::TaskSet& ts,
                                      std::vector<TaskId>& out) {
+  (void)ts;
   for (std::size_t i = accepted_count_; i < stack_.size(); ++i) {
     out.push_back(stack_[i]);
-    load_ -= ts.weight(stack_[i]);
   }
   stack_.resize(accepted_count_);
+  // The survivors are exactly the accepted prefix, whose bookkeeping is
+  // exact (accepted_load_ <= T by the acceptance test). Snap to it instead
+  // of subtracting evictee weights one by one: accumulated rounding could
+  // otherwise leave load_ a few ulps above the threshold with nothing left
+  // to evict, and a load-keyed overloaded set would then never drain.
+  load_ = accepted_load_;
 }
 
 void ResourceStack::evict_above(const tasks::TaskSet& ts, double threshold,
@@ -65,19 +71,28 @@ void ResourceStack::remove_marked(const std::vector<std::uint8_t>& leave,
     throw std::invalid_argument("remove_marked: mask size mismatch");
   }
   std::size_t keep = 0;
+  std::size_t accepted_kept = 0;
+  double accepted_load_kept = 0.0;
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     if (leave[i]) {
       out.push_back(stack_[i]);
       load_ -= ts.weight(stack_[i]);
     } else {
+      if (i < accepted_count_) {
+        ++accepted_kept;
+        accepted_load_kept += ts.weight(stack_[i]);
+      }
       stack_[keep++] = stack_[i];
     }
   }
   stack_.resize(keep);
-  // Acceptance bookkeeping is only meaningful for the resource-controlled
-  // engine, which never calls remove_marked; reset defensively.
-  accepted_count_ = 0;
-  accepted_load_ = 0.0;
+  // Recompute the acceptance bookkeeping instead of zeroing it: accepted
+  // tasks form a prefix and survivors keep their relative order, so the
+  // surviving accepted tasks are still a prefix of the new stack. A mixed-
+  // protocol round interleaving user-style departures with resource-style
+  // acceptance therefore never reads stale accepted_count_/accepted_load_.
+  accepted_count_ = accepted_kept;
+  accepted_load_ = accepted_load_kept;
 }
 
 double ResourceStack::height_at(std::size_t pos,

@@ -9,6 +9,30 @@ namespace tlb::core {
 SystemState::SystemState(const tasks::TaskSet& tasks, Node n)
     : tasks_(&tasks), stacks_(n) {
   if (n == 0) throw std::invalid_argument("SystemState: need n >= 1");
+  overloaded_.reset(n);
+}
+
+void SystemState::set_thresholds(double threshold) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument("SystemState::set_thresholds: threshold > 0");
+  }
+  track_thresholds_.assign(stacks_.size(), threshold);
+  overloaded_.mark_all_dirty();
+}
+
+void SystemState::set_thresholds(std::vector<double> thresholds) {
+  if (thresholds.size() != stacks_.size()) {
+    throw std::invalid_argument(
+        "SystemState::set_thresholds: size must equal resource count");
+  }
+  for (double t : thresholds) {
+    if (t <= 0.0) {
+      throw std::invalid_argument(
+          "SystemState::set_thresholds: all thresholds must be > 0");
+    }
+  }
+  track_thresholds_ = std::move(thresholds);
+  overloaded_.mark_all_dirty();
 }
 
 void SystemState::place(const tasks::Placement& placement, double threshold) {
@@ -27,6 +51,7 @@ void SystemState::place(const tasks::Placement& placement, double threshold) {
       stacks_[r].push(i, *tasks_);
     }
   }
+  overloaded_.mark_all_dirty();
 }
 
 void SystemState::place(const tasks::Placement& placement,
@@ -49,7 +74,61 @@ void SystemState::place(const tasks::Placement& placement,
       stacks_[r].push(i, *tasks_);
     }
   }
+  overloaded_.mark_all_dirty();
 }
+
+void SystemState::push(Node r, TaskId id) {
+  stacks_[r].push(id, *tasks_);
+  overloaded_.mark_dirty(r);
+}
+
+bool SystemState::push_accepting(Node r, TaskId id) {
+  if (track_thresholds_.empty()) {
+    throw std::logic_error(
+        "SystemState::push_accepting: set_thresholds() was never called");
+  }
+  const bool accepted =
+      stacks_[r].push_accepting(id, *tasks_, track_thresholds_[r]);
+  overloaded_.mark_dirty(r);
+  return accepted;
+}
+
+void SystemState::evict_unaccepted(Node r, std::vector<TaskId>& out) {
+  stacks_[r].evict_unaccepted(*tasks_, out);
+  overloaded_.mark_dirty(r);
+}
+
+void SystemState::evict_above(Node r, std::vector<TaskId>& out) {
+  if (track_thresholds_.empty()) {
+    throw std::logic_error(
+        "SystemState::evict_above: set_thresholds() was never called");
+  }
+  stacks_[r].evict_above(*tasks_, track_thresholds_[r], out);
+  overloaded_.mark_dirty(r);
+}
+
+void SystemState::remove_marked(Node r, const std::vector<std::uint8_t>& leave,
+                                std::vector<TaskId>& out) {
+  stacks_[r].remove_marked(leave, *tasks_, out);
+  overloaded_.mark_dirty(r);
+}
+
+const std::vector<Node>& SystemState::overloaded() const {
+  if (track_thresholds_.empty()) {
+    throw std::logic_error(
+        "SystemState::overloaded: set_thresholds() was never called");
+  }
+  overloaded_.flush([this](Node r) {
+    return stacks_[r].load() > track_thresholds_[r];
+  });
+  return overloaded_.items();
+}
+
+Node SystemState::overloaded_count() const {
+  return static_cast<Node>(overloaded().size());
+}
+
+bool SystemState::balanced() const { return overloaded().empty(); }
 
 std::vector<double> SystemState::loads() const {
   std::vector<double> out(stacks_.size());
@@ -124,6 +203,12 @@ void SystemState::check_invariants() const {
       throw std::logic_error("SystemState: task " + std::to_string(id) +
                              " lost");
     }
+  }
+  if (!track_thresholds_.empty()) {
+    overloaded_.audit(
+        num_resources(),
+        [this](Node r) { return stacks_[r].load() > track_thresholds_[r]; },
+        "SystemState");
   }
 }
 

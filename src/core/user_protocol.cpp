@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "tlb/core/potential.hpp"
 #include "tlb/util/binomial.hpp"
@@ -69,6 +71,7 @@ UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
     throw std::invalid_argument("UserControlledEngine: alpha must be > 0");
   }
   if (n < 2) throw std::invalid_argument("UserControlledEngine: need n >= 2");
+  state_.set_thresholds(thresholds_);
 }
 
 void UserControlledEngine::reset(const tasks::Placement& placement) {
@@ -80,11 +83,14 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
   const double w_max = tasks_->max_weight();
 
   // Phase 1: departure decisions, all based on the state at round start.
+  // Only overloaded resources can lose tasks, and the state tracks them
+  // incrementally — O(#overloaded), not O(n). Mutations below only mark
+  // resources dirty; the list itself stays stable until the next query, so
+  // iterating it while removing/pushing is safe.
   movers_.clear();
   mover_origin_.clear();
-  for (Node r = 0; r < n; ++r) {
-    ResourceStack& stack = state_.stack(r);
-    if (stack.load() <= thresholds_[r]) continue;
+  for (Node r : state_.overloaded()) {
+    const ResourceStack& stack = std::as_const(state_).stack(r);
     const double phi = stack.phi(*tasks_, thresholds_[r]);
     const double p =
         leave_probability(config_.alpha, phi, w_max, stack.count());
@@ -99,7 +105,7 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
     }
     if (!any) continue;
     const std::size_t before = movers_.size();
-    stack.remove_marked(leave_mask_, *tasks_, movers_);
+    state_.remove_marked(r, leave_mask_, movers_);
     mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
   }
 
@@ -107,14 +113,12 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
   for (std::size_t i = 0; i < movers_.size(); ++i) {
     const Node dst =
         sample_destination(n, mover_origin_[i], config_.exclude_self, rng);
-    state_.stack(dst).push(movers_[i], *tasks_);
+    state_.push(dst, movers_[i]);
   }
   return movers_.size();
 }
 
-bool UserControlledEngine::balanced() const {
-  return state_.balanced(thresholds_);
-}
+bool UserControlledEngine::balanced() const { return state_.balanced(); }
 
 RunResult UserControlledEngine::run(util::Rng& rng) {
   RunResult result;
@@ -125,7 +129,7 @@ RunResult UserControlledEngine::run(util::Rng& rng) {
       result.potential_trace.push_back(user_potential(state_, thresholds_));
     }
     if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+      result.overloaded_trace.push_back(state_.overloaded_count());
     }
     if (opt.paranoid_checks) state_.check_invariants();
     result.migrations += step(rng);
@@ -135,7 +139,7 @@ RunResult UserControlledEngine::run(util::Rng& rng) {
     result.potential_trace.push_back(user_potential(state_, thresholds_));
   }
   if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count(thresholds_));
+    result.overloaded_trace.push_back(state_.overloaded_count());
   }
   result.balanced = balanced();
   result.final_max_load = state_.max_load();
@@ -195,6 +199,19 @@ void GroupedUserEngine::reset(const tasks::Placement& placement) {
     loads_[r] += tasks_->weight(i);
     ++task_counts_[r];
   }
+  over_.reset(n_);
+  over_.mark_all_dirty();
+}
+
+const std::vector<Node>& GroupedUserEngine::overloaded() const {
+  over_.flush([this](Node r) { return loads_[r] > thresholds_[r]; });
+  return over_.items();
+}
+
+void GroupedUserEngine::check_overloaded_invariant() const {
+  over_.audit(
+      n_, [this](Node r) { return loads_[r] > thresholds_[r]; },
+      "GroupedUserEngine");
 }
 
 double GroupedUserEngine::fitted_prefix_weight(Node r) const {
@@ -225,7 +242,7 @@ double GroupedUserEngine::phi_of(Node r) const {
 
 double GroupedUserEngine::potential() const {
   double phi = 0.0;
-  for (Node r = 0; r < n_; ++r) phi += phi_of(r);
+  for (Node r : overloaded()) phi += phi_of(r);
   return phi;
 }
 
@@ -234,7 +251,8 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
   const double w_max = tasks_->max_weight();
 
   // Phase 1: per overloaded resource, binomial leaver counts per class,
-  // decided against the round-start state.
+  // decided against the round-start state. The incremental set makes this
+  // O(#overloaded) instead of an O(n) sweep.
   struct Departure {
     Node src;
     std::uint32_t cls;
@@ -242,8 +260,7 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
   };
   static thread_local std::vector<Departure> departures;
   departures.clear();
-  for (Node r = 0; r < n_; ++r) {
-    if (loads_[r] <= thresholds_[r]) continue;
+  for (Node r : overloaded()) {
     const double phi = phi_of(r);
     const double p =
         leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
@@ -266,6 +283,7 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
     const double w = class_weights_[d.cls];
     loads_[d.src] -= static_cast<double>(d.count) * w;
     task_counts_[d.src] -= d.count;
+    over_.mark_dirty(d.src);
   }
   for (const auto& d : departures) {
     const double w = class_weights_[d.cls];
@@ -275,18 +293,14 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
       ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
       loads_[dst] += w;
       ++task_counts_[dst];
+      over_.mark_dirty(dst);
       ++migrations;
     }
   }
   return migrations;
 }
 
-bool GroupedUserEngine::balanced() const {
-  for (Node r = 0; r < n_; ++r) {
-    if (loads_[r] > thresholds_[r]) return false;
-  }
-  return true;
-}
+bool GroupedUserEngine::balanced() const { return overloaded().empty(); }
 
 RunResult GroupedUserEngine::run(util::Rng& rng) {
   RunResult result;
@@ -296,19 +310,19 @@ RunResult GroupedUserEngine::run(util::Rng& rng) {
   while (!balanced() && result.rounds < opt.max_rounds) {
     if (opt.record_potential) result.potential_trace.push_back(potential());
     if (opt.record_overloaded) {
-      std::uint32_t over = 0;
-      for (Node r = 0; r < n_; ++r) over += loads_[r] > thresholds_[r];
-      result.overloaded_trace.push_back(over);
+      result.overloaded_trace.push_back(
+          static_cast<std::uint32_t>(overloaded().size()));
     }
+    if (opt.paranoid_checks) check_overloaded_invariant();
     result.migrations += step(rng);
     ++result.rounds;
   }
   if (opt.record_potential) result.potential_trace.push_back(potential());
   if (opt.record_overloaded) {
-    std::uint32_t over = 0;
-    for (Node r = 0; r < n_; ++r) over += loads_[r] > thresholds_[r];
-    result.overloaded_trace.push_back(over);
+    result.overloaded_trace.push_back(
+        static_cast<std::uint32_t>(overloaded().size()));
   }
+  if (opt.paranoid_checks) check_overloaded_invariant();
   result.balanced = balanced();
   result.final_max_load = *std::max_element(loads_.begin(), loads_.end());
   return result;

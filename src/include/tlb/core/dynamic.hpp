@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/graph/graph.hpp"
 #include "tlb/util/rng.hpp"
@@ -55,6 +56,9 @@ struct DynamicConfig {
   double eps = 0.2;                   ///< above-average threshold slack
   double alpha = 1.0;                 ///< migration dampening
   std::vector<DynamicWeightClass> classes = {{1.0, 1.0}};
+  /// Verify the incremental overloaded set against a brute-force rescan
+  /// after every round (throws std::logic_error on divergence).
+  bool paranoid_checks = false;
 };
 
 /// Aggregated steady-state metrics.
@@ -98,6 +102,13 @@ class DynamicUserEngine {
   std::size_t do_protocol_step(util::Rng& rng);
   void recompute_threshold();
   double phi_of(graph::Node r) const;
+  /// The incrementally tracked overloaded set (reconciled on access). The
+  /// per-round threshold recomputation marks everything dirty — a global
+  /// threshold change can flip any resource — so the dynamic engine's round
+  /// stays O(n); the win here is skipping the O(C) φ work per balanced
+  /// resource and sharing one audited tracker with the batch engines.
+  const std::vector<graph::Node>& overloaded_now() const;
+  void check_overloaded_invariant() const;
 
   DynamicConfig config_;
   std::vector<double> class_weights_;   // ascending
@@ -113,6 +124,7 @@ class DynamicUserEngine {
   long round_ = 0;                      // rounds stepped since construction
   std::size_t last_migrations_ = 0;
   DynamicMetrics* metrics_ = nullptr;   // non-null during measured rounds
+  mutable OverloadedSet over_;          // incremental overloaded set
 };
 
 }  // namespace tlb::core

@@ -1,0 +1,135 @@
+#pragma once
+// Incremental overloaded-set bookkeeping.
+//
+// The paper's protocols (Algorithms 5.1 and 6.1) only ever act on
+// *overloaded* resources, yet a naive engine rescans all n resources every
+// round — so the long near-balanced tail costs as much per round as the
+// first round. OverloadedSet makes the round loop O(#touched + #overloaded):
+// mutations mark a resource dirty in O(1), and flush() reconciles only the
+// dirty entries plus the current overloaded list against a caller-supplied
+// predicate. This is the sparse active-set pattern standard in the
+// power-of-d-choices literature (and already used ad hoc by the
+// resource-controlled engine's old `is_active_` flags); it now lives in one
+// reusable tracker shared by SystemState and the grouped/dynamic engines.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+
+namespace tlb::core {
+
+/// Tracks { r : over(r) } incrementally. Callers mark a resource dirty
+/// whenever anything that could change its overloaded status mutates (its
+/// load, or its threshold), then flush() with the authoritative predicate
+/// before reading. Between flushes the tracked list is stable, so it is safe
+/// to iterate while marking new dirt (e.g. scattering movers mid-round).
+class OverloadedSet {
+ public:
+  /// Reset to n resources, nothing overloaded, nothing dirty.
+  void reset(graph::Node n) {
+    in_list_.assign(n, 0);
+    in_dirty_.assign(n, 0);
+    list_.clear();
+    dirty_.clear();
+  }
+
+  /// O(1) amortised: remember that r's status must be re-checked.
+  void mark_dirty(graph::Node r) {
+    if (!in_dirty_[r]) {
+      in_dirty_[r] = 1;
+      dirty_.push_back(r);
+    }
+  }
+
+  /// Invalidate every resource (O(n)) — used after bulk placement and after
+  /// a global threshold change, where any status may have flipped.
+  void mark_all_dirty() {
+    dirty_.resize(in_dirty_.size());
+    for (graph::Node r = 0; r < static_cast<graph::Node>(dirty_.size()); ++r) {
+      dirty_[r] = r;
+    }
+    std::fill(in_dirty_.begin(), in_dirty_.end(), 1);
+  }
+
+  /// Reconcile the tracked list with `over` (r -> bool). Cost is
+  /// O(|dirty| + |list| + a log a) with a = #newly overloaded entries, O(1)
+  /// when nothing was marked. The list is kept sorted ascending so
+  /// iteration order (and hence RNG consumption order in the engines) is
+  /// independent of mutation history.
+  template <class OverFn>
+  void flush(OverFn&& over) {
+    if (dirty_.empty()) return;
+    // Drop stale entries first; the surviving prefix stays sorted.
+    std::size_t keep = 0;
+    for (graph::Node r : list_) {
+      if (over(r)) {
+        list_[keep++] = r;
+      } else {
+        in_list_[r] = 0;
+      }
+    }
+    list_.resize(keep);
+    // Append newly overloaded dirty resources, then merge them in.
+    for (graph::Node r : dirty_) {
+      in_dirty_[r] = 0;
+      if (!in_list_[r] && over(r)) {
+        in_list_[r] = 1;
+        list_.push_back(r);
+      }
+    }
+    dirty_.clear();
+    if (list_.size() > keep) {
+      std::sort(list_.begin() + static_cast<std::ptrdiff_t>(keep),
+                list_.end());
+      std::inplace_merge(list_.begin(),
+                         list_.begin() + static_cast<std::ptrdiff_t>(keep),
+                         list_.end());
+    }
+  }
+
+  /// Paranoid-mode audit: reconcile, then compare the tracked list against
+  /// a brute-force rescan of all n resources. Throws std::logic_error
+  /// naming `who` on any divergence. O(n); shared by every engine's
+  /// paranoid-check path so the verifier logic exists exactly once.
+  template <class OverFn>
+  void audit(graph::Node n, OverFn&& over, const char* who) {
+    flush(over);
+    std::size_t cursor = 0;
+    for (graph::Node r = 0; r < n; ++r) {
+      if (!over(r)) continue;
+      if (cursor >= list_.size() || list_[cursor] != r) {
+        throw std::logic_error(
+            std::string(who) +
+            ": incremental overloaded set is missing resource " +
+            std::to_string(r));
+      }
+      ++cursor;
+    }
+    if (cursor != list_.size()) {
+      throw std::logic_error(
+          std::string(who) + ": incremental overloaded set has " +
+          std::to_string(list_.size()) + " entries, brute force found " +
+          std::to_string(cursor));
+    }
+  }
+
+  /// The overloaded resources as of the last flush(), ascending.
+  const std::vector<graph::Node>& items() const noexcept { return list_; }
+  /// True iff nothing is marked dirty (the list is authoritative).
+  bool clean() const noexcept { return dirty_.empty(); }
+  /// Number of resources tracked by reset().
+  std::size_t capacity() const noexcept { return in_list_.size(); }
+
+ private:
+  std::vector<graph::Node> list_;        // current overloaded set (sorted)
+  std::vector<graph::Node> dirty_;       // resources awaiting re-check
+  std::vector<std::uint8_t> in_list_;    // membership flag per resource
+  std::vector<std::uint8_t> in_dirty_;   // dedup flag per resource
+};
+
+}  // namespace tlb::core

@@ -47,7 +47,8 @@ class ResourceControlledEngine {
   std::size_t step(util::Rng& rng);
 
   /// True iff no resource is overloaded (equivalently: no active task).
-  bool balanced() const noexcept { return active_resources_.empty(); }
+  /// O(#touched since the last query) via the state's incremental set.
+  bool balanced() const { return state_.balanced(); }
 
   /// Run until balanced or options.max_rounds, collecting metrics.
   RunResult run(util::Rng& rng);
@@ -69,13 +70,9 @@ class ResourceControlledEngine {
   std::vector<double> thresholds_;  // resolved per-resource thresholds
   double max_threshold_ = 0.0;
   randomwalk::TransitionModel walk_;
-  SystemState state_;
-  /// Resources that currently hold at least one unaccepted task. Model
-  /// invariant: these are exactly the overloaded resources.
-  std::vector<Node> active_resources_;
-  std::vector<std::uint8_t> is_active_;  // dedup flag per resource
-  std::vector<TaskId> movers_;           // scratch: evicted tasks this round
-  std::vector<Node> mover_origin_;       // scratch: their source resources
+  SystemState state_;  // owns the incremental overloaded-set tracking
+  std::vector<TaskId> movers_;   // scratch: evicted tasks this round
+  std::vector<Node> mover_origin_;  // scratch: their source resources
 };
 
 }  // namespace tlb::core

@@ -73,8 +73,9 @@ class ResourceStack {
   /// Remove the tasks at the flagged positions (leave[i] corresponds to
   /// stack position i), preserving the relative order of the survivors and
   /// appending removed ids to `out`. Used by the user-controlled protocol,
-  /// where any task may leave. Invalidates acceptance bookkeeping (the
-  /// user protocol never uses it).
+  /// where any task may leave. Acceptance bookkeeping is recomputed (the
+  /// surviving accepted tasks remain a prefix), so mixed-protocol callers
+  /// can still trust accepted_count()/accepted_load() afterwards.
   void remove_marked(const std::vector<std::uint8_t>& leave,
                      const tasks::TaskSet& ts, std::vector<TaskId>& out);
 

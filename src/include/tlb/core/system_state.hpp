@@ -2,9 +2,19 @@
 // Full system state: one ResourceStack per resource plus aggregate queries.
 // Both protocol engines own a SystemState; tests use it directly to check
 // the paper's invariants (weight conservation, Observation 4, Lemma 1, ...).
+//
+// Overloaded-set contract: once an engine registers its thresholds via
+// set_thresholds(), the state keeps the set { r : load(r) > T_r } current
+// incrementally — every mutating entry point (place, the push/evict/remove
+// forwarders below, and mutable stack() access) marks the touched resource
+// dirty, and the O(active) queries overloaded()/overloaded_count()/
+// balanced() reconcile only the dirty entries. Per-round cost is therefore
+// O(#overloaded + #movers) instead of O(n), which is what makes
+// post-convergence tail rounds at n = 10^6 cheap.
 
 #include <vector>
 
+#include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/resource_stack.hpp"
 #include "tlb/graph/graph.hpp"
 #include "tlb/tasks/placement.hpp"
@@ -21,6 +31,16 @@ class SystemState {
   /// outlive the state). No tasks placed yet.
   SystemState(const tasks::TaskSet& tasks, Node n);
 
+  /// Register the thresholds the overloaded set is tracked against (uniform
+  /// scalar or one per resource). Engines call this once at construction;
+  /// it is independent of the acceptance threshold passed to place().
+  void set_thresholds(double threshold);
+  void set_thresholds(std::vector<double> thresholds);
+  /// True iff thresholds were registered (the O(active) queries require it).
+  bool has_thresholds() const noexcept { return !track_thresholds_.empty(); }
+  /// The tracked threshold of resource r.
+  double threshold_of(Node r) const { return track_thresholds_[r]; }
+
   /// Place all tasks per `placement` (task id order), with acceptance
   /// bookkeeping against `threshold` (pass a negative threshold to skip
   /// acceptance, for the user-controlled protocol).
@@ -31,12 +51,42 @@ class SystemState {
   /// The task set this state allocates.
   const tasks::TaskSet& task_set() const noexcept { return *tasks_; }
 
-  /// Mutable / const access to one resource's stack.
-  ResourceStack& stack(Node r) { return stacks_[r]; }
+  /// Mutable access to one resource's stack. Conservatively marks r dirty —
+  /// prefer the forwarders below on hot paths (same cost, clearer intent).
+  ResourceStack& stack(Node r) {
+    overloaded_.mark_dirty(r);
+    return stacks_[r];
+  }
   const ResourceStack& stack(Node r) const { return stacks_[r]; }
 
   /// Load of resource r.
   double load(Node r) const noexcept { return stacks_[r].load(); }
+
+  // --- Mutating forwarders (keep the overloaded set current, O(1) each) ---
+
+  /// Plain push onto resource r (user-controlled protocols).
+  void push(Node r, TaskId id);
+  /// Push with acceptance bookkeeping against threshold_of(r). Returns true
+  /// iff accepted. Requires set_thresholds().
+  bool push_accepting(Node r, TaskId id);
+  /// Evict r's unaccepted suffix (Algorithm 5.1), appending to `out`.
+  void evict_unaccepted(Node r, std::vector<TaskId>& out);
+  /// Height-based eviction of everything crossing/above threshold_of(r)
+  /// (mixed protocol). Requires set_thresholds().
+  void evict_above(Node r, std::vector<TaskId>& out);
+  /// Remove the flagged stack positions of r, appending to `out`.
+  void remove_marked(Node r, const std::vector<std::uint8_t>& leave,
+                     std::vector<TaskId>& out);
+
+  // --- O(active) queries against the registered thresholds ---
+
+  /// The overloaded resources { r : load(r) > threshold_of(r) }, ascending.
+  /// Cost: O(#dirty + #overloaded) to reconcile, O(1) when nothing changed.
+  const std::vector<Node>& overloaded() const;
+  /// overloaded().size() as a Node.
+  Node overloaded_count() const;
+  /// True iff no resource is overloaded. O(#dirty + #overloaded).
+  bool balanced() const;
 
   /// Place with *per-resource* thresholds (non-uniform threshold extension;
   /// the paper's conclusion lists this as future work). thresholds[r] is
@@ -49,7 +99,8 @@ class SystemState {
 
   /// Maximum load over all resources.
   double max_load() const;
-  /// Number of resources with load > threshold.
+  /// Number of resources with load > threshold. O(n) full scan — ground
+  /// truth for arbitrary thresholds; engines use the O(active) overload.
   Node overloaded_count(double threshold) const;
   /// Number of resources with load > thresholds[r] (non-uniform).
   Node overloaded_count(const std::vector<double>& thresholds) const;
@@ -62,13 +113,17 @@ class SystemState {
   double total_load() const;
 
   /// Verify structural sanity: every task appears exactly once across all
-  /// stacks and cached loads match recomputed sums. Throws std::logic_error
-  /// with a description on violation. O(m + n); used by tests and debug runs.
+  /// stacks, cached loads match recomputed sums, and (when thresholds are
+  /// registered) the incremental overloaded set equals a brute-force rescan.
+  /// Throws std::logic_error with a description on violation. O(m + n);
+  /// used by tests and paranoid-check runs.
   void check_invariants() const;
 
  private:
   const tasks::TaskSet* tasks_;
   std::vector<ResourceStack> stacks_;
+  std::vector<double> track_thresholds_;  // empty until set_thresholds()
+  mutable OverloadedSet overloaded_;      // lazily reconciled in queries
 };
 
 }  // namespace tlb::core

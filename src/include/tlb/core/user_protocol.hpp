@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "tlb/core/metrics.hpp"
+#include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/system_state.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/util/rng.hpp"
@@ -114,6 +115,7 @@ class GroupedUserEngine {
   /// The threshold of resource r.
   double threshold(Node r) const noexcept { return thresholds_[r]; }
   /// The user potential Σ φ_r under the canonical ascending-weight stacking.
+  /// O(#overloaded): φ_r = 0 on every non-overloaded resource.
   double potential() const;
 
  private:
@@ -121,6 +123,11 @@ class GroupedUserEngine {
   /// Count of tasks on r that fit completely below the threshold when
   /// classes are stacked in ascending weight order; returns fitted weight.
   double fitted_prefix_weight(Node r) const;
+  /// The incrementally tracked overloaded set (reconciled on access).
+  const std::vector<Node>& overloaded() const;
+  /// Throw std::logic_error if the incremental set disagrees with a brute
+  /// force rescan (paranoid-check mode).
+  void check_overloaded_invariant() const;
 
   const tasks::TaskSet* tasks_;
   UserProtocolConfig config_;
@@ -131,6 +138,7 @@ class GroupedUserEngine {
   std::vector<std::uint32_t> counts_;         // n_ x C, row-major
   std::vector<double> loads_;                 // per resource
   std::vector<std::uint32_t> task_counts_;    // per resource (b_r)
+  mutable OverloadedSet over_;                // incremental overloaded set
 };
 
 }  // namespace tlb::core

@@ -23,7 +23,10 @@ namespace tlb::util {
 std::uint64_t binomial(Rng& rng, std::uint64_t n, double p);
 
 namespace detail {
-/// Inversion sampler; efficient when n*p <= ~15. Exposed for tests.
+/// Inversion sampler; efficient when n*p <= ~15. Exposed for tests. Exact
+/// for all p in [0, 1]: degenerate endpoints short-circuit (p >= 1 -> n,
+/// p <= 0 -> 0), p > 0.5 routes through the symmetric tail, and a q^n
+/// underflow (n*p >~ 745) falls back to BTRS instead of returning n.
 std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p);
 /// Transformed-rejection sampler; requires n*p >= 10. Exposed for tests.
 std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p);

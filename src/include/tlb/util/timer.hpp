@@ -1,7 +1,11 @@
 #pragma once
-// Wall-clock stopwatch for coarse experiment timing.
+// Wall-clock stopwatch for coarse experiment timing, plus a named-phase
+// accumulator (Timer) the perf suite uses for per-phase breakdowns.
 
 #include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace tlb::util {
 
@@ -25,6 +29,54 @@ class Stopwatch {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Accumulating phase timer: start("x") closes the running phase (if any)
+/// and opens "x"; stop() closes the running phase. Re-entering a phase name
+/// accumulates into it. Phases keep first-start order for reporting.
+class Timer {
+ public:
+  /// Close the current phase and begin (or resume) `phase`.
+  void start(const std::string& phase) {
+    stop();
+    current_ = phase;
+    watch_.reset();
+  }
+
+  /// Close the current phase (no-op when none is running).
+  void stop() {
+    if (current_.empty()) return;
+    add(current_, watch_.elapsed_ms());
+    current_.clear();
+  }
+
+  /// Accumulated milliseconds of `phase` (0 if never started).
+  double ms(const std::string& phase) const {
+    for (const auto& [name, total] : phases_) {
+      if (name == phase) return total;
+    }
+    return 0.0;
+  }
+
+  /// All phases in first-start order.
+  const std::vector<std::pair<std::string, double>>& phases() const noexcept {
+    return phases_;
+  }
+
+ private:
+  void add(const std::string& phase, double ms) {
+    for (auto& [name, total] : phases_) {
+      if (name == phase) {
+        total += ms;
+        return;
+      }
+    }
+    phases_.emplace_back(phase, ms);
+  }
+
+  Stopwatch watch_;
+  std::string current_;
+  std::vector<std::pair<std::string, double>> phases_;
 };
 
 }  // namespace tlb::util

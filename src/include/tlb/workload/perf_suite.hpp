@@ -1,0 +1,89 @@
+#pragma once
+// Scenario-driven throughput benchmark — the repo's recorded perf
+// trajectory.
+//
+// Each preset composes a workload scenario (protocol × topology × weights ×
+// arrivals) at production scale (full set: n up to 10^6, m up to 10^7) and
+// drives the engine round by round, measuring rounds/sec, migrations/sec,
+// per-phase wall-clock (util::Timer) and — the number the O(active) round
+// core is judged by — the ratio between the cost of round 1 (everything
+// overloaded, everything moving) and the near-balanced tail rounds. With
+// O(n)-per-round engines that ratio is ~1; with incremental overloaded-set
+// tracking it is orders of magnitude.
+//
+// Output is a sim::Json report. All counter fields (rounds, migrations,
+// final state) are deterministic in the seed; wall-clock fields can be
+// omitted (include_timings = false), leaving a byte-identical report across
+// runs — the property CI's determinism smoke test checks. The committed
+// BENCH_perf.json at the repo root is the growing trajectory: one entry per
+// recorded baseline, timings included.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+
+namespace tlb::workload {
+
+/// One benchmark configuration. `scenario` is any spec string
+/// ScenarioSpec::parse accepts; batch specs run to balance (capped at
+/// max_rounds), churn specs run warmup + measure rounds.
+struct PerfPreset {
+  std::string name;          ///< stable identifier in the JSON report
+  std::string scenario;      ///< workload spec string
+  graph::Node n = 0;         ///< resources (family may round up)
+  std::size_t load_factor = 8;  ///< batch: m = load_factor * n
+  long max_rounds = 100000;  ///< batch safety cap
+  long warmup = 200;         ///< churn: unrecorded rounds
+  long measure = 400;        ///< churn: recorded rounds
+};
+
+/// Everything one preset run produced.
+struct PerfResult {
+  PerfPreset preset;
+  graph::Node n = 0;         ///< actual resource count
+  std::size_t m = 0;         ///< tasks (batch) or final population (churn)
+  long rounds = 0;           ///< timed rounds executed
+  std::uint64_t migrations = 0;
+  bool balanced = false;
+  std::uint32_t final_overloaded = 0;
+
+  // Wall-clock (excluded from deterministic reports).
+  double setup_ms = 0.0;       ///< graph + tasks + engine construction
+  double run_ms = 0.0;         ///< total time in the round loop
+  double round1_ms = 0.0;      ///< cost of the first timed round
+  double tail_avg_ms = 0.0;    ///< mean cost of the last (<=16) rounds
+  double tail_speedup = 0.0;   ///< round1_ms / tail_avg_ms
+  double rounds_per_sec = 0.0;
+  double migrations_per_sec = 0.0;
+  /// Per-phase breakdown from util::Timer (first-start order).
+  std::vector<std::pair<std::string, double>> phases;
+};
+
+/// Production-scale presets (n up to 10^6, m up to 10^7; unit/zipf/bimodal/
+/// uniform weights × batch/poisson arrivals; grouped, exact and resource
+/// engines). Minutes of wall-clock; used to record BENCH_perf.json.
+const std::vector<PerfPreset>& perf_presets();
+
+/// CI-sized presets (same shapes, n <= 4096). Seconds of wall-clock.
+const std::vector<PerfPreset>& perf_smoke_presets();
+
+/// Run one preset. All randomness derives from `seed`; counters are
+/// deterministic in (preset, seed).
+PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed);
+
+/// Resolve a set name ("smoke" | "full"), run every preset in it (or just
+/// the one named by a non-empty `only`), with progress on stderr, and
+/// return the suite JSON. The single driver behind both bench/perf_suite
+/// and `tlb_sim --bench`, so the CI cross-check of their outputs cannot
+/// drift. Throws std::invalid_argument on an unknown set or no match.
+std::string run_perf_set(const std::string& set, const std::string& only,
+                         std::uint64_t seed, bool include_timings);
+
+/// Serialise a suite run. include_timings = false omits every wall-clock
+/// field, making the bytes a pure function of (presets, seed).
+std::string perf_suite_json(const std::vector<PerfResult>& results,
+                            std::uint64_t seed, bool include_timings);
+
+}  // namespace tlb::workload

@@ -25,9 +25,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "tlb/core/dynamic.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/core/user_protocol.hpp"
 #include "tlb/graph/graph.hpp"
@@ -81,6 +83,9 @@ struct ScenarioParams {
   long warmup = 2000;             ///< churn mode unrecorded rounds
   long measure = 4000;            ///< churn mode recorded rounds
   graph::Node degree = 8;         ///< regular family degree
+  /// Audit every round: structural invariants plus incremental-overloaded-
+  /// set == brute-force-rescan. Slow; for tests and debug runs.
+  bool paranoid = false;
 };
 
 /// Everything a run produced, ready for table or JSON emission.
@@ -134,9 +139,31 @@ struct NamedScenario {
 /// GroupedUserEngine::kMaxClasses distinct weights).
 bool grouped_engine_applicable(const tasks::TaskSet& ts);
 
+/// Try to construct the grouped engine for (ts, n, cfg): nullopt when the
+/// task set is not applicable or the constructor rejects it. The single
+/// engine-selection policy — run_user_trial and the perf suite both use it,
+/// so benchmarks always exercise the engine real scenario runs pick.
+std::optional<core::GroupedUserEngine> try_grouped_user_engine(
+    const tasks::TaskSet& ts, graph::Node n,
+    const core::UserProtocolConfig& cfg);
+
+/// Assemble the DynamicUserEngine config for a churn run: the weight model
+/// reduced to a class table (randomness from `class_rng`) and the arrival
+/// hook bound to `process`, which must outlive the engine. The single
+/// config-assembly path shared by Scenario::run and the perf suite, so
+/// benchmarks measure exactly the engine real churn scenarios build.
+core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
+                                        const ArrivalProcess& process,
+                                        graph::Node n, double eps,
+                                        double alpha, bool paranoid,
+                                        util::Rng& class_rng);
+
 /// Run one user-protocol trial from `start`, choosing the grouped engine
 /// when the task set allows (it is hundreds of times faster) and the exact
-/// per-task-coin engine otherwise. Shared by Scenario::run and the benches.
+/// per-task-coin engine otherwise — including when the grouped constructor
+/// itself rejects the task set, so a weight model that overflows
+/// kMaxClasses degrades to the exact engine instead of aborting the run.
+/// Shared by Scenario::run and the benches.
 core::RunResult run_user_trial(const tasks::TaskSet& ts, graph::Node n,
                                const core::UserProtocolConfig& cfg,
                                const tasks::Placement& start, util::Rng& rng);

@@ -7,11 +7,23 @@ namespace tlb::util {
 namespace detail {
 
 std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
-  // Walk the CDF from k = 0. Expected work O(1 + n*p).
+  // Degenerate endpoints first. p = 1.0 is reachable in production: the
+  // user protocol's leave probability clamps to exactly 1.0 on extreme
+  // piles, and without this guard log(1-p) = -inf makes f = 0 and
+  // r = p/q = inf, so the CDF walk below returns garbage (1) instead of n.
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Keep q away from 0 so log(q) and p/q stay finite.
+  if (p > 0.5) return n - binomial_inversion(rng, n, 1.0 - p);
   const double q = 1.0 - p;
   // qn = q^n computed in log space to survive large n.
   const double log_q = std::log(q);
   double f = std::exp(static_cast<double>(n) * log_q);
+  if (f <= 0.0) {
+    // q^n underflowed (n*log q < ~-745, i.e. n*p >~ 745): the CDF walk would
+    // consume all mass and report n. That regime is squarely BTRS territory.
+    return binomial_btrs(rng, n, p);
+  }
   double u = rng.uniform01();
   std::uint64_t k = 0;
   // Recurrence: P(k+1) = P(k) * (n-k)/(k+1) * p/q.

@@ -1,0 +1,344 @@
+#include "tlb/workload/perf_suite.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "tlb/core/dynamic.hpp"
+#include "tlb/core/graph_user_protocol.hpp"
+#include "tlb/core/mixed_protocol.hpp"
+#include "tlb/core/resource_protocol.hpp"
+#include "tlb/core/threshold.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/sim/config.hpp"
+#include "tlb/sim/report.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/util/timer.hpp"
+#include "tlb/workload/arrival.hpp"
+#include "tlb/workload/scenario.hpp"
+#include "tlb/workload/weight_models.hpp"
+
+namespace tlb::workload {
+
+namespace {
+
+/// Dedicated randomness streams so the perf suite's graph, class table and
+/// round loop never alias (mirrors the Scenario streams).
+constexpr std::uint64_t kPerfGraphStream = 0x70657266'67ULL;    // "perf g"
+constexpr std::uint64_t kPerfClassesStream = 0x70657266'63ULL;  // "perf c"
+constexpr std::uint64_t kPerfRunStream = 0x70657266'72ULL;      // "perf r"
+
+/// Threshold slack shared by every preset (tlb_sim's default).
+constexpr double kEps = 0.25;
+
+/// Round loop shared by every batch engine: time each round, stop at
+/// balance or the cap. Returns per-round wall-clock in ms.
+template <class Engine>
+std::vector<double> drive_batch(Engine& engine, long max_rounds,
+                                util::Rng& rng, PerfResult& out) {
+  std::vector<double> round_ms;
+  util::Stopwatch watch;
+  while (!engine.balanced() && out.rounds < max_rounds) {
+    watch.reset();
+    out.migrations += engine.step(rng);
+    round_ms.push_back(watch.elapsed_ms());
+    ++out.rounds;
+  }
+  out.balanced = engine.balanced();
+  return round_ms;
+}
+
+/// Derive round1/tail/throughput numbers from the per-round times.
+void finish_timing(const std::vector<double>& round_ms, PerfResult& out) {
+  if (round_ms.empty()) return;
+  out.round1_ms = round_ms.front();
+  // Tail window never includes round 1 (it is the thing the tail is
+  // compared against); a one-round run reports speedup 1 by definition.
+  const std::size_t tail =
+      std::min<std::size_t>(16, round_ms.size() - 1);
+  if (tail == 0) {
+    out.tail_avg_ms = out.round1_ms;
+    out.tail_speedup = 1.0;
+  } else {
+    double tail_sum = 0.0;
+    for (std::size_t i = round_ms.size() - tail; i < round_ms.size(); ++i) {
+      tail_sum += round_ms[i];
+    }
+    out.tail_avg_ms = tail_sum / static_cast<double>(tail);
+    out.tail_speedup =
+        out.tail_avg_ms > 0.0 ? out.round1_ms / out.tail_avg_ms : 0.0;
+  }
+  double total = 0.0;
+  for (double t : round_ms) total += t;
+  if (total > 0.0) {
+    out.rounds_per_sec = static_cast<double>(out.rounds) * 1e3 / total;
+    out.migrations_per_sec =
+        static_cast<double>(out.migrations) * 1e3 / total;
+  }
+}
+
+void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
+                      std::uint64_t seed, util::Timer& timer,
+                      PerfResult& out) {
+  timer.start("setup");
+  sim::GraphSpec gspec;
+  gspec.family = spec.family;
+  gspec.n = preset.n;
+  // The user protocol's complete-graph semantics are built into the engine;
+  // materialising K_n at n = 10^6 would need ~4TB of edges. Only the
+  // graph-walking protocols get a real topology.
+  graph::Graph g;
+  graph::Node n = preset.n;
+  randomwalk::WalkKind walk = gspec.recommended_walk();
+  if (spec.protocol != ProtocolKind::kUser) {
+    util::Rng graph_rng(util::derive_seed(seed, kPerfGraphStream));
+    g = gspec.build(graph_rng);
+    n = g.num_nodes();
+  }
+  const std::size_t m = preset.load_factor * static_cast<std::size_t>(n);
+  util::Rng rng(util::derive_seed(seed, kPerfRunStream));
+  const tasks::TaskSet ts = parse_weight_model(spec.weights)->make(m, rng);
+  const double T = core::threshold_value(core::ThresholdKind::kAboveAverage,
+                                         ts, n, kEps);
+  const tasks::Placement start = tasks::all_on_one(ts);
+  out.n = n;
+  out.m = m;
+
+  // One timing scaffold for every engine type; `final_over` extracts the
+  // end-state overloaded count (engine APIs differ).
+  std::vector<double> round_ms;
+  const auto timed_drive = [&](auto& engine, auto&& final_over) {
+    timer.start("place");
+    engine.reset(start);
+    timer.start("rounds");
+    round_ms = drive_batch(engine, preset.max_rounds, rng, out);
+    timer.start("finish");
+    out.final_overloaded = final_over(engine);
+  };
+  const auto state_over = [](const auto& engine) {
+    return static_cast<std::uint32_t>(engine.state().overloaded_count());
+  };
+
+  switch (spec.protocol) {
+    case ProtocolKind::kUser: {
+      core::UserProtocolConfig cfg;
+      cfg.threshold = T;
+      cfg.options.max_rounds = preset.max_rounds;
+      // Shared engine-selection policy (run_user_trial uses the same
+      // helper), including the degrade-to-exact fallback.
+      std::optional<core::GroupedUserEngine> grouped =
+          try_grouped_user_engine(ts, n, cfg);
+      if (grouped) {
+        timed_drive(*grouped, [n](const core::GroupedUserEngine& engine) {
+          std::uint32_t over = 0;
+          for (graph::Node r = 0; r < n; ++r) {
+            over += engine.load(r) > engine.threshold(r);
+          }
+          return over;
+        });
+      } else {
+        core::UserControlledEngine engine(ts, n, cfg);
+        timed_drive(engine, state_over);
+      }
+      break;
+    }
+    case ProtocolKind::kResource: {
+      core::ResourceProtocolConfig cfg;
+      cfg.threshold = T;
+      cfg.walk = walk;
+      cfg.options.max_rounds = preset.max_rounds;
+      core::ResourceControlledEngine engine(g, ts, cfg);
+      timed_drive(engine, state_over);
+      break;
+    }
+    case ProtocolKind::kGraphUser: {
+      core::GraphUserConfig cfg;
+      cfg.threshold = T;
+      cfg.walk = walk;
+      cfg.options.max_rounds = preset.max_rounds;
+      core::GraphUserEngine engine(g, ts, cfg);
+      timed_drive(engine, state_over);
+      break;
+    }
+    case ProtocolKind::kMixed: {
+      core::MixedProtocolConfig cfg;
+      cfg.threshold = T;
+      cfg.resource_probability = spec.mixed_beta;
+      cfg.walk = walk;
+      cfg.options.max_rounds = preset.max_rounds;
+      core::MixedProtocolEngine engine(g, ts, cfg);
+      timed_drive(engine, state_over);
+      break;
+    }
+  }
+  timer.stop();
+  finish_timing(round_ms, out);
+}
+
+void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
+                      std::uint64_t seed, util::Timer& timer,
+                      PerfResult& out) {
+  timer.start("setup");
+  auto model = parse_weight_model(spec.weights);
+  auto process = parse_arrival_process(spec.arrivals);
+  util::Rng class_rng(util::derive_seed(seed, kPerfClassesStream));
+  // Same config-assembly path as Scenario::run (process outlives engine).
+  const core::DynamicConfig cfg =
+      make_dynamic_config(*model, *process, preset.n, kEps, /*alpha=*/1.0,
+                          /*paranoid=*/false, class_rng);
+  core::DynamicUserEngine engine(cfg);
+  util::Rng rng(util::derive_seed(seed, kPerfRunStream));
+  out.n = preset.n;
+
+  timer.start("warmup");
+  for (long t = 0; t < preset.warmup; ++t) engine.step(rng);
+
+  timer.start("rounds");
+  std::vector<double> round_ms;
+  round_ms.reserve(static_cast<std::size_t>(preset.measure));
+  util::Stopwatch watch;
+  for (long t = 0; t < preset.measure; ++t) {
+    watch.reset();
+    engine.step(rng);
+    round_ms.push_back(watch.elapsed_ms());
+    out.migrations += engine.last_migrations();
+    ++out.rounds;
+  }
+
+  timer.start("finish");
+  out.m = engine.population();
+  std::uint32_t over = 0;
+  for (graph::Node r = 0; r < preset.n; ++r) {
+    over += engine.load(r) > engine.current_threshold();
+  }
+  out.final_overloaded = over;
+  out.balanced = static_cast<double>(over) <=
+                 0.05 * static_cast<double>(preset.n);
+  timer.stop();
+  finish_timing(round_ms, out);
+}
+
+}  // namespace
+
+const std::vector<PerfPreset>& perf_presets() {
+  // n up to 10^6 and m up to 10^7, covering the grouped, exact and
+  // resource engines and the churn path. max_rounds is a safety cap only —
+  // every batch preset balances far below it.
+  static const std::vector<PerfPreset> presets = {
+      {"grouped-unit-1m", "user:complete:unit:batch", 1000000, 10, 100000,
+       0, 0},
+      {"exact-uniform-1m", "user:complete:uniform(8):batch", 1000000, 8,
+       100000, 0, 0},
+      {"grouped-zipf-256k", "user:complete:zipf(1.1,64):batch", 262144, 10,
+       100000, 0, 0},
+      {"resource-hypercube-256k", "resource:hypercube:bimodal(8,0.1):batch",
+       262144, 8, 100000, 0, 0},
+      {"churn-poisson-64k", "user:complete:bimodal(8,0.1):poisson(640,0.01)",
+       65536, 0, 0, 300, 600},
+  };
+  return presets;
+}
+
+const std::vector<PerfPreset>& perf_smoke_presets() {
+  static const std::vector<PerfPreset> presets = {
+      {"smoke-grouped-unit", "user:complete:unit:batch", 4096, 10, 100000,
+       0, 0},
+      {"smoke-exact-uniform", "user:complete:uniform(8):batch", 4096, 8,
+       100000, 0, 0},
+      {"smoke-grouped-zipf", "user:complete:zipf(1.1,64):batch", 4096, 10,
+       100000, 0, 0},
+      {"smoke-resource-hypercube", "resource:hypercube:bimodal(8,0.1):batch",
+       4096, 8, 100000, 0, 0},
+      {"smoke-churn-poisson", "user:complete:bimodal(8,0.1):poisson(40,0.01)",
+       4096, 0, 0, 100, 200},
+  };
+  return presets;
+}
+
+PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
+  PerfResult out;
+  out.preset = preset;
+  const ScenarioSpec spec = resolve_scenario(preset.scenario);
+  util::Timer timer;
+  if (spec.is_churn()) {
+    run_churn_preset(spec, preset, seed, timer, out);
+  } else {
+    run_batch_preset(spec, preset, seed, timer, out);
+  }
+  out.phases = timer.phases();
+  out.setup_ms = timer.ms("setup");
+  out.run_ms = timer.ms("rounds");
+  return out;
+}
+
+std::string run_perf_set(const std::string& set, const std::string& only,
+                         std::uint64_t seed, bool include_timings) {
+  const std::vector<PerfPreset>* presets = nullptr;
+  if (set == "smoke") {
+    presets = &perf_smoke_presets();
+  } else if (set == "full") {
+    presets = &perf_presets();
+  } else {
+    throw std::invalid_argument("perf suite: unknown set '" + set +
+                                "' (want smoke | full)");
+  }
+  std::vector<PerfResult> results;
+  for (const PerfPreset& preset : *presets) {
+    if (!only.empty() && preset.name != only) continue;
+    std::fprintf(stderr, "perf_suite: running %-26s (%s) ...\n",
+                 preset.name.c_str(), preset.scenario.c_str());
+    results.push_back(run_perf_preset(preset, seed));
+    const PerfResult& r = results.back();
+    std::fprintf(stderr,
+                 "perf_suite:   %ld rounds, %.1fms round1, %.3fms tail "
+                 "(x%.0f), %.0f mig/s\n",
+                 r.rounds, r.round1_ms, r.tail_avg_ms, r.tail_speedup,
+                 r.migrations_per_sec);
+  }
+  if (results.empty()) {
+    throw std::invalid_argument("perf suite: no preset named '" + only + "'");
+  }
+  return perf_suite_json(results, seed, include_timings);
+}
+
+std::string perf_suite_json(const std::vector<PerfResult>& results,
+                            std::uint64_t seed, bool include_timings) {
+  std::string presets = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PerfResult& r = results[i];
+    sim::Json j;
+    j.add("name", r.preset.name)
+        .add("scenario", r.preset.scenario)
+        .add("n", static_cast<std::uint64_t>(r.n))
+        .add("m", static_cast<std::uint64_t>(r.m))
+        .add("rounds", static_cast<std::int64_t>(r.rounds))
+        .add("migrations", r.migrations)
+        .add("balanced", r.balanced)
+        .add("final_overloaded", static_cast<std::uint64_t>(r.final_overloaded));
+    if (include_timings) {
+      j.add("setup_ms", r.setup_ms)
+          .add("run_ms", r.run_ms)
+          .add("round1_ms", r.round1_ms)
+          .add("tail_avg_ms", r.tail_avg_ms)
+          .add("tail_speedup", r.tail_speedup)
+          .add("rounds_per_sec", r.rounds_per_sec)
+          .add("migrations_per_sec", r.migrations_per_sec);
+      sim::Json phases;
+      for (const auto& [name, ms] : r.phases) phases.add(name, ms);
+      j.add_raw("phases", phases.str());
+    }
+    if (i) presets += ",";
+    presets += j.str();
+  }
+  presets += "]";
+
+  sim::Json root;
+  root.add("suite", "perf")
+      .add("seed", seed)
+      .add("deterministic", !include_timings)
+      .add_raw("presets", presets);
+  return root.str();
+}
+
+}  // namespace tlb::workload

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
@@ -185,23 +186,9 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     // Dynamic mode: grouped dynamic engine, weight model reduced to a class
     // table with a dedicated randomness stream (identical for every trial).
     util::Rng class_rng(util::derive_seed(seed, kClassesStream));
-    const std::vector<WeightClass> classes =
-        to_weight_classes(*model_, core::GroupedUserEngine::kMaxClasses,
-                          class_rng);
-    core::DynamicConfig cfg;
-    cfg.n = params_.n;
-    cfg.arrival_rate = process_->mean_rate();
-    cfg.completion_rate = process_->completion_rate();
-    cfg.eps = params_.eps;
-    cfg.alpha = params_.alpha;
-    cfg.classes.clear();
-    for (const WeightClass& c : classes) {
-      cfg.classes.push_back({c.weight, c.probability});
-    }
-    const ArrivalProcess* process = process_.get();
-    cfg.arrival_fn = [process](long round, util::Rng& rng) {
-      return process->arrivals(round, rng);
-    };
+    const core::DynamicConfig cfg =
+        make_dynamic_config(*model_, *process_, params_.n, params_.eps,
+                            params_.alpha, params_.paranoid, class_rng);
     result.n = params_.n;
     result.m = 0;
 
@@ -259,6 +246,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.threshold = T;
             cfg.alpha = p.alpha;
             cfg.options.max_rounds = p.max_rounds;
+            cfg.options.paranoid_checks = p.paranoid;
             return run_user_trial(ts, n, cfg, start, rng);
           }
           case ProtocolKind::kResource: {
@@ -266,6 +254,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.threshold = T;
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
+            cfg.options.paranoid_checks = p.paranoid;
             core::ResourceControlledEngine engine(g, ts, cfg);
             return engine.run(start, rng);
           }
@@ -275,6 +264,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.alpha = p.alpha;
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
+            cfg.options.paranoid_checks = p.paranoid;
             core::GraphUserEngine engine(g, ts, cfg);
             return engine.run(start, rng);
           }
@@ -285,6 +275,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.alpha = p.alpha;
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
+            cfg.options.paranoid_checks = p.paranoid;
             core::MixedProtocolEngine engine(g, ts, cfg);
             return engine.run(start, rng);
           }
@@ -325,17 +316,61 @@ std::string ScenarioResult::json() const {
 }
 
 bool grouped_engine_applicable(const tasks::TaskSet& ts) {
-  const std::set<double> distinct(ts.weights().begin(), ts.weights().end());
-  return distinct.size() <= core::GroupedUserEngine::kMaxClasses;
+  std::set<double> distinct;
+  for (double w : ts.weights()) {
+    distinct.insert(w);
+    if (distinct.size() > core::GroupedUserEngine::kMaxClasses) return false;
+  }
+  return true;
+}
+
+core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
+                                        const ArrivalProcess& process,
+                                        graph::Node n, double eps,
+                                        double alpha, bool paranoid,
+                                        util::Rng& class_rng) {
+  const std::vector<WeightClass> classes = to_weight_classes(
+      model, core::GroupedUserEngine::kMaxClasses, class_rng);
+  core::DynamicConfig cfg;
+  cfg.n = n;
+  cfg.arrival_rate = process.mean_rate();
+  cfg.completion_rate = process.completion_rate();
+  cfg.eps = eps;
+  cfg.alpha = alpha;
+  cfg.paranoid_checks = paranoid;
+  cfg.classes.clear();
+  for (const WeightClass& c : classes) {
+    cfg.classes.push_back({c.weight, c.probability});
+  }
+  cfg.arrival_fn = [&process](long round, util::Rng& rng) {
+    return process.arrivals(round, rng);
+  };
+  return cfg;
+}
+
+std::optional<core::GroupedUserEngine> try_grouped_user_engine(
+    const tasks::TaskSet& ts, graph::Node n,
+    const core::UserProtocolConfig& cfg) {
+  std::optional<core::GroupedUserEngine> grouped;
+  if (grouped_engine_applicable(ts)) {
+    try {
+      grouped.emplace(ts, n, cfg);
+    } catch (const std::invalid_argument&) {
+      // The grouped representation rejected the task set (e.g. a future
+      // tightening of kMaxClasses, or a config it cannot express). The exact
+      // engine accepts everything the grouped one does and more — callers
+      // degrade gracefully instead of aborting the whole run.
+    }
+  }
+  return grouped;
 }
 
 core::RunResult run_user_trial(const tasks::TaskSet& ts, graph::Node n,
                                const core::UserProtocolConfig& cfg,
                                const tasks::Placement& start,
                                util::Rng& rng) {
-  if (grouped_engine_applicable(ts)) {
-    core::GroupedUserEngine engine(ts, n, cfg);
-    return engine.run(start, rng);
+  if (auto grouped = try_grouped_user_engine(ts, n, cfg)) {
+    return grouped->run(start, rng);
   }
   core::UserControlledEngine engine(ts, n, cfg);
   return engine.run(start, rng);

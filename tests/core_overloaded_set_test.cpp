@@ -1,0 +1,192 @@
+// Tests for the incremental overloaded-set machinery: the OverloadedSet
+// tracker itself, SystemState's O(active) queries against brute-force
+// rescans on randomized mutation traces, and paranoid-check runs of every
+// engine and every registered workload preset (each engine cross-checks the
+// incremental set against a full rescan every round when paranoid mode is
+// on, so these runs are the regression net for the O(active) round core).
+#include "tlb/core/overloaded_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "tlb/core/dynamic.hpp"
+#include "tlb/core/system_state.hpp"
+#include "tlb/core/threshold.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/tasks/weights.hpp"
+#include "tlb/util/rng.hpp"
+#include "tlb/workload/scenario.hpp"
+
+namespace {
+
+using namespace tlb::core;
+using tlb::graph::Node;
+using tlb::tasks::Placement;
+using tlb::tasks::TaskId;
+using tlb::tasks::TaskSet;
+using tlb::tasks::uniform_unit;
+using tlb::util::Rng;
+
+TEST(OverloadedSetTest, FlushReconcilesDirtyEntries) {
+  OverloadedSet set;
+  set.reset(5);
+  std::vector<double> loads = {0.0, 3.0, 1.0, 5.0, 2.0};
+  const auto over = [&loads](Node r) { return loads[r] > 2.0; };
+
+  set.mark_all_dirty();
+  set.flush(over);
+  EXPECT_EQ(set.items(), (std::vector<Node>{1, 3}));
+  EXPECT_TRUE(set.clean());
+
+  // Flip 1 under and 4 over; only marked entries are reconsidered.
+  loads[1] = 0.5;
+  loads[4] = 9.0;
+  set.mark_dirty(1);
+  set.mark_dirty(4);
+  set.flush(over);
+  EXPECT_EQ(set.items(), (std::vector<Node>{3, 4}));
+}
+
+TEST(OverloadedSetTest, ListStaysSortedAndDeduplicated) {
+  OverloadedSet set;
+  set.reset(8);
+  std::vector<double> loads(8, 0.0);
+  const auto over = [&loads](Node r) { return loads[r] > 0.0; };
+  // Mark in descending order, several times each.
+  for (int rep = 0; rep < 3; ++rep) {
+    for (Node r = 8; r-- > 0;) {
+      loads[r] = (r % 2) ? 1.0 : 0.0;
+      set.mark_dirty(r);
+    }
+  }
+  set.flush(over);
+  EXPECT_EQ(set.items(), (std::vector<Node>{1, 3, 5, 7}));
+  // No dirt => flush is a no-op even if the closure would now disagree.
+  set.flush([](Node) { return false; });
+  EXPECT_EQ(set.items(), (std::vector<Node>{1, 3, 5, 7}));
+}
+
+TEST(SystemStateOverloadedTest, MatchesBruteForceUnderRandomTraffic) {
+  // Randomized mutation trace through the forwarders: repeatedly yank a
+  // random subset of a random resource's stack and scatter it, comparing
+  // the incremental set against the O(n) ground truth after every step.
+  const std::size_t m = 300;
+  const TaskSet ts = uniform_unit(m);
+  const Node n = 16;
+  const double T =
+      threshold_value(ThresholdKind::kAboveAverage, ts, n, /*eps=*/0.2);
+  SystemState state(ts, n);
+  state.set_thresholds(T);
+  Rng rng(2024);
+  Placement p(m);
+  for (auto& r : p) r = static_cast<Node>(rng.uniform_below(n));
+  state.place(p, /*threshold=*/-1.0);
+
+  std::vector<TaskId> movers;
+  std::vector<std::uint8_t> mask;
+  for (int step = 0; step < 500; ++step) {
+    const auto r = static_cast<Node>(rng.uniform_below(n));
+    const ResourceStack& stack = std::as_const(state).stack(r);
+    if (!stack.empty()) {
+      mask.assign(stack.count(), 0);
+      for (auto& bit : mask) bit = rng.bernoulli(0.3);
+      movers.clear();
+      state.remove_marked(r, mask, movers);
+      for (TaskId id : movers) {
+        state.push(static_cast<Node>(rng.uniform_below(n)), id);
+      }
+    }
+    // Incremental vs brute force, every step.
+    const std::vector<Node>& fast = state.overloaded();
+    EXPECT_EQ(fast.size(), state.overloaded_count(T));
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_GT(state.load(fast[i]), T);
+      if (i) {
+        EXPECT_LT(fast[i - 1], fast[i]);
+      }
+    }
+    EXPECT_EQ(state.balanced(), state.balanced(T));
+    ASSERT_NO_THROW(state.check_invariants());
+  }
+}
+
+TEST(SystemStateOverloadedTest, QueriesRequireRegisteredThresholds) {
+  const TaskSet ts = uniform_unit(4);
+  SystemState state(ts, 2);
+  state.place({0, 0, 1, 1}, -1.0);
+  EXPECT_THROW(state.overloaded(), std::logic_error);
+  EXPECT_THROW(state.balanced(), std::logic_error);
+  state.set_thresholds(1.5);
+  EXPECT_EQ(state.overloaded_count(), 2u);
+  EXPECT_FALSE(state.balanced());
+}
+
+TEST(EngineParanoidTest, ExactUserEngineAuditedRun) {
+  const std::size_t m = 400;
+  const TaskSet ts = uniform_unit(m);
+  const Node n = 20;
+  UserProtocolConfig cfg;
+  cfg.threshold =
+      threshold_value(ThresholdKind::kAboveAverage, ts, n, /*eps=*/0.25);
+  cfg.options.max_rounds = 5000;
+  cfg.options.paranoid_checks = true;  // brute-force cross-check every round
+  UserControlledEngine engine(ts, n, cfg);
+  Rng rng(7);
+  const RunResult result = engine.run(tlb::tasks::all_on_one(ts), rng);
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST(EngineParanoidTest, GroupedUserEngineAuditedRun) {
+  const std::size_t m = 500;
+  std::vector<double> weights;
+  weights.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) weights.push_back(i % 10 == 0 ? 8.0 : 1.0);
+  const TaskSet ts(std::move(weights));
+  const Node n = 25;
+  UserProtocolConfig cfg;
+  cfg.threshold =
+      threshold_value(ThresholdKind::kAboveAverage, ts, n, /*eps=*/0.25);
+  cfg.options.max_rounds = 5000;
+  cfg.options.paranoid_checks = true;
+  GroupedUserEngine engine(ts, n, cfg);
+  Rng rng(11);
+  const RunResult result = engine.run(tlb::tasks::all_on_one(ts), rng);
+  EXPECT_TRUE(result.balanced);
+}
+
+TEST(EngineParanoidTest, DynamicEngineAuditedChurn) {
+  DynamicConfig cfg;
+  cfg.n = 40;
+  cfg.arrival_rate = 20.0;
+  cfg.completion_rate = 0.05;
+  cfg.crash_rate = 0.02;  // exercise the fail-over path too
+  cfg.classes = {{1.0, 0.9}, {8.0, 0.1}};
+  cfg.paranoid_checks = true;
+  DynamicUserEngine engine(cfg);
+  Rng rng(13);
+  EXPECT_NO_THROW(engine.run(/*warmup=*/200, /*measure=*/300, rng));
+}
+
+TEST(WorkloadPresetParanoidTest, AllRegisteredPresetsPassAuditedRuns) {
+  // Every registered preset (all protocols, topologies, weight models and
+  // arrival processes) runs with per-round incremental-vs-rescan audits.
+  for (const auto& named : tlb::workload::scenario_registry()) {
+    tlb::workload::ScenarioParams params;
+    params.n = 32;
+    params.load_factor = 4;
+    params.max_rounds = 20000;
+    params.warmup = 100;
+    params.measure = 200;
+    params.paranoid = true;
+    const tlb::workload::Scenario scenario(
+        tlb::workload::resolve_scenario(named.name), params);
+    EXPECT_NO_THROW(scenario.run(/*trials=*/2, /*seed=*/99, /*threads=*/1))
+        << "preset " << named.name;
+  }
+}
+
+}  // namespace

@@ -84,6 +84,31 @@ TEST(ResourceStackTest, EvictUnacceptedTakesExactlyTheSuffix) {
   EXPECT_DOUBLE_EQ(s.load(), 5.0);
   EXPECT_EQ(s.count(), 1u);
   EXPECT_EQ(s.pending_count(), 0u);
+  // Exactness contract the load-keyed overloaded set relies on: after a
+  // full suffix eviction the load is bitwise the accepted bookkeeping (no
+  // accumulated subtraction drift), so load <= T holds exactly.
+  EXPECT_EQ(s.load(), s.accepted_load());
+}
+
+TEST(ResourceStackTest, EvictUnacceptedSnapsLoadExactly) {
+  // Non-dyadic weights whose FP sum-and-subtract would drift: adding many
+  // 1.1s and subtracting them again is not bitwise-exact in general. After
+  // evicting the whole unaccepted suffix, load() must equal accepted_load()
+  // bitwise — the termination argument for the resource engine.
+  std::vector<double> w(12, 1.1);
+  w[0] = 11.0;
+  const TaskSet ts(std::move(w));
+  ResourceStack s;
+  s.push_accepting(0, ts, 11.05);  // accepted: 11.0 <= 11.05
+  for (TaskId id = 1; id < 12; ++id) {
+    s.push_accepting(id, ts, 11.05);  // all pending (11.0 + 1.1 > 11.05)
+  }
+  ASSERT_EQ(s.pending_count(), 11u);
+  std::vector<TaskId> evicted;
+  s.evict_unaccepted(ts, evicted);
+  EXPECT_EQ(evicted.size(), 11u);
+  EXPECT_EQ(s.load(), s.accepted_load());
+  EXPECT_EQ(s.load(), 11.0);  // bitwise, not just approximately
 }
 
 TEST(ResourceStackTest, EvictOnBalancedStackIsNoop) {
@@ -105,6 +130,39 @@ TEST(ResourceStackTest, RemoveMarkedPreservesOrder) {
   EXPECT_EQ(removed, (std::vector<TaskId>{1, 3}));
   EXPECT_EQ(s.tasks(), (std::vector<TaskId>{0, 2, 4}));
   EXPECT_DOUBLE_EQ(s.load(), 1.0 + 3.0 + 5.0);
+}
+
+TEST(ResourceStackTest, RemoveMarkedKeepsAcceptanceBookkeeping) {
+  // Regression: remove_marked used to zero accepted_count_/accepted_load_
+  // "defensively", so a mixed-protocol round interleaving user-style
+  // departures with acceptance bookkeeping read stale values. Accepted
+  // tasks form a prefix and survivors keep their order, so the surviving
+  // accepted tasks must remain a (correctly accounted) prefix.
+  const TaskSet ts({2.0, 3.0, 4.0, 5.0});
+  ResourceStack s;
+  EXPECT_TRUE(s.push_accepting(0, ts, 6.0));    // accepted, h=0
+  EXPECT_TRUE(s.push_accepting(1, ts, 6.0));    // accepted, h=2
+  EXPECT_FALSE(s.push_accepting(2, ts, 6.0));   // rejected (5+4 > 6)
+  EXPECT_FALSE(s.push_accepting(3, ts, 6.0));   // rejected
+  ASSERT_EQ(s.accepted_count(), 2u);
+
+  // Remove one accepted task (position 0) and one pending task (position 2).
+  std::vector<TaskId> out;
+  s.remove_marked({1, 0, 1, 0}, ts, out);
+  EXPECT_EQ(out, (std::vector<TaskId>{0, 2}));
+  EXPECT_EQ(s.tasks(), (std::vector<TaskId>{1, 3}));
+  EXPECT_DOUBLE_EQ(s.load(), 8.0);
+  EXPECT_EQ(s.accepted_count(), 1u);            // task 1 survived
+  EXPECT_DOUBLE_EQ(s.accepted_load(), 3.0);
+  EXPECT_EQ(s.pending_count(), 1u);             // task 3 still pending
+  EXPECT_DOUBLE_EQ(s.pending_load(), 5.0);
+
+  // Removing the remaining accepted task leaves a pending-only stack.
+  out.clear();
+  s.remove_marked({1, 0}, ts, out);
+  EXPECT_EQ(s.accepted_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.accepted_load(), 0.0);
+  EXPECT_DOUBLE_EQ(s.pending_load(), 5.0);
 }
 
 TEST(ResourceStackTest, RemoveMarkedValidatesMaskSize) {

@@ -23,6 +23,71 @@ TEST(BinomialTest, EdgeCases) {
   EXPECT_EQ(binomial(rng, 1, 1.0), 1u);
 }
 
+TEST(BinomialTest, DegenerateEndpointsExact) {
+  // p = 1.0 is reachable in production (the user protocol's leave
+  // probability clamps to exactly 1), and p = 0 / n = 0 are trivial
+  // boundaries. These must be exact for every n, in both the public
+  // dispatcher and the raw inversion sampler (regression: the old
+  // inversion walk returned 1 for p = 1 because log(1-p) = -inf).
+  Rng rng(5);
+  for (std::uint64_t n : {std::uint64_t{0}, std::uint64_t{1},
+                          std::uint64_t{7}, std::uint64_t{1000},
+                          std::uint64_t{10000000}}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(binomial(rng, n, 1.0), n) << "n=" << n;
+      EXPECT_EQ(binomial(rng, n, 0.0), 0u) << "n=" << n;
+      EXPECT_EQ(tlb::util::detail::binomial_inversion(rng, n, 1.0), n)
+          << "n=" << n;
+      EXPECT_EQ(tlb::util::detail::binomial_inversion(rng, n, 0.0), 0u)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(BinomialTest, NearOneAndNearZeroProbabilities) {
+  Rng rng(6);
+  // p within an ulp of 1: mass is overwhelmingly at n (P(X < n-k) is
+  // astronomically small), so every draw must land on n or a hair below.
+  const double near_one = 1.0 - 1e-12;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = binomial(rng, 1000, near_one);
+    EXPECT_LE(x, 1000u);
+    EXPECT_GE(x, 990u);
+    const std::uint64_t y =
+        tlb::util::detail::binomial_inversion(rng, 1000, near_one);
+    EXPECT_LE(y, 1000u);
+    EXPECT_GE(y, 990u);
+  }
+  // Tiny p: draws concentrate at 0 (n*p = 1e-9).
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(binomial(rng, 1000, 1e-12), 1u);
+  }
+  // 0.999... with a large n: mean n*p ~= 999; stay in a generous window.
+  double sum = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(binomial(rng, 1000, 0.999));
+  }
+  EXPECT_NEAR(sum / kN, 999.0, 0.5);
+}
+
+TEST(BinomialTest, InversionUnderflowGuard) {
+  // n*log(1-p) < -745 underflows q^n to 0; the raw inversion sampler used
+  // to consume "all the mass" and answer n. It must route to BTRS and give
+  // the analytic mean instead (n = 10^6, p = 0.01 => mean 10^4).
+  Rng rng(7);
+  const std::uint64_t n = 1000000;
+  const double p = 0.01;
+  const int kN = 3000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t x = tlb::util::detail::binomial_inversion(rng, n, p);
+    EXPECT_LT(x, 20000u);  // nowhere near n
+    sum += static_cast<double>(x);
+  }
+  EXPECT_NEAR(sum / kN, 10000.0, 50.0);
+}
+
 TEST(BinomialTest, SupportRespected) {
   Rng rng(2);
   for (int i = 0; i < 20000; ++i) {

@@ -367,6 +367,30 @@ TEST(ScenarioRunTest, UserScenarioBalancesAndReportsJson) {
   EXPECT_NE(json.find("\"results\":{"), std::string::npos);
 }
 
+TEST(RunUserTrialTest, FallsBackToExactEngineBeyondClassLimit) {
+  // > kMaxClasses distinct weights: the grouped engine cannot represent the
+  // task set; run_user_trial must degrade to the exact engine instead of
+  // letting the constructor's throw abort the run.
+  const std::size_t m = 200;
+  std::vector<double> weights;
+  weights.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    weights.push_back(1.0 + static_cast<double>(i) * 0.01);  // all distinct
+  }
+  const tasks::TaskSet ts(std::move(weights));
+  ASSERT_FALSE(workload::grouped_engine_applicable(ts));
+  const graph::Node n = 16;
+  core::UserProtocolConfig cfg;
+  cfg.threshold = core::threshold_value(core::ThresholdKind::kAboveAverage,
+                                        ts, n, /*eps=*/0.25);
+  cfg.options.max_rounds = 20000;
+  Rng rng(5);
+  core::RunResult result;
+  ASSERT_NO_THROW(result = workload::run_user_trial(
+                      ts, n, cfg, tasks::all_on_one(ts), rng));
+  EXPECT_TRUE(result.balanced);
+}
+
 // ---- JSON writer ----------------------------------------------------------
 
 TEST(JsonTest, OrderedAndEscaped) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "tlb/sim/report.hpp"
+#include "tlb/util/alloc_tuning.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/util/table.hpp"
 #include "tlb/util/timer.hpp"
@@ -47,6 +48,7 @@ void print_registry() {
 
 int main(int argc, char** argv) {
   using namespace tlb;
+  util::tune_allocator_for_throughput();
 
   util::Cli cli;
   cli.add_flag("scenario", "", "registered scenario name or raw spec string");
@@ -70,6 +72,12 @@ int main(int argc, char** argv) {
   cli.add_flag("timings", "true",
                "perf suite: include wall-clock fields (false => "
                "byte-deterministic JSON)");
+  cli.add_flag("label", "",
+               "perf suite: label for the --append entry "
+               "(default: \"<set>-seed<seed>\")");
+  cli.add_flag("append", "",
+               "perf suite: append {label, set, report} to this JSON array "
+               "file (e.g. BENCH_perf.json)");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_bool("list")) {
@@ -78,12 +86,14 @@ int main(int argc, char** argv) {
   }
   if (cli.get_bool("bench")) {
     try {
-      std::printf("%s\n",
-                  workload::run_perf_set(
-                      cli.get_string("bench_set"), /*only=*/"",
-                      static_cast<std::uint64_t>(cli.get_int("seed")),
-                      cli.get_bool("timings"))
-                      .c_str());
+      const std::string set = cli.get_string("bench_set");
+      const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      const std::string report = workload::run_perf_set(
+          set, /*only=*/"", seed, cli.get_bool("timings"));
+      std::printf("%s\n", report.c_str());
+      workload::append_bench_entry_cli(cli.get_string("append"),
+                                       cli.get_string("label"), set, seed,
+                                       report, "tlb_sim");
       return 0;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "tlb_sim: %s\n", e.what());

@@ -12,11 +12,13 @@
 #include <cstdio>
 #include <exception>
 
+#include "tlb/util/alloc_tuning.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/workload/perf_suite.hpp"
 
 int main(int argc, char** argv) {
   using namespace tlb;
+  util::tune_allocator_for_throughput();
 
   util::Cli cli;
   cli.add_flag("set", "smoke", "preset set: smoke (CI-sized) | full (n up to 1e6)");
@@ -24,15 +26,22 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "42", "master RNG seed");
   cli.add_flag("timings", "true",
                "include wall-clock fields (false => byte-deterministic)");
+  cli.add_flag("label", "",
+               "label for the --append entry (default: \"<set>-seed<seed>\")");
+  cli.add_flag("append", "",
+               "append {label, set, report} to this JSON array file "
+               "(e.g. BENCH_perf.json)");
   if (!cli.parse(argc, argv)) return 1;
 
   try {
-    std::printf("%s\n",
-                workload::run_perf_set(
-                    cli.get_string("set"), cli.get_string("only"),
-                    static_cast<std::uint64_t>(cli.get_int("seed")),
-                    cli.get_bool("timings"))
-                    .c_str());
+    const std::string set = cli.get_string("set");
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const std::string report = workload::run_perf_set(
+        set, cli.get_string("only"), seed, cli.get_bool("timings"));
+    std::printf("%s\n", report.c_str());
+    workload::append_bench_entry_cli(cli.get_string("append"),
+                                     cli.get_string("label"), set, seed,
+                                     report, "perf_suite");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perf_suite: %s\n", e.what());

@@ -7,7 +7,7 @@
 namespace tlb::core {
 
 SystemState::SystemState(const tasks::TaskSet& tasks, Node n)
-    : tasks_(&tasks), stacks_(n) {
+    : tasks_(&tasks), arena_(n) {
   if (n == 0) throw std::invalid_argument("SystemState: need n >= 1");
   overloaded_.reset(n);
 }
@@ -16,12 +16,13 @@ void SystemState::set_thresholds(double threshold) {
   if (threshold <= 0.0) {
     throw std::invalid_argument("SystemState::set_thresholds: threshold > 0");
   }
-  track_thresholds_.assign(stacks_.size(), threshold);
+  track_uniform_ = threshold;
+  track_thresholds_.clear();
   overloaded_.mark_all_dirty();
 }
 
 void SystemState::set_thresholds(std::vector<double> thresholds) {
-  if (thresholds.size() != stacks_.size()) {
+  if (thresholds.size() != arena_.num_resources()) {
     throw std::invalid_argument(
         "SystemState::set_thresholds: size must equal resource count");
   }
@@ -31,96 +32,72 @@ void SystemState::set_thresholds(std::vector<double> thresholds) {
           "SystemState::set_thresholds: all thresholds must be > 0");
     }
   }
+  track_uniform_ = 0.0;
   track_thresholds_ = std::move(thresholds);
   overloaded_.mark_all_dirty();
 }
 
 void SystemState::place(const tasks::Placement& placement, double threshold) {
-  if (placement.size() != tasks_->size()) {
-    throw std::invalid_argument("SystemState::place: placement size mismatch");
-  }
-  for (auto& s : stacks_) s.clear();
-  for (TaskId i = 0; i < placement.size(); ++i) {
-    const Node r = placement[i];
-    if (r >= stacks_.size()) {
-      throw std::invalid_argument("SystemState::place: resource out of range");
-    }
-    if (threshold >= 0.0) {
-      stacks_[r].push_accepting(i, *tasks_, threshold);
-    } else {
-      stacks_[r].push(i, *tasks_);
-    }
-  }
+  // BatchPlacer validates sizes and resource range with precise messages,
+  // and leaves the arena untouched when it throws.
+  placer_.place(arena_, *tasks_, placement, threshold);
   overloaded_.mark_all_dirty();
 }
 
 void SystemState::place(const tasks::Placement& placement,
                         const std::vector<double>& thresholds) {
-  if (placement.size() != tasks_->size()) {
-    throw std::invalid_argument("SystemState::place: placement size mismatch");
-  }
-  if (!thresholds.empty() && thresholds.size() != stacks_.size()) {
-    throw std::invalid_argument("SystemState::place: threshold vector size mismatch");
-  }
-  for (auto& s : stacks_) s.clear();
-  for (TaskId i = 0; i < placement.size(); ++i) {
-    const Node r = placement[i];
-    if (r >= stacks_.size()) {
-      throw std::invalid_argument("SystemState::place: resource out of range");
-    }
-    if (!thresholds.empty()) {
-      stacks_[r].push_accepting(i, *tasks_, thresholds[r]);
-    } else {
-      stacks_[r].push(i, *tasks_);
-    }
-  }
+  placer_.place(arena_, *tasks_, placement, thresholds);
   overloaded_.mark_all_dirty();
 }
 
 void SystemState::push(Node r, TaskId id) {
-  stacks_[r].push(id, *tasks_);
+  arena_.push(r, id, tasks_->weight(id));
   overloaded_.mark_dirty(r);
 }
 
 bool SystemState::push_accepting(Node r, TaskId id) {
-  if (track_thresholds_.empty()) {
+  if (!has_thresholds()) {
     throw std::logic_error(
         "SystemState::push_accepting: set_thresholds() was never called");
   }
   const bool accepted =
-      stacks_[r].push_accepting(id, *tasks_, track_thresholds_[r]);
+      arena_.push_accepting(r, id, tasks_->weight(id), threshold_of(r));
   overloaded_.mark_dirty(r);
   return accepted;
 }
 
 void SystemState::evict_unaccepted(Node r, std::vector<TaskId>& out) {
-  stacks_[r].evict_unaccepted(*tasks_, out);
+  arena_.evict_unaccepted(r, out);
   overloaded_.mark_dirty(r);
 }
 
 void SystemState::evict_above(Node r, std::vector<TaskId>& out) {
-  if (track_thresholds_.empty()) {
+  if (!has_thresholds()) {
     throw std::logic_error(
         "SystemState::evict_above: set_thresholds() was never called");
   }
-  stacks_[r].evict_above(*tasks_, track_thresholds_[r], out);
+  arena_.evict_above(r, threshold_of(r), out);
   overloaded_.mark_dirty(r);
 }
 
 void SystemState::remove_marked(Node r, const std::vector<std::uint8_t>& leave,
                                 std::vector<TaskId>& out) {
-  stacks_[r].remove_marked(leave, *tasks_, out);
+  arena_.remove_marked(r, leave, out);
   overloaded_.mark_dirty(r);
 }
 
 const std::vector<Node>& SystemState::overloaded() const {
-  if (track_thresholds_.empty()) {
+  if (!has_thresholds()) {
     throw std::logic_error(
         "SystemState::overloaded: set_thresholds() was never called");
   }
-  overloaded_.flush([this](Node r) {
-    return stacks_[r].load() > track_thresholds_[r];
-  });
+  if (track_thresholds_.empty()) {
+    const double T = track_uniform_;
+    overloaded_.flush([this, T](Node r) { return arena_.load(r) > T; });
+  } else {
+    overloaded_.flush(
+        [this](Node r) { return arena_.load(r) > track_thresholds_[r]; });
+  }
   return overloaded_.items();
 }
 
@@ -131,58 +108,69 @@ Node SystemState::overloaded_count() const {
 bool SystemState::balanced() const { return overloaded().empty(); }
 
 std::vector<double> SystemState::loads() const {
-  std::vector<double> out(stacks_.size());
-  for (std::size_t r = 0; r < stacks_.size(); ++r) out[r] = stacks_[r].load();
+  const Node n = arena_.num_resources();
+  std::vector<double> out(n);
+  for (Node r = 0; r < n; ++r) out[r] = arena_.load(r);
   return out;
 }
 
 double SystemState::max_load() const {
+  const Node n = arena_.num_resources();
   double best = 0.0;
-  for (const auto& s : stacks_) best = std::max(best, s.load());
+  for (Node r = 0; r < n; ++r) best = std::max(best, arena_.load(r));
   return best;
 }
 
 Node SystemState::overloaded_count(double threshold) const {
+  const Node n = arena_.num_resources();
   Node count = 0;
-  for (const auto& s : stacks_) {
-    if (s.load() > threshold) ++count;
+  for (Node r = 0; r < n; ++r) {
+    if (arena_.load(r) > threshold) ++count;
   }
   return count;
 }
 
 bool SystemState::balanced(double threshold) const {
-  for (const auto& s : stacks_) {
-    if (s.load() > threshold) return false;
+  const Node n = arena_.num_resources();
+  for (Node r = 0; r < n; ++r) {
+    if (arena_.load(r) > threshold) return false;
   }
   return true;
 }
 
 Node SystemState::overloaded_count(const std::vector<double>& thresholds) const {
+  const Node n = arena_.num_resources();
   Node count = 0;
-  for (std::size_t r = 0; r < stacks_.size(); ++r) {
-    if (stacks_[r].load() > thresholds[r]) ++count;
+  for (Node r = 0; r < n; ++r) {
+    if (arena_.load(r) > thresholds[r]) ++count;
   }
   return count;
 }
 
 bool SystemState::balanced(const std::vector<double>& thresholds) const {
-  for (std::size_t r = 0; r < stacks_.size(); ++r) {
-    if (stacks_[r].load() > thresholds[r]) return false;
+  const Node n = arena_.num_resources();
+  for (Node r = 0; r < n; ++r) {
+    if (arena_.load(r) > thresholds[r]) return false;
   }
   return true;
 }
 
 double SystemState::total_load() const {
+  const Node n = arena_.num_resources();
   double sum = 0.0;
-  for (const auto& s : stacks_) sum += s.load();
+  for (Node r = 0; r < n; ++r) sum += arena_.load(r);
   return sum;
 }
 
 void SystemState::check_invariants() const {
+  arena_.check_invariants();
+  const Node n = arena_.num_resources();
   std::vector<std::uint8_t> seen(tasks_->size(), 0);
-  for (std::size_t r = 0; r < stacks_.size(); ++r) {
-    double recomputed = 0.0;
-    for (TaskId id : stacks_[r].tasks()) {
+  for (Node r = 0; r < n; ++r) {
+    const mem::TaskSpan ids = arena_.tasks(r);
+    const double* w = arena_.weights(r);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const TaskId id = ids[i];
       if (id >= tasks_->size()) {
         throw std::logic_error("SystemState: task id out of range");
       }
@@ -191,11 +179,11 @@ void SystemState::check_invariants() const {
                                " appears twice");
       }
       seen[id] = 1;
-      recomputed += tasks_->weight(id);
-    }
-    if (std::fabs(recomputed - stacks_[r].load()) > 1e-6) {
-      throw std::logic_error("SystemState: cached load drifted on resource " +
-                             std::to_string(r));
+      if (w[i] != tasks_->weight(id)) {
+        throw std::logic_error(
+            "SystemState: mirrored weight of task " + std::to_string(id) +
+            " drifted from the TaskSet");
+      }
     }
   }
   for (TaskId id = 0; id < tasks_->size(); ++id) {
@@ -204,10 +192,10 @@ void SystemState::check_invariants() const {
                              " lost");
     }
   }
-  if (!track_thresholds_.empty()) {
+  if (has_thresholds()) {
     overloaded_.audit(
         num_resources(),
-        [this](Node r) { return stacks_[r].load() > track_thresholds_[r]; },
+        [this](Node r) { return arena_.load(r) > threshold_of(r); },
         "SystemState");
   }
 }

@@ -29,17 +29,22 @@ graph::Node sample_destination(graph::Node n, graph::Node src,
   return d >= src ? d + 1 : d;
 }
 
+/// Validate the scalar threshold (shared by the dense resolver below and
+/// the exact engine's scalar fast path).
+double checked_threshold(double threshold, const char* who) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument(std::string(who) + ": threshold must be > 0");
+  }
+  return threshold;
+}
+
 /// Resolve the scalar-or-vector threshold configuration into a dense
 /// per-resource vector (shared by both engines).
 std::vector<double> resolve_thresholds(const UserProtocolConfig& config,
                                        graph::Node n, const char* who) {
   std::vector<double> out;
   if (config.thresholds.empty()) {
-    if (config.threshold <= 0.0) {
-      throw std::invalid_argument(std::string(who) +
-                                  ": threshold must be > 0");
-    }
-    out.assign(n, config.threshold);
+    out.assign(n, checked_threshold(config.threshold, who));
   } else {
     if (config.thresholds.size() != n) {
       throw std::invalid_argument(
@@ -58,6 +63,19 @@ std::vector<double> resolve_thresholds(const UserProtocolConfig& config,
 
 }  // namespace
 
+std::optional<std::vector<double>> distinct_weights_capped(
+    const tasks::TaskSet& ts, std::size_t max_classes) {
+  std::vector<double> distinct;
+  distinct.reserve(max_classes + 1);
+  for (double w : ts.weights()) {
+    const auto it = std::lower_bound(distinct.begin(), distinct.end(), w);
+    if (it != distinct.end() && *it == w) continue;
+    if (distinct.size() == max_classes) return std::nullopt;
+    distinct.insert(it, w);
+  }
+  return distinct;
+}
+
 // ---------------------------------------------------------------------------
 // Exact engine
 // ---------------------------------------------------------------------------
@@ -65,13 +83,23 @@ std::vector<double> resolve_thresholds(const UserProtocolConfig& config,
 UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
                                            UserProtocolConfig config)
     : tasks_(&ts), config_(std::move(config)), state_(ts, n) {
-  thresholds_ = resolve_thresholds(config_, n, "UserControlledEngine");
-  max_threshold_ = *std::max_element(thresholds_.begin(), thresholds_.end());
+  if (config_.thresholds.empty()) {
+    uniform_threshold_ =
+        checked_threshold(config_.threshold, "UserControlledEngine");
+    max_threshold_ = uniform_threshold_;
+  } else {
+    thresholds_ = resolve_thresholds(config_, n, "UserControlledEngine");
+    max_threshold_ = *std::max_element(thresholds_.begin(), thresholds_.end());
+  }
   if (config_.alpha <= 0.0) {
     throw std::invalid_argument("UserControlledEngine: alpha must be > 0");
   }
   if (n < 2) throw std::invalid_argument("UserControlledEngine: need n >= 2");
-  state_.set_thresholds(thresholds_);
+  if (thresholds_.empty()) {
+    state_.set_thresholds(uniform_threshold_);
+  } else {
+    state_.set_thresholds(thresholds_);
+  }
 }
 
 void UserControlledEngine::reset(const tasks::Placement& placement) {
@@ -91,7 +119,7 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
   mover_origin_.clear();
   for (Node r : state_.overloaded()) {
     const ResourceStack& stack = std::as_const(state_).stack(r);
-    const double phi = stack.phi(*tasks_, thresholds_[r]);
+    const double phi = stack.phi(*tasks_, threshold(r));
     const double p =
         leave_probability(config_.alpha, phi, w_max, stack.count());
     if (p <= 0.0) continue;
@@ -124,9 +152,13 @@ RunResult UserControlledEngine::run(util::Rng& rng) {
   RunResult result;
   result.threshold = max_threshold_;
   const auto& opt = config_.options;
+  const auto record_phi = [this] {
+    return thresholds_.empty() ? user_potential(state_, uniform_threshold_)
+                               : user_potential(state_, thresholds_);
+  };
   while (!balanced() && result.rounds < opt.max_rounds) {
     if (opt.record_potential) {
-      result.potential_trace.push_back(user_potential(state_, thresholds_));
+      result.potential_trace.push_back(record_phi());
     }
     if (opt.record_overloaded) {
       result.overloaded_trace.push_back(state_.overloaded_count());
@@ -136,7 +168,7 @@ RunResult UserControlledEngine::run(util::Rng& rng) {
     ++result.rounds;
   }
   if (opt.record_potential) {
-    result.potential_trace.push_back(user_potential(state_, thresholds_));
+    result.potential_trace.push_back(record_phi());
   }
   if (opt.record_overloaded) {
     result.overloaded_trace.push_back(state_.overloaded_count());
@@ -165,15 +197,19 @@ GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
   }
   if (n < 2) throw std::invalid_argument("GroupedUserEngine: need n >= 2");
 
-  // Build the ascending weight-class table.
-  std::vector<double> sorted = ts.weights();
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  if (sorted.size() > kMaxClasses) {
+  // Build the ascending weight-class table with one pass and a small sorted
+  // insert set instead of sorting all m weights: at kMaxClasses = 64 the
+  // lookup is a handful of comparisons per task, so unit/two-point profiles
+  // at m = 10^7 cost milliseconds where the full sort cost ~0.5s — and task
+  // sets with too many classes are rejected as soon as the 65th distinct
+  // weight appears instead of after an O(m log m) sort.
+  std::optional<std::vector<double>> distinct =
+      distinct_weights_capped(ts, kMaxClasses);
+  if (!distinct) {
     throw std::invalid_argument(
         "GroupedUserEngine: too many distinct weights; use the exact engine");
   }
-  class_weights_ = std::move(sorted);
+  class_weights_ = std::move(*distinct);
   task_class_.resize(ts.size());
   for (TaskId i = 0; i < ts.size(); ++i) {
     const auto it = std::lower_bound(class_weights_.begin(),

@@ -1,7 +1,13 @@
 #pragma once
-// Full system state: one ResourceStack per resource plus aggregate queries.
-// Both protocol engines own a SystemState; tests use it directly to check
-// the paper's invariants (weight conservation, Observation 4, Lemma 1, ...).
+// Full system state: a mem::TaskArena holding every resource's stack plus
+// aggregate queries. Both protocol engines own a SystemState; tests use it
+// directly to check the paper's invariants (weight conservation,
+// Observation 4, Lemma 1, ...).
+//
+// Storage: all task ids and mirrored weights live in one flat SoA arena
+// (tlb/mem/task_arena.hpp) instead of n per-resource vectors; place() is a
+// destination-bucketed batch build (mem::BatchPlacer) and stack(r) hands
+// out a lightweight ResourceStack view.
 //
 // Overloaded-set contract: once an engine registers its thresholds via
 // set_thresholds(), the state keeps the set { r : load(r) > T_r } current
@@ -17,6 +23,7 @@
 #include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/resource_stack.hpp"
 #include "tlb/graph/graph.hpp"
+#include "tlb/mem/task_arena.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/tasks/task_set.hpp"
 
@@ -33,34 +40,47 @@ class SystemState {
 
   /// Register the thresholds the overloaded set is tracked against (uniform
   /// scalar or one per resource). Engines call this once at construction;
-  /// it is independent of the acceptance threshold passed to place().
+  /// it is independent of the acceptance threshold passed to place(). The
+  /// scalar form stays scalar internally — no n-sized vector is
+  /// materialised for the (common) uniform-threshold configuration.
   void set_thresholds(double threshold);
   void set_thresholds(std::vector<double> thresholds);
   /// True iff thresholds were registered (the O(active) queries require it).
-  bool has_thresholds() const noexcept { return !track_thresholds_.empty(); }
+  bool has_thresholds() const noexcept {
+    return track_uniform_ > 0.0 || !track_thresholds_.empty();
+  }
   /// The tracked threshold of resource r.
-  double threshold_of(Node r) const { return track_thresholds_[r]; }
+  double threshold_of(Node r) const {
+    return track_thresholds_.empty() ? track_uniform_ : track_thresholds_[r];
+  }
 
   /// Place all tasks per `placement` (task id order), with acceptance
   /// bookkeeping against `threshold` (pass a negative threshold to skip
-  /// acceptance, for the user-controlled protocol).
+  /// acceptance, for the user-controlled protocol). One counting-sorted
+  /// batch build; semantically identical to sequential pushes.
   void place(const tasks::Placement& placement, double threshold);
 
   /// Number of resources.
-  Node num_resources() const noexcept { return static_cast<Node>(stacks_.size()); }
+  Node num_resources() const noexcept { return arena_.num_resources(); }
   /// The task set this state allocates.
   const tasks::TaskSet& task_set() const noexcept { return *tasks_; }
+  /// The SoA storage behind the stacks (tests, perf counters).
+  const mem::TaskArena& arena() const noexcept { return arena_; }
 
-  /// Mutable access to one resource's stack. Conservatively marks r dirty —
+  /// Mutable view of one resource's stack. Conservatively marks r dirty —
   /// prefer the forwarders below on hot paths (same cost, clearer intent).
-  ResourceStack& stack(Node r) {
+  /// Mutations through a *stored* view bypass the dirty marking; re-fetch
+  /// the view instead of keeping it across round boundaries.
+  ResourceStack stack(Node r) {
     overloaded_.mark_dirty(r);
-    return stacks_[r];
+    return {arena_, r};
   }
-  const ResourceStack& stack(Node r) const { return stacks_[r]; }
+  const ResourceStack stack(Node r) const {
+    return {const_cast<mem::TaskArena&>(arena_), r};
+  }
 
   /// Load of resource r.
-  double load(Node r) const noexcept { return stacks_[r].load(); }
+  double load(Node r) const noexcept { return arena_.load(r); }
 
   // --- Mutating forwarders (keep the overloaded set current, O(1) each) ---
 
@@ -113,16 +133,19 @@ class SystemState {
   double total_load() const;
 
   /// Verify structural sanity: every task appears exactly once across all
-  /// stacks, cached loads match recomputed sums, and (when thresholds are
-  /// registered) the incremental overloaded set equals a brute-force rescan.
-  /// Throws std::logic_error with a description on violation. O(m + n);
-  /// used by tests and paranoid-check runs.
+  /// stacks, mirrored weights match the TaskSet, cached loads match
+  /// recomputed sums, the arena's span accounting holds, and (when
+  /// thresholds are registered) the incremental overloaded set equals a
+  /// brute-force rescan. Throws std::logic_error with a description on
+  /// violation. O(m + n); used by tests and paranoid-check runs.
   void check_invariants() const;
 
  private:
   const tasks::TaskSet* tasks_;
-  std::vector<ResourceStack> stacks_;
-  std::vector<double> track_thresholds_;  // empty until set_thresholds()
+  mem::TaskArena arena_;                  // SoA storage for all stacks
+  mem::BatchPlacer placer_;               // destination-bucketed place()
+  double track_uniform_ = 0.0;            // scalar threshold (0 = unset)
+  std::vector<double> track_thresholds_;  // per-resource override
   mutable OverloadedSet overloaded_;      // lazily reconciled in queries
 };
 

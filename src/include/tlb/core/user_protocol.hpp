@@ -22,6 +22,7 @@
 //    Figure 1/2-scale sweeps hundreds of times faster for two-point weight
 //    profiles.
 
+#include <optional>
 #include <vector>
 
 #include "tlb/core/metrics.hpp"
@@ -31,6 +32,16 @@
 #include "tlb/util/rng.hpp"
 
 namespace tlb::core {
+
+/// The ascending table of distinct weights in `ts`, or std::nullopt when
+/// more than `max_classes` distinct values exist (detected as soon as the
+/// (max_classes+1)-th one appears — continuous distributions bail out
+/// within the first ~max_classes tasks). One pass, a small sorted insert
+/// set, no O(m log m) sort. Shared by the GroupedUserEngine constructor
+/// and workload::grouped_engine_applicable so the applicability check can
+/// never diverge from what the constructor accepts.
+std::optional<std::vector<double>> distinct_weights_capped(
+    const tasks::TaskSet& ts, std::size_t max_classes);
 
 /// Shared configuration for both user-protocol engines.
 struct UserProtocolConfig {
@@ -70,14 +81,19 @@ class UserControlledEngine {
   /// Read-only state (tests and traces).
   const SystemState& state() const noexcept { return state_; }
   /// The threshold of resource r.
-  double threshold(Node r) const noexcept { return thresholds_[r]; }
+  double threshold(Node r) const noexcept {
+    return thresholds_.empty() ? uniform_threshold_ : thresholds_[r];
+  }
   /// The largest configured threshold (== the uniform one if uniform).
   double threshold() const noexcept { return max_threshold_; }
 
  private:
   const tasks::TaskSet* tasks_;
   UserProtocolConfig config_;
-  std::vector<double> thresholds_;  // resolved per-resource thresholds
+  // Uniform configurations stay scalar (no n-sized vector); thresholds_ is
+  // only materialised for the non-uniform extension.
+  double uniform_threshold_ = 0.0;
+  std::vector<double> thresholds_;  // per-resource override (else empty)
   double max_threshold_ = 0.0;
   SystemState state_;
   std::vector<TaskId> movers_;          // scratch

@@ -1,0 +1,21 @@
+#pragma once
+// Process-wide allocator tuning for throughput-oriented binaries.
+//
+// At n = 10^6 / m = 10^7 the drivers allocate a handful of buffers in the
+// tens-to-hundreds of megabytes per preset (weight vectors, placements, the
+// mem::TaskArena slabs). glibc serves allocations that large through
+// mmap/munmap by default, so every preset re-faults every page (~25ms per
+// 64MB on one core) even though the process just released an equally large
+// buffer. Raising the mmap and trim thresholds keeps those buffers on the
+// heap, where the pages stay resident and later presets reuse them.
+//
+// Semantics are untouched — this changes where the bytes live, not what any
+// simulation computes — so deterministic reports stay byte-identical.
+
+namespace tlb::util {
+
+/// Tune the process allocator for large-buffer reuse (no-op on non-glibc
+/// platforms). Call once at the top of main() in throughput drivers.
+void tune_allocator_for_throughput() noexcept;
+
+}  // namespace tlb::util

@@ -28,7 +28,10 @@ namespace tlb::workload {
 
 /// One benchmark configuration. `scenario` is any spec string
 /// ScenarioSpec::parse accepts; batch specs run to balance (capped at
-/// max_rounds), churn specs run warmup + measure rounds.
+/// max_rounds), churn specs run warmup + measure rounds. The special
+/// "arena:churn[:<weights>]" scenario drives a SystemState directly through
+/// remove_marked/push cycles (warmup + measure rounds) to benchmark the
+/// mem::TaskArena's allocation behaviour under sustained churn.
 struct PerfPreset {
   std::string name;          ///< stable identifier in the JSON report
   std::string scenario;      ///< workload spec string
@@ -85,5 +88,22 @@ std::string run_perf_set(const std::string& set, const std::string& only,
 /// field, making the bytes a pure function of (presets, seed).
 std::string perf_suite_json(const std::vector<PerfResult>& results,
                             std::uint64_t seed, bool include_timings);
+
+/// Append `{"label": ..., "set": ..., "report": <report_json>}` to the JSON
+/// array in the file at `path` (created if missing or empty), preserving
+/// the existing entries — the mechanics behind `--append=BENCH_perf.json`,
+/// so trajectory entries land in the file without hand-editing JSON.
+/// Throws std::runtime_error if the file exists but is not a JSON array.
+void append_bench_entry(const std::string& path, const std::string& label,
+                        const std::string& set,
+                        const std::string& report_json);
+
+/// The --label/--append CLI glue shared by bench/perf_suite and
+/// `tlb_sim --bench`: defaults an empty label to "<set>-seed<seed>",
+/// appends, and confirms on stderr prefixed with `who`. No-op when `path`
+/// is empty.
+void append_bench_entry_cli(const std::string& path, std::string label,
+                            const std::string& set, std::uint64_t seed,
+                            const std::string& report_json, const char* who);
 
 }  // namespace tlb::workload

@@ -35,6 +35,9 @@ namespace tlb::workload {
 class UnitWeights final : public tasks::WeightModel {
  public:
   double sample(util::Rng& rng) const override;
+  /// Direct fill — sample() consumes no randomness, so this is equivalent
+  /// to the base loop without m virtual calls.
+  tasks::TaskSet make(std::size_t m, util::Rng& rng) const override;
   std::string name() const override;
 };
 
@@ -43,6 +46,9 @@ class UniformWeights final : public tasks::WeightModel {
  public:
   explicit UniformWeights(double hi);
   double sample(util::Rng& rng) const override;
+  /// Direct fill: draws the same uniform01() sequence as the base loop but
+  /// with the RNG inlined instead of one virtual call per task.
+  tasks::TaskSet make(std::size_t m, util::Rng& rng) const override;
   std::string name() const override;
 
  private:

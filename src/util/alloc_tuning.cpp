@@ -1,0 +1,19 @@
+#include "tlb/util/alloc_tuning.hpp"
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace tlb::util {
+
+void tune_allocator_for_throughput() noexcept {
+#if defined(__GLIBC__)
+  // Keep buffers up to 1 GiB on the heap instead of per-allocation mmaps,
+  // and never trim the heap back — faulted pages then survive free() and
+  // the next preset's large allocations are served warm.
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+#endif
+}
+
+}  // namespace tlb::util

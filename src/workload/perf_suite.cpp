@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <optional>
 #include <stdexcept>
 
@@ -176,6 +178,94 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   finish_timing(round_ms, out);
 }
 
+/// Synthetic arena-churn driver (scenario "arena:churn[:<weights>]"): after
+/// a uniform-random bulk placement, every round evicts random subsets from
+/// ~n/64 random resources through SystemState::remove_marked and scatters
+/// the movers with push — exactly the mutation mix the protocol engines
+/// apply, but at a fixed rate, so the mem::TaskArena's allocation behaviour
+/// (span relocations, compactions, slab growth) under sustained churn is a
+/// recorded point on the perf trajectory instead of an assumption.
+void run_arena_churn_preset(const PerfPreset& preset, std::uint64_t seed,
+                            util::Timer& timer, PerfResult& out) {
+  timer.start("setup");
+  const graph::Node n = preset.n;
+  const std::size_t m = preset.load_factor * static_cast<std::size_t>(n);
+  // "arena:churn" optionally carries a weight-model spec as its third
+  // component ("arena:churn:uniform(8)").
+  std::string weights = "unit";
+  const std::string prefix = "arena:churn:";
+  if (preset.scenario.size() > prefix.size()) {
+    weights = preset.scenario.substr(prefix.size());
+  }
+  util::Rng rng(util::derive_seed(seed, kPerfRunStream));
+  const tasks::TaskSet ts = parse_weight_model(weights)->make(m, rng);
+  const double T = core::threshold_value(core::ThresholdKind::kAboveAverage,
+                                         ts, n, kEps);
+  core::SystemState state(ts, n);
+  state.set_thresholds(T);
+  out.n = n;
+  out.m = m;
+
+  timer.start("place");
+  const tasks::Placement start = tasks::uniform_random(ts, n, rng);
+  state.place(start, /*threshold=*/-1.0);
+
+  const graph::Node victims_per_round =
+      std::max<graph::Node>(1, n / 64);
+  std::vector<std::uint8_t> leave;
+  std::vector<tasks::TaskId> movers;
+  const auto churn_round = [&] {
+    movers.clear();
+    for (graph::Node k = 0; k < victims_per_round; ++k) {
+      const auto r = static_cast<graph::Node>(rng.uniform_below(n));
+      const std::size_t count = state.stack(r).count();
+      if (count == 0) continue;
+      leave.assign(count, 0);
+      bool any = false;
+      for (auto& bit : leave) {
+        if (rng.bernoulli(0.5)) {
+          bit = 1;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      state.remove_marked(r, leave, movers);
+    }
+    for (tasks::TaskId id : movers) {
+      state.push(static_cast<graph::Node>(rng.uniform_below(n)), id);
+    }
+    return movers.size();
+  };
+
+  timer.start("warmup");
+  for (long t = 0; t < preset.warmup; ++t) churn_round();
+
+  timer.start("rounds");
+  std::vector<double> round_ms;
+  round_ms.reserve(static_cast<std::size_t>(preset.measure));
+  util::Stopwatch watch;
+  for (long t = 0; t < preset.measure; ++t) {
+    watch.reset();
+    out.migrations += churn_round();
+    round_ms.push_back(watch.elapsed_ms());
+    ++out.rounds;
+  }
+
+  timer.start("finish");
+  const graph::Node over = state.overloaded_count();
+  out.final_overloaded = over;
+  out.balanced =
+      static_cast<double>(over) <= 0.05 * static_cast<double>(n);
+  std::fprintf(stderr,
+               "perf_suite:   arena: %zu slots, %zu dead, "
+               "%llu relocations, %llu compactions\n",
+               state.arena().slab_size(), state.arena().dead_slots(),
+               static_cast<unsigned long long>(state.arena().relocations()),
+               static_cast<unsigned long long>(state.arena().compactions()));
+  timer.stop();
+  finish_timing(round_ms, out);
+}
+
 void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       PerfResult& out) {
@@ -236,6 +326,7 @@ const std::vector<PerfPreset>& perf_presets() {
        262144, 8, 100000, 0, 0},
       {"churn-poisson-64k", "user:complete:bimodal(8,0.1):poisson(640,0.01)",
        65536, 0, 0, 300, 600},
+      {"arena-churn-1m", "arena:churn:uniform(8)", 1000000, 8, 0, 12, 36},
   };
   return presets;
 }
@@ -252,6 +343,7 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
        4096, 8, 100000, 0, 0},
       {"smoke-churn-poisson", "user:complete:bimodal(8,0.1):poisson(40,0.01)",
        4096, 0, 0, 100, 200},
+      {"smoke-arena-churn", "arena:churn:uniform(8)", 4096, 8, 0, 20, 40},
   };
   return presets;
 }
@@ -259,6 +351,14 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
 PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
   PerfResult out;
   out.preset = preset;
+  if (preset.scenario.rfind("arena:churn", 0) == 0) {
+    util::Timer timer;
+    run_arena_churn_preset(preset, seed, timer, out);
+    out.phases = timer.phases();
+    out.setup_ms = timer.ms("setup");
+    out.run_ms = timer.ms("rounds");
+    return out;
+  }
   const ScenarioSpec spec = resolve_scenario(preset.scenario);
   util::Timer timer;
   if (spec.is_churn()) {
@@ -339,6 +439,75 @@ std::string perf_suite_json(const std::vector<PerfResult>& results,
       .add("deterministic", !include_timings)
       .add_raw("presets", presets);
   return root.str();
+}
+
+void append_bench_entry(const std::string& path, const std::string& label,
+                        const std::string& set,
+                        const std::string& report_json) {
+  sim::Json entry;
+  entry.add("label", label).add("set", set).add_raw("report", report_json);
+
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+  }
+  // Trim both ends so the brackets are the first and last characters even
+  // in hand-edited files.
+  const auto is_space = [](char c) {
+    return c == '\n' || c == '\r' || c == ' ' || c == '\t';
+  };
+  while (!content.empty() && is_space(content.back())) content.pop_back();
+  std::size_t lead = 0;
+  while (lead < content.size() && is_space(content[lead])) ++lead;
+  content.erase(0, lead);
+  std::string merged;
+  if (content.empty()) {
+    merged = "[\n " + entry.str() + "\n]\n";
+  } else {
+    if (content.front() != '[' || content.back() != ']') {
+      throw std::runtime_error("append_bench_entry: " + path +
+                               " is not a JSON array");
+    }
+    content.pop_back();  // drop the closing bracket
+    while (!content.empty() && is_space(content.back())) content.pop_back();
+    // An empty array ("[") gets no separating comma.
+    merged = content;
+    if (merged != "[") merged += ",";
+    merged += "\n " + entry.str() + "\n]\n";
+  }
+  // Write-to-temp + rename so a crash or full disk mid-write cannot destroy
+  // the committed trajectory file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("append_bench_entry: cannot write " + tmp);
+    }
+    out << merged;
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("append_bench_entry: write to " + tmp +
+                               " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("append_bench_entry: cannot rename " + tmp +
+                             " to " + path);
+  }
+}
+
+void append_bench_entry_cli(const std::string& path, std::string label,
+                            const std::string& set, std::uint64_t seed,
+                            const std::string& report_json, const char* who) {
+  if (path.empty()) return;
+  if (label.empty()) label = set + "-seed" + std::to_string(seed);
+  append_bench_entry(path, label, set, report_json);
+  std::fprintf(stderr, "%s: appended '%s' to %s\n", who, label.c_str(),
+               path.c_str());
 }
 
 }  // namespace tlb::workload

@@ -316,12 +316,11 @@ std::string ScenarioResult::json() const {
 }
 
 bool grouped_engine_applicable(const tasks::TaskSet& ts) {
-  std::set<double> distinct;
-  for (double w : ts.weights()) {
-    distinct.insert(w);
-    if (distinct.size() > core::GroupedUserEngine::kMaxClasses) return false;
-  }
-  return true;
+  // Same capped scan the GroupedUserEngine constructor runs, so this can
+  // never diverge from what the constructor accepts.
+  return core::distinct_weights_capped(ts,
+                                       core::GroupedUserEngine::kMaxClasses)
+      .has_value();
 }
 
 core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
@@ -352,15 +351,17 @@ std::optional<core::GroupedUserEngine> try_grouped_user_engine(
     const tasks::TaskSet& ts, graph::Node n,
     const core::UserProtocolConfig& cfg) {
   std::optional<core::GroupedUserEngine> grouped;
-  if (grouped_engine_applicable(ts)) {
-    try {
-      grouped.emplace(ts, n, cfg);
-    } catch (const std::invalid_argument&) {
-      // The grouped representation rejected the task set (e.g. a future
-      // tightening of kMaxClasses, or a config it cannot express). The exact
-      // engine accepts everything the grouped one does and more — callers
-      // degrade gracefully instead of aborting the whole run.
-    }
+  // No applicability pre-scan: the constructor's own capped distinct-weight
+  // pass rejects oversized class tables as soon as the (kMaxClasses+1)-th
+  // distinct weight appears, so the failed attempt is cheap and the task
+  // set is scanned once instead of twice.
+  try {
+    grouped.emplace(ts, n, cfg);
+  } catch (const std::invalid_argument&) {
+    // The grouped representation rejected the task set (too many classes,
+    // or a config it cannot express). The exact engine accepts everything
+    // the grouped one does and more — callers degrade gracefully instead
+    // of aborting the whole run.
   }
   return grouped;
 }

@@ -25,6 +25,12 @@ using detail::fmt_param;
 // ---- unit -----------------------------------------------------------------
 
 double UnitWeights::sample(util::Rng&) const { return 1.0; }
+
+tasks::TaskSet UnitWeights::make(std::size_t m, util::Rng&) const {
+  if (m == 0) throw std::invalid_argument("WeightModel::make: need m >= 1");
+  return tasks::TaskSet(std::vector<double>(m, 1.0));
+}
+
 std::string UnitWeights::name() const { return "unit"; }
 
 // ---- uniform --------------------------------------------------------------
@@ -37,6 +43,14 @@ UniformWeights::UniformWeights(double hi) : hi_(hi) {
 
 double UniformWeights::sample(util::Rng& rng) const {
   return 1.0 + rng.uniform01() * (hi_ - 1.0);
+}
+
+tasks::TaskSet UniformWeights::make(std::size_t m, util::Rng& rng) const {
+  if (m == 0) throw std::invalid_argument("WeightModel::make: need m >= 1");
+  std::vector<double> w(m);
+  const double scale = hi_ - 1.0;
+  for (double& x : w) x = 1.0 + rng.uniform01() * scale;
+  return tasks::TaskSet(std::move(w));
 }
 
 std::string UniformWeights::name() const {

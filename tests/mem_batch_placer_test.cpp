@@ -1,0 +1,157 @@
+// mem::BatchPlacer — the destination-bucketed bulk build must produce
+// stacks bitwise identical (order, loads, acceptance bookkeeping) to
+// pushing the same placement sequentially in task-id order, for every
+// placement generator and every threshold mode.
+#include "tlb/mem/task_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace {
+
+using tlb::graph::Node;
+using tlb::mem::BatchPlacer;
+using tlb::mem::TaskArena;
+using tlb::tasks::Placement;
+using tlb::tasks::TaskId;
+using tlb::tasks::TaskSet;
+
+TaskSet make_tasks(std::size_t m, std::uint64_t seed) {
+  tlb::util::Rng rng(seed);
+  std::vector<double> w(m);
+  for (auto& x : w) x = 1.0 + rng.uniform01() * 7.0;
+  return TaskSet(std::move(w));
+}
+
+/// Sequential reference: push / push_accepting in task-id order.
+void place_sequentially(TaskArena& arena, const TaskSet& ts,
+                        const Placement& p, double threshold,
+                        const std::vector<double>* per_resource) {
+  for (TaskId i = 0; i < p.size(); ++i) {
+    if (per_resource != nullptr) {
+      arena.push_accepting(p[i], i, ts.weight(i), (*per_resource)[p[i]]);
+    } else if (threshold >= 0.0) {
+      arena.push_accepting(p[i], i, ts.weight(i), threshold);
+    } else {
+      arena.push(p[i], i, ts.weight(i));
+    }
+  }
+}
+
+void expect_identical(const TaskArena& batch, const TaskArena& seq, Node n,
+                      const std::string& what) {
+  ASSERT_EQ(batch.total_tasks(), seq.total_tasks()) << what;
+  for (Node r = 0; r < n; ++r) {
+    ASSERT_EQ(batch.count(r), seq.count(r)) << what << " resource " << r;
+    ASSERT_EQ(batch.tasks(r), seq.tasks(r)) << what << " resource " << r;
+    ASSERT_EQ(batch.load(r), seq.load(r)) << what << " resource " << r;
+    ASSERT_EQ(batch.accepted_count(r), seq.accepted_count(r))
+        << what << " resource " << r;
+    ASSERT_EQ(batch.accepted_load(r), seq.accepted_load(r))
+        << what << " resource " << r;
+    for (std::size_t i = 0; i < batch.count(r); ++i) {
+      ASSERT_EQ(batch.weights(r)[i], seq.weights(r)[i])
+          << what << " resource " << r << " slot " << i;
+    }
+  }
+  batch.check_invariants();
+}
+
+void check_all_modes(const TaskSet& ts, const Placement& p, Node n,
+                     const std::string& what) {
+  const double W = ts.total_weight();
+  const double T = 1.2 * W / static_cast<double>(n);
+  std::vector<double> per(n);
+  for (Node r = 0; r < n; ++r) {
+    per[r] = T * (0.5 + static_cast<double>(r % 5) * 0.25);
+  }
+  BatchPlacer placer;
+
+  {  // plain stacking
+    TaskArena batch(n), seq(n);
+    placer.place(batch, ts, p);
+    place_sequentially(seq, ts, p, -1.0, nullptr);
+    expect_identical(batch, seq, n, what + "/plain");
+  }
+  {  // negative uniform threshold == plain (the SystemState convention)
+    TaskArena batch(n), seq(n);
+    placer.place(batch, ts, p, -1.0);
+    place_sequentially(seq, ts, p, -1.0, nullptr);
+    expect_identical(batch, seq, n, what + "/negative");
+  }
+  {  // uniform acceptance threshold
+    TaskArena batch(n), seq(n);
+    placer.place(batch, ts, p, T);
+    place_sequentially(seq, ts, p, T, nullptr);
+    expect_identical(batch, seq, n, what + "/uniform");
+  }
+  {  // per-resource thresholds
+    TaskArena batch(n), seq(n);
+    placer.place(batch, ts, p, per);
+    place_sequentially(seq, ts, p, 0.0, &per);
+    expect_identical(batch, seq, n, what + "/per-resource");
+  }
+  {  // re-place over a dirty arena (engine reset between trials)
+    TaskArena batch(n);
+    tlb::util::Rng scatter(99);
+    for (TaskId i = 0; i < p.size(); ++i) {
+      batch.push(static_cast<Node>(scatter.uniform_below(n)), i,
+                 ts.weight(i));
+    }
+    TaskArena seq(n);
+    placer.place(batch, ts, p, T);
+    place_sequentially(seq, ts, p, T, nullptr);
+    expect_identical(batch, seq, n, what + "/reused-arena");
+  }
+}
+
+TEST(BatchPlacerTest, AllOnOne) {
+  const TaskSet ts = make_tasks(503, 11);
+  const Node n = 16;
+  check_all_modes(ts, tlb::tasks::all_on_one(ts), n, "all_on_one");
+  // Non-default target resource exercises the fast path away from r = 0.
+  check_all_modes(ts, tlb::tasks::all_on_one(ts, 7), n, "all_on_one(7)");
+}
+
+TEST(BatchPlacerTest, UniformRandom) {
+  const TaskSet ts = make_tasks(761, 12);
+  const Node n = 32;
+  tlb::util::Rng rng(5);
+  check_all_modes(ts, tlb::tasks::uniform_random(ts, n, rng), n,
+                  "uniform_random");
+}
+
+TEST(BatchPlacerTest, RoundRobin) {
+  const TaskSet ts = make_tasks(640, 13);
+  const Node n = 24;
+  check_all_modes(ts, tlb::tasks::round_robin(ts, n, /*k=*/10), n,
+                  "round_robin");
+}
+
+TEST(BatchPlacerTest, Observation8Adversarial) {
+  const TaskSet ts = make_tasks(512, 14);
+  const Node n = 17;  // clique-plus-satellite sizing
+  check_all_modes(ts, tlb::tasks::observation8_adversarial(ts, n), n,
+                  "observation8");
+}
+
+TEST(BatchPlacerTest, ValidatesInput) {
+  const TaskSet ts = make_tasks(8, 15);
+  TaskArena arena(4);
+  BatchPlacer placer;
+  Placement short_p(4, 0);
+  EXPECT_THROW(placer.place(arena, ts, short_p), std::invalid_argument);
+  Placement out_of_range(8, 9);
+  EXPECT_THROW(placer.place(arena, ts, out_of_range), std::invalid_argument);
+  Placement ok(8, 0);
+  std::vector<double> wrong_size(3, 1.0);
+  EXPECT_THROW(placer.place(arena, ts, ok, wrong_size), std::invalid_argument);
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 //   tlb_sim --scenario=churn-poisson --n=200 --trials=20
 //   tlb_sim --list
 //   tlb_sim --bench --bench_set=smoke --timings=false
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -58,6 +59,14 @@ int main(int argc, char** argv) {
   cli.add_flag("trials", "50", "independent trials");
   cli.add_flag("seed", "42", "master RNG seed");
   cli.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.add_flag("engine-threads", "-1",
+               "engine-level phase-1 sampling threads for the user-protocol "
+               "family (scenario mode: -1 and 1 both mean inline, 0 = "
+               "hardware concurrency; bench mode: override every preset, "
+               "-1 = preset defaults); never changes results. Each trial "
+               "owns its pool, so combining with --threads multiplies "
+               "thread counts — prefer --threads for many trials and "
+               "--engine-threads for single-trial/bench runs");
   cli.add_flag("alpha", "1.0", "user-side migration dampening");
   cli.add_flag("eps", "0.25", "above-average threshold slack");
   cli.add_flag("threshold", "above_average",
@@ -89,7 +98,8 @@ int main(int argc, char** argv) {
       const std::string set = cli.get_string("bench_set");
       const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
       const std::string report = workload::run_perf_set(
-          set, /*only=*/"", seed, cli.get_bool("timings"));
+          set, /*only=*/"", seed, cli.get_bool("timings"),
+          cli.get_int("engine-threads"));
       std::printf("%s\n", report.c_str());
       workload::append_bench_entry_cli(cli.get_string("append"),
                                        cli.get_string("label"), set, seed,
@@ -120,6 +130,9 @@ int main(int argc, char** argv) {
     params.warmup = cli.get_int("warmup");
     params.measure = cli.get_int("measure");
     params.degree = static_cast<graph::Node>(cli.get_int("degree"));
+    const std::int64_t engine_threads = cli.get_int("engine-threads");
+    params.engine_threads =
+        engine_threads < 0 ? 1 : static_cast<std::size_t>(engine_threads);
     const std::string tkind = cli.get_string("threshold");
     if (tkind == "above_average" || tkind == "above") {
       params.threshold = core::ThresholdKind::kAboveAverage;

@@ -26,6 +26,10 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "42", "master RNG seed");
   cli.add_flag("timings", "true",
                "include wall-clock fields (false => byte-deterministic)");
+  cli.add_flag("engine-threads", "-1",
+               "override every preset's engine-level phase-1 threads "
+               "(-1 = preset defaults, 0 = hardware concurrency); never "
+               "changes the deterministic counters");
   cli.add_flag("label", "",
                "label for the --append entry (default: \"<set>-seed<seed>\")");
   cli.add_flag("append", "",
@@ -37,7 +41,8 @@ int main(int argc, char** argv) {
     const std::string set = cli.get_string("set");
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const std::string report = workload::run_perf_set(
-        set, cli.get_string("only"), seed, cli.get_bool("timings"));
+        set, cli.get_string("only"), seed, cli.get_bool("timings"),
+        cli.get_int("engine-threads"));
     std::printf("%s\n", report.c_str());
     workload::append_bench_entry_cli(cli.get_string("append"),
                                      cli.get_string("label"), set, seed,

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "tlb/util/binomial.hpp"
+#include "tlb/util/parallel.hpp"
 
 namespace tlb::core {
 
@@ -30,9 +31,14 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
             [](const auto& a, const auto& b) { return a.weight < b.weight; });
   double total_p = 0.0;
   for (const auto& c : config_.classes) {
-    if (c.weight < 1.0 || c.probability <= 0.0) {
+    // NaN fails every ordered comparison, so the bounds are written to
+    // reject it explicitly: a non-finite weight would corrupt the sorted
+    // class table (lower_bound ordering) and every load sum silently.
+    if (!std::isfinite(c.weight) || !(c.weight >= 1.0) ||
+        !std::isfinite(c.probability) || !(c.probability > 0.0)) {
       throw std::invalid_argument(
-          "DynamicUserEngine: class weights >= 1, probabilities > 0");
+          "DynamicUserEngine: class weights finite and >= 1, "
+          "probabilities finite and > 0");
     }
     total_p += c.probability;
   }
@@ -49,17 +55,26 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
   loads_.assign(config_.n, 0.0);
   task_counts_.assign(config_.n, 0);
   over_.reset(config_.n);
+  threshold_ = 0.0;  // force the first recompute to register its value
   recompute_threshold();
+  if (config_.threads != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
 }
 
 void DynamicUserEngine::recompute_threshold() {
   // Above-average threshold against the *current* total weight; the +w_max
   // term uses the static class bound (resources know the workload's class
   // table, not the transient maximum).
-  threshold_ = (1.0 + config_.eps) * total_weight_ /
-                   static_cast<double>(config_.n) +
-               w_max_;
-  // A global threshold change can flip the status of any resource.
+  const double next = (1.0 + config_.eps) * total_weight_ /
+                          static_cast<double>(config_.n) +
+                      w_max_;
+  // Only a *changed* threshold can flip a resource whose load did not move;
+  // quiet rounds (no arrivals, completions or crashes) recompute to exactly
+  // the same value, and invalidating all n resources then would turn the
+  // next overloaded_now() into a pointless full rescan.
+  if (next == threshold_) return;
+  threshold_ = next;
   over_.mark_all_dirty();
 }
 
@@ -149,44 +164,66 @@ void DynamicUserEngine::do_crash(util::Rng& rng) {
 }
 
 std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
-  // One grouped Algorithm 6.1 round against the current threshold.
+  // One grouped Algorithm 6.1 round against the current threshold. The
+  // per-round base seed comes from the caller's stream; phase 1 shards the
+  // overloaded list, each shard drawing its binomial leaver counts from a
+  // private (round_seed, shard) stream into its own buffer while reading
+  // only the frozen round-start counts/loads — race-free and bitwise
+  // independent of config_.threads.
   const std::size_t C = class_weights_.size();
-  struct Departure {
-    graph::Node src;
-    std::uint32_t cls;
-    std::uint32_t count;
-  };
-  static thread_local std::vector<Departure> departures;
-  departures.clear();
-  for (graph::Node r : overloaded_now()) {
-    if (task_counts_[r] == 0) continue;
-    const double phi = phi_of(r);
-    if (phi <= 0.0) continue;
-    const double p =
-        std::min(1.0, config_.alpha * std::ceil(phi / w_max_) /
-                          static_cast<double>(task_counts_[r]));
-    for (std::size_t c = 0; c < C; ++c) {
-      const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
-      if (k == 0) continue;
-      const auto leavers = static_cast<std::uint32_t>(util::binomial(rng, k, p));
-      if (leavers > 0) departures.push_back({r, static_cast<std::uint32_t>(c), leavers});
+  const std::uint64_t round_seed = rng();
+  const std::vector<graph::Node>& over = overloaded_now();
+  const std::size_t shards = util::shard_count(over.size(), kShardGrain);
+  if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
+  util::parallel_shard(
+      over.size(), kShardGrain, pool_.get(),
+      [this, &over, C, round_seed](std::size_t shard, std::size_t lo,
+                                   std::size_t hi) {
+        std::vector<Departure>& buf = shard_bufs_[shard];
+        buf.clear();
+        util::Rng srng(util::derive_seed(round_seed, shard));
+        for (std::size_t i = lo; i < hi; ++i) {
+          const graph::Node r = over[i];
+          if (task_counts_[r] == 0) continue;
+          const double phi = phi_of(r);
+          if (phi <= 0.0) continue;
+          const double p =
+              std::min(1.0, config_.alpha * std::ceil(phi / w_max_) /
+                                static_cast<double>(task_counts_[r]));
+          for (std::size_t c = 0; c < C; ++c) {
+            const std::uint32_t k =
+                counts_[static_cast<std::size_t>(r) * C + c];
+            if (k == 0) continue;
+            const auto leavers =
+                static_cast<std::uint32_t>(util::binomial(srng, k, p));
+            if (leavers > 0) {
+              buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+            }
+          }
+        }
+      });
+
+  // Phase 2: apply in shard order on the calling thread.
+  std::size_t migrations = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const Departure& d : shard_bufs_[s]) {
+      counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
+      loads_[d.src] -= static_cast<double>(d.count) * class_weights_[d.cls];
+      task_counts_[d.src] -= d.count;
+      over_.mark_dirty(d.src);
     }
   }
-  std::size_t migrations = 0;
-  for (const auto& d : departures) {
-    counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
-    loads_[d.src] -= static_cast<double>(d.count) * class_weights_[d.cls];
-    task_counts_[d.src] -= d.count;
-    over_.mark_dirty(d.src);
-  }
-  for (const auto& d : departures) {
-    for (std::uint32_t i = 0; i < d.count; ++i) {
-      const auto dst = static_cast<graph::Node>(rng.uniform_below(config_.n));
-      ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
-      loads_[dst] += class_weights_[d.cls];
-      ++task_counts_[dst];
-      over_.mark_dirty(dst);
-      ++migrations;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const Departure& d : shard_bufs_[s]) {
+      for (std::uint32_t i = 0; i < d.count; ++i) {
+        const auto dst =
+            static_cast<graph::Node>(rng.uniform_below(config_.n));
+        ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
+        loads_[dst] += class_weights_[d.cls];
+        ++task_counts_[dst];
+        over_.mark_dirty(dst);
+        ++migrations;
+      }
     }
   }
   return migrations;

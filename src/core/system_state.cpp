@@ -86,6 +86,12 @@ void SystemState::remove_marked(Node r, const std::vector<std::uint8_t>& leave,
   overloaded_.mark_dirty(r);
 }
 
+void SystemState::remove_marked(Node r, const std::uint8_t* leave,
+                                std::size_t len, std::vector<TaskId>& out) {
+  arena_.remove_marked(r, leave, len, out);
+  overloaded_.mark_dirty(r);
+}
+
 const std::vector<Node>& SystemState::overloaded() const {
   if (!has_thresholds()) {
     throw std::logic_error(

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "tlb/core/potential.hpp"
 #include "tlb/util/binomial.hpp"
+#include "tlb/util/parallel.hpp"
 
 namespace tlb::core {
 
 namespace {
+
+/// Phase-1 worker pool for an engine: none when threads == 1 (sampling runs
+/// inline on the calling thread over the same shard partition), else a pool
+/// of `threads` workers (0 = hardware concurrency) reused across rounds.
+std::unique_ptr<util::ThreadPool> make_phase1_pool(std::size_t threads) {
+  if (threads == 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(threads);
+}
 
 /// Clamp the migration probability α·⌈φ/w_max⌉/b to [0, 1].
 double leave_probability(double alpha, double phi, double w_max,
@@ -32,8 +42,10 @@ graph::Node sample_destination(graph::Node n, graph::Node src,
 /// Validate the scalar threshold (shared by the dense resolver below and
 /// the exact engine's scalar fast path).
 double checked_threshold(double threshold, const char* who) {
-  if (threshold <= 0.0) {
-    throw std::invalid_argument(std::string(who) + ": threshold must be > 0");
+  // !(x > 0) also catches NaN, which `x <= 0` would wave through.
+  if (!std::isfinite(threshold) || !(threshold > 0.0)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": threshold must be finite and > 0");
   }
   return threshold;
 }
@@ -51,9 +63,9 @@ std::vector<double> resolve_thresholds(const UserProtocolConfig& config,
           std::string(who) + ": thresholds size must equal resource count");
     }
     for (double t : config.thresholds) {
-      if (t <= 0.0) {
+      if (!std::isfinite(t) || !(t > 0.0)) {
         throw std::invalid_argument(std::string(who) +
-                                    ": all thresholds must be > 0");
+                                    ": all thresholds must be finite and > 0");
       }
     }
     out = config.thresholds;
@@ -100,6 +112,7 @@ UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
   } else {
     state_.set_thresholds(thresholds_);
   }
+  pool_ = make_phase1_pool(config_.options.threads);
 }
 
 void UserControlledEngine::reset(const tasks::Placement& placement) {
@@ -109,32 +122,83 @@ void UserControlledEngine::reset(const tasks::Placement& placement) {
 std::size_t UserControlledEngine::step(util::Rng& rng) {
   const Node n = state_.num_resources();
   const double w_max = tasks_->max_weight();
+  // Per-round base seed for the sharded sampler, drawn from the caller's
+  // stream so a run is still a pure function of the initial seed. Every
+  // shard below derives its private stream from (round_seed, shard).
+  const std::uint64_t round_seed = rng();
 
-  // Phase 1: departure decisions, all based on the state at round start.
-  // Only overloaded resources can lose tasks, and the state tracks them
-  // incrementally — O(#overloaded), not O(n). Mutations below only mark
-  // resources dirty; the list itself stays stable until the next query, so
-  // iterating it while removing/pushing is safe.
+  // Phase 1a: freeze the round-start state the departure decisions are
+  // analysed against — per-resource leave probability p_r, and the flat
+  // layout of candidate coins: positions coin_prefix_[i]..coin_prefix_[i+1]
+  // are the stack positions of overloaded()[i]. Only overloaded resources
+  // can lose tasks, and the state tracks them incrementally. Mutations
+  // later only mark resources dirty; the list stays stable until the next
+  // query, so holding the reference across the round is safe.
+  const std::vector<Node>& over = state_.overloaded();
+  const std::size_t k = over.size();
+  coin_prefix_.resize(k + 1);
+  leave_p_.resize(k);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const ResourceStack stack = std::as_const(state_).stack(over[i]);
+    coin_prefix_[i] = total;
+    total += stack.count();
+    const double phi = stack.phi(*tasks_, threshold(over[i]));
+    leave_p_[i] = leave_probability(config_.alpha, phi, w_max, stack.count());
+  }
+  coin_prefix_[k] = total;
+
+  // Phase 1b: flip the coins. Sharding the flat coin index space (rather
+  // than the overloaded list) keeps the all-on-one initial round parallel
+  // too. Shards only read the frozen arrays and write disjoint mask bytes,
+  // so the pass is race-free and bitwise independent of the thread count.
+  flat_mask_.assign(total, 0);
+  util::parallel_shard(
+      total, kCoinShardGrain, pool_.get(),
+      [this, round_seed](std::size_t shard, std::size_t lo, std::size_t hi) {
+        util::Rng srng(util::derive_seed(round_seed, shard));
+        // Resource index whose coin range contains lo.
+        std::size_t i = static_cast<std::size_t>(
+                            std::upper_bound(coin_prefix_.begin(),
+                                             coin_prefix_.end(), lo) -
+                            coin_prefix_.begin()) -
+                        1;
+        std::size_t pos = lo;
+        while (pos < hi) {
+          while (coin_prefix_[i + 1] <= pos) ++i;
+          const std::size_t end = std::min(hi, coin_prefix_[i + 1]);
+          const double p = leave_p_[i];
+          if (p >= 1.0) {
+            // Deterministic all-leave: p is a pure function of the frozen
+            // round-start state, so skipping the draws is thread-invariant.
+            std::fill(flat_mask_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      flat_mask_.begin() + static_cast<std::ptrdiff_t>(end),
+                      std::uint8_t{1});
+          } else if (p > 0.0) {
+            // Integer-threshold coin: success iff the raw 64-bit draw falls
+            // below p * 2^64 (p < 1 keeps the product below 2^64).
+            const auto cut = static_cast<std::uint64_t>(p * 0x1.0p64);
+            for (std::size_t c = pos; c < end; ++c) {
+              if (srng() < cut) flat_mask_[c] = 1;
+            }
+          }
+          pos = end;
+        }
+      });
+
+  // Phase 1c: apply the removals on the calling thread, in overloaded-list
+  // order — single-threaded mutation, deterministic merge.
   movers_.clear();
   mover_origin_.clear();
-  for (Node r : state_.overloaded()) {
-    const ResourceStack& stack = std::as_const(state_).stack(r);
-    const double phi = stack.phi(*tasks_, threshold(r));
-    const double p =
-        leave_probability(config_.alpha, phi, w_max, stack.count());
-    if (p <= 0.0) continue;
-    leave_mask_.assign(stack.count(), 0);
-    bool any = false;
-    for (std::size_t i = 0; i < leave_mask_.size(); ++i) {
-      if (rng.bernoulli(p)) {
-        leave_mask_[i] = 1;
-        any = true;
-      }
-    }
-    if (!any) continue;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t count = coin_prefix_[i + 1] - coin_prefix_[i];
+    if (count == 0) continue;
+    const std::uint8_t* mask = flat_mask_.data() + coin_prefix_[i];
+    if (std::memchr(mask, 1, count) == nullptr) continue;
     const std::size_t before = movers_.size();
-    state_.remove_marked(r, leave_mask_, movers_);
-    mover_origin_.insert(mover_origin_.end(), movers_.size() - before, r);
+    state_.remove_marked(over[i], mask, count, movers_);
+    mover_origin_.insert(mover_origin_.end(), movers_.size() - before,
+                         over[i]);
   }
 
   // Phase 2: scatter to uniformly random resources.
@@ -216,6 +280,7 @@ GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
                                      class_weights_.end(), ts.weight(i));
     task_class_[i] = static_cast<std::uint32_t>(it - class_weights_.begin());
   }
+  pool_ = make_phase1_pool(config_.options.threads);
 }
 
 void GroupedUserEngine::reset(const tasks::Placement& placement) {
@@ -285,52 +350,68 @@ double GroupedUserEngine::potential() const {
 std::size_t GroupedUserEngine::step(util::Rng& rng) {
   const std::size_t C = class_weights_.size();
   const double w_max = tasks_->max_weight();
+  // Per-round base seed for the sharded sampler (see the header comment).
+  const std::uint64_t round_seed = rng();
 
   // Phase 1: per overloaded resource, binomial leaver counts per class,
   // decided against the round-start state. The incremental set makes this
-  // O(#overloaded) instead of an O(n) sweep.
-  struct Departure {
-    Node src;
-    std::uint32_t cls;
-    std::uint32_t count;
-  };
-  static thread_local std::vector<Departure> departures;
-  departures.clear();
-  for (Node r : overloaded()) {
-    const double phi = phi_of(r);
-    const double p =
-        leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
-    if (p <= 0.0) continue;
-    for (std::size_t c = 0; c < C; ++c) {
-      const std::uint32_t k = counts_[static_cast<std::size_t>(r) * C + c];
-      if (k == 0) continue;
-      const auto leavers =
-          static_cast<std::uint32_t>(util::binomial(rng, k, p));
-      if (leavers > 0) {
-        departures.push_back({r, static_cast<std::uint32_t>(c), leavers});
-      }
+  // O(#overloaded) instead of an O(n) sweep, and the overloaded list is
+  // sharded: each shard draws from its private (round_seed, shard) stream
+  // into its own buffer while only reading the frozen counts/loads, so the
+  // pass is race-free and bitwise independent of the thread count.
+  const std::vector<Node>& over = overloaded();
+  const std::size_t shards = util::shard_count(over.size(), kShardGrain);
+  if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
+  util::parallel_shard(
+      over.size(), kShardGrain, pool_.get(),
+      [this, &over, C, w_max, round_seed](std::size_t shard, std::size_t lo,
+                                          std::size_t hi) {
+        std::vector<Departure>& buf = shard_bufs_[shard];
+        buf.clear();
+        util::Rng srng(util::derive_seed(round_seed, shard));
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Node r = over[i];
+          const double phi = phi_of(r);
+          const double p =
+              leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
+          if (p <= 0.0) continue;
+          for (std::size_t c = 0; c < C; ++c) {
+            const std::uint32_t k =
+                counts_[static_cast<std::size_t>(r) * C + c];
+            if (k == 0) continue;
+            const auto leavers =
+                static_cast<std::uint32_t>(util::binomial(srng, k, p));
+            if (leavers > 0) {
+              buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+            }
+          }
+        }
+      });
+
+  // Phase 2: apply in shard order on the calling thread — remove, then
+  // scatter each departing task independently from the caller's stream.
+  std::size_t migrations = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const Departure& d : shard_bufs_[s]) {
+      counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
+      const double w = class_weights_[d.cls];
+      loads_[d.src] -= static_cast<double>(d.count) * w;
+      task_counts_[d.src] -= d.count;
+      over_.mark_dirty(d.src);
     }
   }
-
-  // Phase 2: remove, then scatter each departing task independently.
-  std::size_t migrations = 0;
-  for (const auto& d : departures) {
-    counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
-    const double w = class_weights_[d.cls];
-    loads_[d.src] -= static_cast<double>(d.count) * w;
-    task_counts_[d.src] -= d.count;
-    over_.mark_dirty(d.src);
-  }
-  for (const auto& d : departures) {
-    const double w = class_weights_[d.cls];
-    for (std::uint32_t i = 0; i < d.count; ++i) {
-      const Node dst =
-          sample_destination(n_, d.src, config_.exclude_self, rng);
-      ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
-      loads_[dst] += w;
-      ++task_counts_[dst];
-      over_.mark_dirty(dst);
-      ++migrations;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const Departure& d : shard_bufs_[s]) {
+      const double w = class_weights_[d.cls];
+      for (std::uint32_t i = 0; i < d.count; ++i) {
+        const Node dst =
+            sample_destination(n_, d.src, config_.exclude_self, rng);
+        ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
+        loads_[dst] += w;
+        ++task_counts_[dst];
+        over_.mark_dirty(dst);
+        ++migrations;
+      }
     }
   }
   return migrations;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "tlb/core/overloaded_set.hpp"
@@ -29,6 +30,7 @@
 #include "tlb/graph/graph.hpp"
 #include "tlb/util/rng.hpp"
 #include "tlb/util/stats.hpp"
+#include "tlb/util/thread_pool.hpp"
 
 namespace tlb::core {
 
@@ -59,6 +61,10 @@ struct DynamicConfig {
   /// Verify the incremental overloaded set against a brute-force rescan
   /// after every round (throws std::logic_error on divergence).
   bool paranoid_checks = false;
+  /// Phase-1 sampling workers (1 = inline, 0 = hardware concurrency, k = a
+  /// pool of k). Bitwise-identical results for every value — see
+  /// EngineOptions::threads.
+  std::size_t threads = 1;
 };
 
 /// Aggregated steady-state metrics.
@@ -95,6 +101,15 @@ class DynamicUserEngine {
   /// Migrations performed in the most recent step.
   std::size_t last_migrations() const noexcept { return last_migrations_; }
 
+  /// Overloaded-list shard grain for the phase-1 sampler. Part of the
+  /// deterministic stream definition; changing it changes results.
+  static constexpr std::size_t kShardGrain = 512;
+
+  /// Read-only view of the incremental overloaded tracker (tests assert
+  /// reconciliation cost via flush_checks(), e.g. that a quiet round with
+  /// an unchanged threshold does no full rescan).
+  const OverloadedSet& overloaded_tracker() const noexcept { return over_; }
+
  private:
   void do_arrivals(util::Rng& rng);
   void do_completions(util::Rng& rng);
@@ -102,11 +117,11 @@ class DynamicUserEngine {
   std::size_t do_protocol_step(util::Rng& rng);
   void recompute_threshold();
   double phi_of(graph::Node r) const;
-  /// The incrementally tracked overloaded set (reconciled on access). The
-  /// per-round threshold recomputation marks everything dirty — a global
-  /// threshold change can flip any resource — so the dynamic engine's round
-  /// stays O(n); the win here is skipping the O(C) φ work per balanced
-  /// resource and sharing one audited tracker with the batch engines.
+  /// The incrementally tracked overloaded set (reconciled on access). A
+  /// *changed* global threshold can flip any resource and marks everything
+  /// dirty (O(n) on the next flush); a recomputation that lands on the same
+  /// value — quiet rounds with no arrivals, completions or crashes — leaves
+  /// the dirty set untouched, so those rounds stay O(#touched).
   const std::vector<graph::Node>& overloaded_now() const;
   void check_overloaded_invariant() const;
 
@@ -125,6 +140,15 @@ class DynamicUserEngine {
   std::size_t last_migrations_ = 0;
   DynamicMetrics* metrics_ = nullptr;   // non-null during measured rounds
   mutable OverloadedSet over_;          // incremental overloaded set
+
+  /// One (resource, class) departure drawn in phase 1, applied in phase 2.
+  struct Departure {
+    graph::Node src;
+    std::uint32_t cls;
+    std::uint32_t count;
+  };
+  std::unique_ptr<util::ThreadPool> pool_;          // phase-1 workers
+  std::vector<std::vector<Departure>> shard_bufs_;  // per-shard output
 };
 
 }  // namespace tlb::core

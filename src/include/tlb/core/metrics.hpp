@@ -1,6 +1,7 @@
 #pragma once
 // Shared result/trace types for protocol runs.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,13 @@ struct EngineOptions {
   bool record_potential = false;   ///< fill RunResult::potential_trace
   bool record_overloaded = false;  ///< fill RunResult::overloaded_trace
   bool paranoid_checks = false;    ///< run SystemState::check_invariants each round
+  /// Worker threads for the parallel phase-1 departure sampling in the
+  /// user-protocol engines (exact / grouped / dynamic): 1 = sample on the
+  /// calling thread, 0 = hardware concurrency, k = a pool of k workers.
+  /// Results are bitwise identical for every value — sampling is sharded
+  /// with per-(round, shard) RNG streams, so the thread count only decides
+  /// who runs a shard, never what it computes.
+  std::size_t threads = 1;
 };
 
 }  // namespace tlb::core

@@ -67,6 +67,7 @@ class OverloadedSet {
     // Drop stale entries first; the surviving prefix stays sorted.
     std::size_t keep = 0;
     for (graph::Node r : list_) {
+      ++flush_checks_;
       if (over(r)) {
         list_[keep++] = r;
       } else {
@@ -77,9 +78,12 @@ class OverloadedSet {
     // Append newly overloaded dirty resources, then merge them in.
     for (graph::Node r : dirty_) {
       in_dirty_[r] = 0;
-      if (!in_list_[r] && over(r)) {
-        in_list_[r] = 1;
-        list_.push_back(r);
+      if (!in_list_[r]) {
+        ++flush_checks_;
+        if (over(r)) {
+          in_list_[r] = 1;
+          list_.push_back(r);
+        }
       }
     }
     dirty_.clear();
@@ -124,12 +128,18 @@ class OverloadedSet {
   bool clean() const noexcept { return dirty_.empty(); }
   /// Number of resources tracked by reset().
   std::size_t capacity() const noexcept { return in_list_.size(); }
+  /// Lifetime count of predicate evaluations performed by flush(). Tests
+  /// use the delta across an operation to assert how much reconciliation it
+  /// actually cost — e.g. that a quiet round (no mutations, unchanged
+  /// threshold) does no rescan at all. Survives reset() deliberately.
+  std::uint64_t flush_checks() const noexcept { return flush_checks_; }
 
  private:
   std::vector<graph::Node> list_;        // current overloaded set (sorted)
   std::vector<graph::Node> dirty_;       // resources awaiting re-check
   std::vector<std::uint8_t> in_list_;    // membership flag per resource
   std::vector<std::uint8_t> in_dirty_;   // dedup flag per resource
+  std::uint64_t flush_checks_ = 0;       // predicate calls across flushes
 };
 
 }  // namespace tlb::core

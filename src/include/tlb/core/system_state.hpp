@@ -97,6 +97,9 @@ class SystemState {
   /// Remove the flagged stack positions of r, appending to `out`.
   void remove_marked(Node r, const std::vector<std::uint8_t>& leave,
                      std::vector<TaskId>& out);
+  /// Same with a raw mask span (slice of a flat all-resources mask buffer).
+  void remove_marked(Node r, const std::uint8_t* leave, std::size_t len,
+                     std::vector<TaskId>& out);
 
   // --- O(active) queries against the registered thresholds ---
 

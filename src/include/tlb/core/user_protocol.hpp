@@ -21,7 +21,19 @@
 //    coins. Stacks use a canonical ascending-weight order for φ. This makes
 //    Figure 1/2-scale sweeps hundreds of times faster for two-point weight
 //    profiles.
+//
+// Phase 1 (departure sampling) in both engines is sharded: the decisions
+// are independent per overloaded resource and are analysed against the
+// round-start state, so each round draws one base seed from the caller's
+// stream and every fixed-size shard samples from its private
+// Rng(derive_seed(round_seed, shard)) into a shard-local buffer. Shard
+// boundaries depend only on the round-start state — never on
+// EngineOptions::threads — and the buffers are merged and applied in shard
+// order on the calling thread, so results are bitwise identical for every
+// thread count (1, the default, runs the same shard partition inline).
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -30,6 +42,7 @@
 #include "tlb/core/system_state.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/util/rng.hpp"
+#include "tlb/util/thread_pool.hpp"
 
 namespace tlb::core {
 
@@ -87,6 +100,13 @@ class UserControlledEngine {
   /// The largest configured threshold (== the uniform one if uniform).
   double threshold() const noexcept { return max_threshold_; }
 
+  /// Flattened-coin shard grain: phase 1 lays the candidate coins of all
+  /// overloaded resources out flat (one per task on an overloaded resource)
+  /// and shards that index space, so a single giant stack — the paper's
+  /// all-on-one initial condition — still splits across workers. Part of
+  /// the deterministic stream definition; changing it changes results.
+  static constexpr std::size_t kCoinShardGrain = 8192;
+
  private:
   const tasks::TaskSet* tasks_;
   UserProtocolConfig config_;
@@ -96,9 +116,12 @@ class UserControlledEngine {
   std::vector<double> thresholds_;  // per-resource override (else empty)
   double max_threshold_ = 0.0;
   SystemState state_;
+  std::unique_ptr<util::ThreadPool> pool_;  // phase-1 workers (threads != 1)
   std::vector<TaskId> movers_;          // scratch
   std::vector<Node> mover_origin_;      // scratch
-  std::vector<std::uint8_t> leave_mask_;  // scratch
+  std::vector<std::size_t> coin_prefix_;  // scratch: flat coin index bounds
+  std::vector<double> leave_p_;           // scratch: per-overloaded p
+  std::vector<std::uint8_t> flat_mask_;   // scratch: flat departure mask
 };
 
 /// Grouped (binomial-per-weight-class) engine. Requires a task set with at
@@ -124,6 +147,11 @@ class GroupedUserEngine {
   /// Convenience: reset + run.
   RunResult run(const tasks::Placement& placement, util::Rng& rng);
 
+  /// Overloaded-list shard grain for the grouped phase-1 sampler (per-class
+  /// binomials are cheap, so shards batch whole resources). Part of the
+  /// deterministic stream definition; changing it changes results.
+  static constexpr std::size_t kShardGrain = 512;
+
   /// Number of distinct weight classes.
   std::size_t num_classes() const noexcept { return class_weights_.size(); }
   /// Load of resource r (for tests).
@@ -145,6 +173,13 @@ class GroupedUserEngine {
   /// force rescan (paranoid-check mode).
   void check_overloaded_invariant() const;
 
+  /// One (resource, class) departure drawn in phase 1, applied in phase 2.
+  struct Departure {
+    Node src;
+    std::uint32_t cls;
+    std::uint32_t count;
+  };
+
   const tasks::TaskSet* tasks_;
   UserProtocolConfig config_;
   std::vector<double> thresholds_;  // resolved per-resource thresholds
@@ -155,6 +190,8 @@ class GroupedUserEngine {
   std::vector<double> loads_;                 // per resource
   std::vector<std::uint32_t> task_counts_;    // per resource (b_r)
   mutable OverloadedSet over_;                // incremental overloaded set
+  std::unique_ptr<util::ThreadPool> pool_;    // phase-1 workers (threads != 1)
+  std::vector<std::vector<Departure>> shard_bufs_;  // per-shard phase-1 output
 };
 
 }  // namespace tlb::core

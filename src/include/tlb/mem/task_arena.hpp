@@ -187,6 +187,11 @@ class TaskArena {
   /// Throws std::invalid_argument if the mask size mismatches count(r).
   void remove_marked(Node r, const std::vector<std::uint8_t>& leave,
                      std::vector<TaskId>& out);
+  /// Same, with the mask given as a raw span — the engines' parallel
+  /// phase-1 samplers mark all resources into one flat buffer and hand each
+  /// resource its slice without copying.
+  void remove_marked(Node r, const std::uint8_t* leave, std::size_t len,
+                     std::vector<TaskId>& out);
   /// Empty one resource (keeps its span capacity for reuse).
   void clear(Node r) noexcept;
   /// Empty every resource, release nothing.

@@ -85,8 +85,16 @@ class Rng {
                     uniform_below(static_cast<std::uint64_t>(hi - lo) + 1));
   }
 
-  /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool bernoulli(double p) noexcept { return uniform01() < p; }
+  /// Bernoulli trial with success probability p (clamped to [0,1]): p <= 0
+  /// never succeeds, p >= 1 always succeeds, and NaN — which no clamp can
+  /// place — is treated as 0 explicitly instead of falling out of an
+  /// unordered comparison. Always consumes exactly one draw, so a call
+  /// site's stream position never depends on the value of p.
+  bool bernoulli(double p) noexcept {
+    const double u = uniform01();
+    if (!(p > 0.0)) return false;  // p <= 0 and NaN
+    return p >= 1.0 || u < p;
+  }
 
   /// Exponential with the given rate (mean 1/rate).
   double exponential(double rate) noexcept;

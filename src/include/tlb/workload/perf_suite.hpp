@@ -40,6 +40,11 @@ struct PerfPreset {
   long max_rounds = 100000;  ///< batch safety cap
   long warmup = 200;         ///< churn: unrecorded rounds
   long measure = 400;        ///< churn: recorded rounds
+  /// Engine-level phase-1 sampling threads (user-protocol family): 1 =
+  /// inline, 0 = hardware concurrency. Never changes the deterministic
+  /// counter fields — only wall-clock — so it lives outside the scenario
+  /// identity and is reported only alongside the timing fields.
+  std::size_t threads = 1;
 };
 
 /// Everything one preset run produced.
@@ -81,8 +86,12 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed);
 /// return the suite JSON. The single driver behind both bench/perf_suite
 /// and `tlb_sim --bench`, so the CI cross-check of their outputs cannot
 /// drift. Throws std::invalid_argument on an unknown set or no match.
+/// `engine_threads` >= 0 overrides every preset's engine-level thread
+/// count (the --engine-threads flag; -1 keeps the preset values) — CI runs
+/// the smoke set with and without it and diffs the deterministic JSON.
 std::string run_perf_set(const std::string& set, const std::string& only,
-                         std::uint64_t seed, bool include_timings);
+                         std::uint64_t seed, bool include_timings,
+                         long engine_threads = -1);
 
 /// Serialise a suite run. include_timings = false omits every wall-clock
 /// field, making the bytes a pure function of (presets, seed).

@@ -86,6 +86,11 @@ struct ScenarioParams {
   /// Audit every round: structural invariants plus incremental-overloaded-
   /// set == brute-force-rescan. Slow; for tests and debug runs.
   bool paranoid = false;
+  /// Engine-level phase-1 sampling threads for the user-protocol family
+  /// (exact / grouped / dynamic): 1 = inline, 0 = hardware concurrency.
+  /// Orthogonal to the trial-level `threads` argument of Scenario::run, and
+  /// — like it — never changes results (per-(round, shard) seeding).
+  std::size_t engine_threads = 1;
 };
 
 /// Everything a run produced, ready for table or JSON emission.
@@ -152,10 +157,13 @@ std::optional<core::GroupedUserEngine> try_grouped_user_engine(
 /// hook bound to `process`, which must outlive the engine. The single
 /// config-assembly path shared by Scenario::run and the perf suite, so
 /// benchmarks measure exactly the engine real churn scenarios build.
+/// `threads` is the engine's phase-1 sampling thread count (see
+/// ScenarioParams::engine_threads).
 core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
                                         const ArrivalProcess& process,
                                         graph::Node n, double eps,
                                         double alpha, bool paranoid,
+                                        std::size_t threads,
                                         util::Rng& class_rng);
 
 /// Run one user-protocol trial from `start`, choosing the grouped engine

@@ -173,7 +173,12 @@ void TaskArena::evict_above(Node r, double threshold,
 
 void TaskArena::remove_marked(Node r, const std::vector<std::uint8_t>& leave,
                               std::vector<TaskId>& out) {
-  if (leave.size() != count_[r]) {
+  remove_marked(r, leave.data(), leave.size(), out);
+}
+
+void TaskArena::remove_marked(Node r, const std::uint8_t* leave,
+                              std::size_t len, std::vector<TaskId>& out) {
+  if (len != count_[r]) {
     throw std::invalid_argument("remove_marked: mask size mismatch");
   }
   TaskId* ids = ids_.data() + begin_[r];
@@ -181,7 +186,7 @@ void TaskArena::remove_marked(Node r, const std::vector<std::uint8_t>& leave,
   std::size_t keep = 0;
   std::size_t accepted_kept = 0;
   double accepted_load_kept = 0.0;
-  for (std::size_t i = 0; i < leave.size(); ++i) {
+  for (std::size_t i = 0; i < len; ++i) {
     if (leave[i]) {
       out.push_back(ids[i]);
       load_[r] -= w[i];

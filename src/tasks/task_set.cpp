@@ -1,6 +1,7 @@
 #include "tlb/tasks/task_set.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace tlb::tasks {
@@ -11,9 +12,15 @@ TaskSet::TaskSet(std::vector<double> weights) : weights_(std::move(weights)) {
   max_ = weights_.front();
   min_ = weights_.front();
   for (double w : weights_) {
-    if (w < 1.0) {
+    // `!(w >= 1.0)` rather than `w < 1.0`: NaN fails every ordered
+    // comparison, so the naive form silently admitted NaN weights, which
+    // break the sorted weight-class table (lower_bound ordering) and every
+    // load sum downstream. Non-finite values are rejected at the source —
+    // every engine builds on a TaskSet.
+    if (!std::isfinite(w) || !(w >= 1.0)) {
       throw std::invalid_argument(
-          "TaskSet: weights must be >= 1 (use TaskSet::normalized to rescale)");
+          "TaskSet: weights must be finite and >= 1 (use TaskSet::normalized "
+          "to rescale)");
     }
     total_ += w;
     max_ = std::max(max_, w);
@@ -25,7 +32,10 @@ TaskSet TaskSet::normalized(std::vector<double> weights) {
   if (weights.empty()) throw std::invalid_argument("TaskSet: no tasks");
   double min_w = weights.front();
   for (double w : weights) {
-    if (w <= 0.0) throw std::invalid_argument("TaskSet: weights must be positive");
+    if (!std::isfinite(w) || !(w > 0.0)) {
+      throw std::invalid_argument(
+          "TaskSet: weights must be finite and positive");
+    }
     min_w = std::min(min_w, w);
   }
   for (double& w : weights) w /= min_w;

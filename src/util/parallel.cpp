@@ -1,10 +1,13 @@
 #include "tlb/util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tlb/util/thread_pool.hpp"
 
 namespace tlb::util {
 
@@ -40,6 +43,42 @@ void parallel_for(std::size_t count,
   }
   for (auto& th : pool) th.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t shard_count(std::size_t count, std::size_t grain) noexcept {
+  if (count == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (count + grain - 1) / grain;
+}
+
+void parallel_shard(std::size_t count, std::size_t grain, ThreadPool* pool,
+                    const ShardFn& body) {
+  if (grain == 0) grain = 1;
+  const std::size_t shards = shard_count(count, grain);
+  if (shards == 0) return;
+  const auto run_shard = [&body, count, grain](std::size_t s) {
+    body(s, s * grain, std::min(count, (s + 1) * grain));
+  };
+  if (pool == nullptr || pool->size() <= 1 || shards == 1) {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+    return;
+  }
+  // One task per worker pulling shard indices from a shared counter: cheap
+  // dynamic balancing (shards differ in cost when per-item work varies)
+  // without a std::function allocation per shard. Which worker runs which
+  // shard is scheduling-dependent; what each shard computes is not.
+  const std::size_t workers = std::min(pool->size(), shards);
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool->submit([next, shards, run_shard] {
+      for (;;) {
+        const std::size_t s = next->fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards) return;
+        run_shard(s);
+      }
+    });
+  }
+  pool->wait_idle();
 }
 
 }  // namespace tlb::util

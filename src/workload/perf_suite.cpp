@@ -127,6 +127,7 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       core::UserProtocolConfig cfg;
       cfg.threshold = T;
       cfg.options.max_rounds = preset.max_rounds;
+      cfg.options.threads = preset.threads;
       // Shared engine-selection policy (run_user_trial uses the same
       // helper), including the degrade-to-exact fallback.
       std::optional<core::GroupedUserEngine> grouped =
@@ -274,9 +275,9 @@ void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   auto process = parse_arrival_process(spec.arrivals);
   util::Rng class_rng(util::derive_seed(seed, kPerfClassesStream));
   // Same config-assembly path as Scenario::run (process outlives engine).
-  const core::DynamicConfig cfg =
-      make_dynamic_config(*model, *process, preset.n, kEps, /*alpha=*/1.0,
-                          /*paranoid=*/false, class_rng);
+  const core::DynamicConfig cfg = make_dynamic_config(
+      *model, *process, preset.n, kEps, /*alpha=*/1.0,
+      /*paranoid=*/false, preset.threads, class_rng);
   core::DynamicUserEngine engine(cfg);
   util::Rng rng(util::derive_seed(seed, kPerfRunStream));
   out.n = preset.n;
@@ -327,6 +328,12 @@ const std::vector<PerfPreset>& perf_presets() {
       {"churn-poisson-64k", "user:complete:bimodal(8,0.1):poisson(640,0.01)",
        65536, 0, 0, 300, 600},
       {"arena-churn-1m", "arena:churn:uniform(8)", 1000000, 8, 0, 12, 36},
+      // Same workload as exact-uniform-1m with the phase-1 sampler on a
+      // hardware-concurrency pool: the deterministic counters must match
+      // that preset exactly (the counters are thread-invariant); only the
+      // wall-clock fields may differ.
+      {"parallel-1m", "user:complete:uniform(8):batch", 1000000, 8, 100000,
+       0, 0, /*threads=*/0},
   };
   return presets;
 }
@@ -344,6 +351,10 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
       {"smoke-churn-poisson", "user:complete:bimodal(8,0.1):poisson(40,0.01)",
        4096, 0, 0, 100, 200},
       {"smoke-arena-churn", "arena:churn:uniform(8)", 4096, 8, 0, 20, 40},
+      // Keeps the pooled phase-1 path under the sanitizer jobs (which run
+      // the smoke set) even when no --engine-threads override is given.
+      {"smoke-parallel-exact", "user:complete:uniform(8):batch", 4096, 8,
+       100000, 0, 0, /*threads=*/2},
   };
   return presets;
 }
@@ -373,7 +384,8 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
 }
 
 std::string run_perf_set(const std::string& set, const std::string& only,
-                         std::uint64_t seed, bool include_timings) {
+                         std::uint64_t seed, bool include_timings,
+                         long engine_threads) {
   const std::vector<PerfPreset>* presets = nullptr;
   if (set == "smoke") {
     presets = &perf_smoke_presets();
@@ -384,8 +396,11 @@ std::string run_perf_set(const std::string& set, const std::string& only,
                                 "' (want smoke | full)");
   }
   std::vector<PerfResult> results;
-  for (const PerfPreset& preset : *presets) {
+  for (PerfPreset preset : *presets) {
     if (!only.empty() && preset.name != only) continue;
+    if (engine_threads >= 0) {
+      preset.threads = static_cast<std::size_t>(engine_threads);
+    }
     std::fprintf(stderr, "perf_suite: running %-26s (%s) ...\n",
                  preset.name.c_str(), preset.scenario.c_str());
     results.push_back(run_perf_preset(preset, seed));
@@ -417,7 +432,12 @@ std::string perf_suite_json(const std::vector<PerfResult>& results,
         .add("balanced", r.balanced)
         .add("final_overloaded", static_cast<std::uint64_t>(r.final_overloaded));
     if (include_timings) {
-      j.add("setup_ms", r.setup_ms)
+      // Reported with the wall-clock fields (and only there): the thread
+      // count is a performance knob that cannot change the counters above,
+      // so the deterministic report stays byte-identical across it.
+      j.add("engine_threads",
+            static_cast<std::uint64_t>(r.preset.threads))
+          .add("setup_ms", r.setup_ms)
           .add("run_ms", r.run_ms)
           .add("round1_ms", r.round1_ms)
           .add("tail_avg_ms", r.tail_avg_ms)

@@ -186,9 +186,9 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     // Dynamic mode: grouped dynamic engine, weight model reduced to a class
     // table with a dedicated randomness stream (identical for every trial).
     util::Rng class_rng(util::derive_seed(seed, kClassesStream));
-    const core::DynamicConfig cfg =
-        make_dynamic_config(*model_, *process_, params_.n, params_.eps,
-                            params_.alpha, params_.paranoid, class_rng);
+    const core::DynamicConfig cfg = make_dynamic_config(
+        *model_, *process_, params_.n, params_.eps, params_.alpha,
+        params_.paranoid, params_.engine_threads, class_rng);
     result.n = params_.n;
     result.m = 0;
 
@@ -247,6 +247,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.alpha = p.alpha;
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
+            cfg.options.threads = p.engine_threads;
             return run_user_trial(ts, n, cfg, start, rng);
           }
           case ProtocolKind::kResource: {
@@ -327,6 +328,7 @@ core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
                                         const ArrivalProcess& process,
                                         graph::Node n, double eps,
                                         double alpha, bool paranoid,
+                                        std::size_t threads,
                                         util::Rng& class_rng) {
   const std::vector<WeightClass> classes = to_weight_classes(
       model, core::GroupedUserEngine::kMaxClasses, class_rng);
@@ -337,6 +339,7 @@ core::DynamicConfig make_dynamic_config(const tasks::WeightModel& model,
   cfg.eps = eps;
   cfg.alpha = alpha;
   cfg.paranoid_checks = paranoid;
+  cfg.threads = threads;
   cfg.classes.clear();
   for (const WeightClass& c : classes) {
     cfg.classes.push_back({c.weight, c.probability});

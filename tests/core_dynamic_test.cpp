@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 namespace {
 
@@ -117,6 +119,66 @@ TEST(DynamicTest, RejectsBadConfig) {
   cfg = base_config();
   cfg.classes.clear();
   EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+}
+
+TEST(DynamicTest, RejectsNonFiniteClassWeights) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  DynamicConfig cfg = base_config();
+  cfg.classes = {{kNan, 1.0}};
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.classes = {{kInf, 1.0}};
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.classes = {{2.0, kNan}};
+  EXPECT_THROW(DynamicUserEngine{cfg}, std::invalid_argument);
+}
+
+TEST(DynamicTest, QuietRoundDoesNoFullRescan) {
+  // Regression: recompute_threshold used to mark all n resources dirty every
+  // round even when the recomputed threshold was numerically unchanged,
+  // forcing overloaded_now() into an O(n) flush on quiet rounds. With no
+  // arrivals, completions or crashes the threshold cannot move, so a step
+  // must not trigger a single predicate re-check.
+  DynamicConfig cfg = base_config();
+  cfg.n = 50000;
+  cfg.arrival_rate = 0.0;
+  cfg.completion_rate = 0.0;
+  cfg.crash_rate = 0.0;
+  DynamicUserEngine engine(cfg);
+  Rng rng(11);
+  engine.step(rng);  // settle any construction-time dirt
+  const std::uint64_t before = engine.overloaded_tracker().flush_checks();
+  for (int t = 0; t < 10; ++t) engine.step(rng);
+  EXPECT_EQ(engine.overloaded_tracker().flush_checks(), before);
+}
+
+TEST(DynamicTest, QuietRoundsAfterChurnStayIncremental) {
+  // Arrivals only in the first round (via the arrival hook); once the
+  // system settles and later rounds are quiet, the per-round threshold
+  // recomputation lands on the same value and must not invalidate all n
+  // resources again. The flush work of a quiet round is bounded by the
+  // overloaded list it maintains, never the full resource count.
+  DynamicConfig cfg = base_config();
+  cfg.n = 20000;
+  cfg.arrival_rate = 0.0;
+  cfg.completion_rate = 0.0;
+  cfg.arrival_fn = [](long round, tlb::util::Rng&) -> std::uint64_t {
+    return round == 0 ? 40000u : 0u;
+  };
+  DynamicUserEngine engine(cfg);
+  Rng rng(13);
+  for (int t = 0; t < 200; ++t) engine.step(rng);
+  if (engine.last_migrations() != 0 ||
+      !engine.overloaded_tracker().items().empty()) {
+    GTEST_SKIP() << "system not balanced after 200 rounds";
+  }
+  // Two fully quiet rounds (no arrivals, no migrations): zero re-checks.
+  const std::uint64_t before = engine.overloaded_tracker().flush_checks();
+  engine.step(rng);
+  engine.step(rng);
+  EXPECT_EQ(engine.overloaded_tracker().flush_checks(), before);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "tlb/tasks/placement.hpp"
@@ -40,6 +41,20 @@ TEST(TaskSetTest, NormalizedRescalesToUnitMin) {
 TEST(TaskSetTest, NormalizedRejectsNonPositive) {
   EXPECT_THROW(TaskSet::normalized({0.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(TaskSet::normalized({-1.0}), std::invalid_argument);
+}
+
+TEST(TaskSetTest, RejectsNonFiniteWeights) {
+  // NaN fails every ordered comparison, so a `w < 1` guard silently admits
+  // it — and a NaN weight poisons the sorted weight-class table and every
+  // load sum downstream. Validation happens here, at the source.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TaskSet({kNan, 1.0}), std::invalid_argument);
+  EXPECT_THROW(TaskSet({1.0, kInf}), std::invalid_argument);
+  EXPECT_THROW(TaskSet({1.0, -kInf}), std::invalid_argument);
+  EXPECT_THROW(TaskSet::normalized({kNan, 1.0}), std::invalid_argument);
+  EXPECT_THROW(TaskSet::normalized({1.0, kInf}), std::invalid_argument);
+  EXPECT_THROW(TaskSet::normalized({1.0, -kInf}), std::invalid_argument);
 }
 
 TEST(WeightsTest, UniformUnit) {

@@ -2,17 +2,22 @@
 // propagation, and deterministic aggregation independent of thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "tlb/util/parallel.hpp"
+#include "tlb/util/rng.hpp"
 #include "tlb/util/thread_pool.hpp"
 
 namespace {
 
 using tlb::util::parallel_for;
+using tlb::util::shard_count;
 using tlb::util::ThreadPool;
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
@@ -88,6 +93,104 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyWaves) {
+  // The engines reuse one pool across every round of a run; make sure
+  // submit/wait_idle cycles do not wedge or drop tasks.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 100; ++wave) {
+    for (int i = 0; i < 7; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 700);
+}
+
+TEST(ParallelShardTest, ShardCountIsPure) {
+  EXPECT_EQ(shard_count(0, 8), 0u);
+  EXPECT_EQ(shard_count(1, 8), 1u);
+  EXPECT_EQ(shard_count(8, 8), 1u);
+  EXPECT_EQ(shard_count(9, 8), 2u);
+  EXPECT_EQ(shard_count(100, 8), 13u);
+  EXPECT_EQ(shard_count(5, 0), 5u);  // grain clamped to 1
+}
+
+TEST(ParallelShardTest, PartitionIsExactAndContiguous) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    const std::size_t kN = 1003;
+    const std::size_t kGrain = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    tlb::util::parallel_shard(
+        kN, kGrain, pool.get(),
+        [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+          EXPECT_EQ(lo, shard * kGrain);
+          EXPECT_EQ(hi, std::min(kN, (shard + 1) * kGrain));
+          for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelShardTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  tlb::util::parallel_shard(0, 16, &pool,
+                            [](std::size_t, std::size_t, std::size_t) {
+                              FAIL() << "body must not run";
+                            });
+}
+
+TEST(ParallelShardTest, PerShardResultsIndependentOfPoolSize) {
+  // The determinism contract behind the engines' phase-1 sampling: a body
+  // that derives its randomness from the shard index and writes only its
+  // own slot yields identical results for any pool size (or no pool).
+  const std::size_t kN = 10000;
+  const std::size_t kGrain = 128;
+  auto run = [&](ThreadPool* pool) {
+    std::vector<std::uint64_t> sums(shard_count(kN, kGrain), 0);
+    tlb::util::parallel_shard(
+        kN, kGrain, pool,
+        [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+          tlb::util::Rng rng(tlb::util::derive_seed(99, shard));
+          std::uint64_t acc = 0;
+          for (std::size_t i = lo; i < hi; ++i) acc += rng() >> 32;
+          sums[shard] = acc;
+        });
+    return sums;
+  };
+  ThreadPool two(2), eight(8);
+  const auto seq = run(nullptr);
+  EXPECT_EQ(seq, run(&two));
+  EXPECT_EQ(seq, run(&eight));
+}
+
+TEST(ParallelShardTest, SequentialPathRunsInShardOrder) {
+  std::vector<std::size_t> order;
+  tlb::util::parallel_shard(
+      40, 16, nullptr,
+      [&](std::size_t shard, std::size_t, std::size_t) {
+        order.push_back(shard);
+      });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelShardTest, PropagatesWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      tlb::util::parallel_shard(
+          1000, 8, &pool,
+          [](std::size_t shard, std::size_t, std::size_t) {
+            if (shard == 63) throw std::runtime_error("shard boom");
+          }),
+      std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> counter{0};
+  tlb::util::parallel_shard(
+      64, 8, &pool,
+      [&](std::size_t, std::size_t, std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -95,6 +96,34 @@ TEST(RngTest, BernoulliExtremes) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_FALSE(rng.bernoulli(0.0));
     EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliEnforcesClampContract) {
+  // The documented contract clamps p to [0, 1]: below-range p never
+  // succeeds, above-range p always succeeds, and NaN (which no clamp can
+  // place) is explicitly treated as 0 instead of leaking through an
+  // unordered comparison.
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+    EXPECT_FALSE(rng.bernoulli(std::numeric_limits<double>::quiet_NaN()));
+  }
+}
+
+TEST(RngTest, BernoulliConsumesOneDrawRegardlessOfP) {
+  // Call sites rely on a fixed stream position: every bernoulli() consumes
+  // exactly one draw whether p is in range, out of range, or NaN.
+  const double kPs[] = {-0.5, 0.0, 0.3, 1.0, 1.5,
+                        std::numeric_limits<double>::quiet_NaN()};
+  for (double p : kPs) {
+    Rng a(57), b(57);
+    (void)a.bernoulli(p);
+    (void)b();  // one raw draw
+    EXPECT_EQ(a(), b()) << "p = " << p;
   }
 }
 

@@ -37,6 +37,9 @@ void print_registry() {
   }
   std::printf("\nspec grammar: <protocol>:<topology>[:<weights>[:<arrivals>]]\n");
   std::printf("  protocols:  user | resource | graphuser | mixed(beta)\n");
+  std::printf("  baselines:  seqthresh | parthresh | twochoice(d) | "
+              "onebeta(beta) | selfish | firstfit  (complete topology, "
+              "batch arrivals)\n");
   std::printf("  topologies: complete | cycle | torus | grid | hypercube | "
               "regular | erdos_renyi | clique_satellite\n");
   std::printf("  weights:    %s\n",

@@ -1,30 +1,21 @@
 #include "tlb/baselines/one_plus_beta.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include <limits>
+
+#include "tlb/engine/baseline_balancers.hpp"
 
 namespace tlb::baselines {
 
 SequentialAllocResult one_plus_beta(const tasks::TaskSet& ts, graph::Node n,
                                     double beta, util::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("one_plus_beta: need n >= 1");
-  if (beta < 0.0 || beta > 1.0) {
-    throw std::invalid_argument("one_plus_beta: beta in [0, 1]");
-  }
+  // Thin shim over the engine-layer balancer (same algorithm, same RNG
+  // stream); see greedy_d_choice for the +inf comparison threshold.
+  engine::OnePlusBetaBalancer balancer(
+      ts, n, beta, std::numeric_limits<double>::infinity());
+  balancer.step(rng);
   SequentialAllocResult out;
-  out.loads.assign(n, 0.0);
-  for (tasks::TaskId i = 0; i < ts.size(); ++i) {
-    graph::Node target;
-    if (rng.bernoulli(beta)) {
-      target = static_cast<graph::Node>(rng.uniform_below(n));
-    } else {
-      const auto a = static_cast<graph::Node>(rng.uniform_below(n));
-      const auto b = static_cast<graph::Node>(rng.uniform_below(n));
-      target = out.loads[a] <= out.loads[b] ? a : b;
-    }
-    out.loads[target] += ts.weight(i);
-  }
-  out.max_load = *std::max_element(out.loads.begin(), out.loads.end());
+  out.loads = balancer.loads();
+  out.max_load = balancer.max_load();
   out.average = ts.total_weight() / static_cast<double>(n);
   out.gap = out.max_load - out.average;
   return out;

@@ -1,47 +1,26 @@
 #include "tlb/baselines/parallel_threshold.hpp"
 
-#include <algorithm>
-#include <numeric>
-#include <stdexcept>
+#include "tlb/engine/baseline_balancers.hpp"
+#include "tlb/engine/driver.hpp"
 
 namespace tlb::baselines {
 
 ParallelThresholdResult parallel_threshold(const tasks::TaskSet& ts,
                                            graph::Node n, double threshold,
                                            long max_rounds, util::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("parallel_threshold: need n >= 1");
-  if (threshold <= 0.0) {
-    throw std::invalid_argument("parallel_threshold: threshold must be > 0");
-  }
+  // Thin shim over the engine-layer balancer driven by engine::drive (the
+  // round loop that used to live here); same algorithm, same RNG stream.
+  engine::ParallelThresholdBalancer balancer(ts, n, threshold);
+  engine::DriveOptions opt;
+  opt.max_rounds = max_rounds;
+  const core::RunResult run = engine::drive(balancer, rng, opt);
   ParallelThresholdResult out;
-  out.loads.assign(n, 0.0);
-
-  std::vector<tasks::TaskId> unplaced(ts.size());
-  std::iota(unplaced.begin(), unplaced.end(), 0);
-  std::vector<tasks::TaskId> still_unplaced;
-
-  while (!unplaced.empty() && out.rounds < max_rounds) {
-    ++out.rounds;
-    // Random processing order makes the per-bin acceptance race fair.
-    for (std::size_t i = unplaced.size(); i > 1; --i) {
-      std::swap(unplaced[i - 1], unplaced[rng.uniform_below(i)]);
-    }
-    still_unplaced.clear();
-    for (tasks::TaskId id : unplaced) {
-      const auto bin = static_cast<graph::Node>(rng.uniform_below(n));
-      ++out.messages;
-      const double w = ts.weight(id);
-      if (out.loads[bin] + w <= threshold) {
-        out.loads[bin] += w;
-        ++out.placed;
-      } else {
-        still_unplaced.push_back(id);
-      }
-    }
-    unplaced.swap(still_unplaced);
-  }
-  out.completed = unplaced.empty();
-  out.max_load = *std::max_element(out.loads.begin(), out.loads.end());
+  out.loads = balancer.loads();
+  out.rounds = run.rounds;
+  out.completed = balancer.done();
+  out.placed = balancer.placed();
+  out.max_load = balancer.max_load();
+  out.messages = balancer.messages();
   return out;
 }
 

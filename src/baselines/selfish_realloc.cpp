@@ -1,7 +1,10 @@
 #include "tlb/baselines/selfish_realloc.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "tlb/engine/driver.hpp"
 
 namespace tlb::baselines {
 
@@ -52,23 +55,46 @@ bool SelfishReallocEngine::balanced() const {
   });
 }
 
-core::RunResult SelfishReallocEngine::run(util::Rng& rng) {
-  core::RunResult result;
-  result.threshold = config_.stop_threshold;
-  const auto& opt = config_.options;
-  while (!balanced() && result.rounds < opt.max_rounds) {
-    result.migrations += step(rng);
-    ++result.rounds;
+double SelfishReallocEngine::potential() const {
+  double excess = 0.0;
+  for (double x : loads_) {
+    excess += std::max(0.0, x - config_.stop_threshold);
   }
-  result.balanced = balanced();
-  result.final_max_load = *std::max_element(loads_.begin(), loads_.end());
-  return result;
+  return excess;
+}
+
+std::uint32_t SelfishReallocEngine::overloaded_count() const {
+  std::uint32_t over = 0;
+  for (double x : loads_) over += x > config_.stop_threshold;
+  return over;
+}
+
+double SelfishReallocEngine::max_load() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+void SelfishReallocEngine::audit() const {
+  std::vector<double> expected(n_, 0.0);
+  for (tasks::TaskId i = 0; i < task_location_.size(); ++i) {
+    expected[task_location_[i]] += tasks_->weight(i);
+  }
+  for (graph::Node r = 0; r < n_; ++r) {
+    const double scale =
+        std::max({1.0, std::fabs(expected[r]), std::fabs(loads_[r])});
+    if (std::fabs(expected[r] - loads_[r]) > 1e-9 * scale) {
+      throw std::logic_error(
+          "SelfishReallocEngine: loads disagree with task locations");
+    }
+  }
+}
+
+core::RunResult SelfishReallocEngine::run(util::Rng& rng) {
+  return engine::run_with_options(*this, config_.options, rng);
 }
 
 core::RunResult SelfishReallocEngine::run(const tasks::Placement& placement,
                                           util::Rng& rng) {
-  reset(placement);
-  return run(rng);
+  return engine::reset_and_run(*this, placement, rng);
 }
 
 }  // namespace tlb::baselines

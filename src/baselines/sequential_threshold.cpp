@@ -1,8 +1,6 @@
 #include "tlb/baselines/sequential_threshold.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
+#include "tlb/engine/baseline_balancers.hpp"
 
 namespace tlb::baselines {
 
@@ -10,32 +8,18 @@ SequentialThresholdResult sequential_threshold(const tasks::TaskSet& ts,
                                                graph::Node n, double threshold,
                                                util::Rng& rng,
                                                int max_retries_per_ball) {
-  if (n == 0) throw std::invalid_argument("sequential_threshold: need n >= 1");
-  if (threshold <= 0.0) {
-    throw std::invalid_argument("sequential_threshold: threshold must be > 0");
-  }
+  // Thin shim over the engine-layer balancer (same algorithm, same RNG
+  // stream); kept so callers that only want the allocation need not know
+  // about engine::drive.
+  engine::SequentialThresholdBalancer balancer(ts, n, threshold,
+                                               max_retries_per_ball);
+  balancer.step(rng);
   SequentialThresholdResult out;
-  out.loads.assign(n, 0.0);
-  out.completed = true;
-  for (tasks::TaskId i = 0; i < ts.size(); ++i) {
-    const double w = ts.weight(i);
-    bool placed = false;
-    for (int attempt = 0; attempt < max_retries_per_ball; ++attempt) {
-      const auto bin = static_cast<graph::Node>(rng.uniform_below(n));
-      ++out.choices;
-      if (out.loads[bin] + w <= threshold) {
-        out.loads[bin] += w;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
-      out.completed = false;
-      break;
-    }
-    ++out.placed;
-  }
-  out.max_load = *std::max_element(out.loads.begin(), out.loads.end());
+  out.loads = balancer.loads();
+  out.choices = balancer.choices();
+  out.max_load = balancer.max_load();
+  out.completed = balancer.completed();
+  out.placed = balancer.placed();
   return out;
 }
 

@@ -1,25 +1,22 @@
 #include "tlb/baselines/two_choice.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+#include <limits>
+
+#include "tlb/engine/baseline_balancers.hpp"
 
 namespace tlb::baselines {
 
 SequentialAllocResult greedy_d_choice(const tasks::TaskSet& ts, graph::Node n,
                                       int choices, util::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("greedy_d_choice: need n >= 1");
-  if (choices < 1) throw std::invalid_argument("greedy_d_choice: choices >= 1");
+  // Thin shim over the engine-layer balancer (same algorithm, same RNG
+  // stream). The free function has no threshold notion, so the comparison
+  // threshold is +inf and the gap fields carry the quality measure.
+  engine::GreedyChoiceBalancer balancer(
+      ts, n, choices, std::numeric_limits<double>::infinity());
+  balancer.step(rng);
   SequentialAllocResult out;
-  out.loads.assign(n, 0.0);
-  for (tasks::TaskId i = 0; i < ts.size(); ++i) {
-    graph::Node best = static_cast<graph::Node>(rng.uniform_below(n));
-    for (int c = 1; c < choices; ++c) {
-      const auto candidate = static_cast<graph::Node>(rng.uniform_below(n));
-      if (out.loads[candidate] < out.loads[best]) best = candidate;
-    }
-    out.loads[best] += ts.weight(i);
-  }
-  out.max_load = *std::max_element(out.loads.begin(), out.loads.end());
+  out.loads = balancer.loads();
+  out.max_load = balancer.max_load();
   out.average = ts.total_weight() / static_cast<double>(n);
   out.gap = out.max_load - out.average;
   return out;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "tlb/engine/driver.hpp"
 #include "tlb/util/binomial.hpp"
 #include "tlb/util/parallel.hpp"
 
@@ -248,7 +249,7 @@ double DynamicUserEngine::phi_of(graph::Node r) const {
   return loads_[r] - h;
 }
 
-void DynamicUserEngine::step(util::Rng& rng) {
+std::size_t DynamicUserEngine::step(util::Rng& rng) {
   do_arrivals(rng);
   ++round_;
   do_completions(rng);
@@ -260,28 +261,54 @@ void DynamicUserEngine::step(util::Rng& rng) {
   if (metrics_) {
     const auto over =
         static_cast<graph::Node>(overloaded_now().size());
-    double max_load = 0.0;
-    for (graph::Node r = 0; r < config_.n; ++r) {
-      max_load = std::max(max_load, loads_[r]);
-    }
     metrics_->overloaded_fraction.add(static_cast<double>(over) /
                                       static_cast<double>(config_.n));
     const double avg = total_weight_ / static_cast<double>(config_.n);
-    metrics_->max_over_avg.add(avg > 0.0 ? max_load / avg : 0.0);
+    metrics_->max_over_avg.add(avg > 0.0 ? max_load() / avg : 0.0);
     metrics_->population.add(static_cast<double>(population_));
     metrics_->migrations_per_round.add(static_cast<double>(last_migrations_));
   }
+  return last_migrations_;
+}
+
+double DynamicUserEngine::max_load() const {
+  double max = 0.0;
+  for (graph::Node r = 0; r < config_.n; ++r) {
+    max = std::max(max, loads_[r]);
+  }
+  return max;
+}
+
+double DynamicUserEngine::potential() const {
+  double phi = 0.0;
+  for (graph::Node r : overloaded_now()) phi += phi_of(r);
+  return phi;
+}
+
+void DynamicUserEngine::begin_measure() {
+  metrics_store_ = DynamicMetrics{};
+  metrics_ = &metrics_store_;
+}
+
+DynamicMetrics DynamicUserEngine::run(const engine::DriveOptions& opt,
+                                      util::Rng& rng) {
+  if (opt.measure < 0) {
+    // The churn process never terminates on its own; a run-to-balance drive
+    // would race the arrival stream. Callers must bound the window.
+    throw std::invalid_argument(
+        "DynamicUserEngine::run: DriveOptions::measure must be >= 0");
+  }
+  metrics_ = nullptr;
+  engine::drive(*this, rng, opt);
+  return metrics_store_;
 }
 
 DynamicMetrics DynamicUserEngine::run(long warmup, long measure,
                                       util::Rng& rng) {
-  metrics_ = nullptr;
-  for (long t = 0; t < warmup; ++t) step(rng);
-  DynamicMetrics metrics;
-  metrics_ = &metrics;
-  for (long t = 0; t < measure; ++t) step(rng);
-  metrics_ = nullptr;
-  return metrics;
+  engine::DriveOptions opt;
+  opt.warmup = warmup;
+  opt.measure = measure;
+  return run(opt, rng);
 }
 
 }  // namespace tlb::core

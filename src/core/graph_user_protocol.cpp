@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tlb/core/potential.hpp"
+#include "tlb/engine/driver.hpp"
 
 namespace tlb::core {
 
@@ -80,37 +81,29 @@ std::size_t GraphUserEngine::step(util::Rng& rng) {
 
 bool GraphUserEngine::balanced() const { return state_.balanced(); }
 
+double GraphUserEngine::potential() const {
+  return user_potential(state_, thresholds_);
+}
+
+std::uint32_t GraphUserEngine::overloaded_count() const {
+  return static_cast<std::uint32_t>(state_.overloaded_count());
+}
+
+double GraphUserEngine::max_load() const { return state_.max_load(); }
+
+double GraphUserEngine::reported_threshold() const {
+  return *std::max_element(thresholds_.begin(), thresholds_.end());
+}
+
+void GraphUserEngine::audit() const { state_.check_invariants(); }
+
 RunResult GraphUserEngine::run(util::Rng& rng) {
-  RunResult result;
-  result.threshold =
-      *std::max_element(thresholds_.begin(), thresholds_.end());
-  const auto& opt = config_.options;
-  while (!balanced() && result.rounds < opt.max_rounds) {
-    if (opt.record_potential) {
-      result.potential_trace.push_back(user_potential(state_, thresholds_));
-    }
-    if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count());
-    }
-    if (opt.paranoid_checks) state_.check_invariants();
-    result.migrations += step(rng);
-    ++result.rounds;
-  }
-  if (opt.record_potential) {
-    result.potential_trace.push_back(user_potential(state_, thresholds_));
-  }
-  if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count());
-  }
-  result.balanced = balanced();
-  result.final_max_load = state_.max_load();
-  return result;
+  return engine::run_with_options(*this, config_.options, rng);
 }
 
 RunResult GraphUserEngine::run(const tasks::Placement& placement,
                                util::Rng& rng) {
-  reset(placement);
-  return run(rng);
+  return engine::reset_and_run(*this, placement, rng);
 }
 
 }  // namespace tlb::core

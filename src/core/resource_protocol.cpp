@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tlb/core/potential.hpp"
+#include "tlb/engine/driver.hpp"
 
 namespace tlb::core {
 
@@ -66,36 +67,25 @@ std::size_t ResourceControlledEngine::step(util::Rng& rng) {
   return movers_.size();
 }
 
+double ResourceControlledEngine::potential() const {
+  return resource_potential(state_);
+}
+
+std::uint32_t ResourceControlledEngine::overloaded_count() const {
+  return static_cast<std::uint32_t>(state_.overloaded_count());
+}
+
+double ResourceControlledEngine::max_load() const { return state_.max_load(); }
+
+void ResourceControlledEngine::audit() const { state_.check_invariants(); }
+
 RunResult ResourceControlledEngine::run(util::Rng& rng) {
-  RunResult result;
-  result.threshold = max_threshold_;
-  const auto& opt = config_.options;
-  while (!balanced() && result.rounds < opt.max_rounds) {
-    if (opt.record_potential) {
-      result.potential_trace.push_back(resource_potential(state_));
-    }
-    if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count());
-    }
-    if (opt.paranoid_checks) state_.check_invariants();
-    result.migrations += step(rng);
-    ++result.rounds;
-  }
-  if (opt.record_potential) {
-    result.potential_trace.push_back(resource_potential(state_));
-  }
-  if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count());
-  }
-  result.balanced = balanced();
-  result.final_max_load = state_.max_load();
-  return result;
+  return engine::run_with_options(*this, config_.options, rng);
 }
 
 RunResult ResourceControlledEngine::run(const tasks::Placement& placement,
                                         util::Rng& rng) {
-  reset(placement);
-  return run(rng);
+  return engine::reset_and_run(*this, placement, rng);
 }
 
 }  // namespace tlb::core

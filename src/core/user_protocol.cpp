@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "tlb/core/potential.hpp"
+#include "tlb/engine/driver.hpp"
 #include "tlb/util/binomial.hpp"
 #include "tlb/util/parallel.hpp"
 
@@ -212,40 +213,26 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
 
 bool UserControlledEngine::balanced() const { return state_.balanced(); }
 
+double UserControlledEngine::potential() const {
+  return thresholds_.empty() ? user_potential(state_, uniform_threshold_)
+                             : user_potential(state_, thresholds_);
+}
+
+std::uint32_t UserControlledEngine::overloaded_count() const {
+  return static_cast<std::uint32_t>(state_.overloaded_count());
+}
+
+double UserControlledEngine::max_load() const { return state_.max_load(); }
+
+void UserControlledEngine::audit() const { state_.check_invariants(); }
+
 RunResult UserControlledEngine::run(util::Rng& rng) {
-  RunResult result;
-  result.threshold = max_threshold_;
-  const auto& opt = config_.options;
-  const auto record_phi = [this] {
-    return thresholds_.empty() ? user_potential(state_, uniform_threshold_)
-                               : user_potential(state_, thresholds_);
-  };
-  while (!balanced() && result.rounds < opt.max_rounds) {
-    if (opt.record_potential) {
-      result.potential_trace.push_back(record_phi());
-    }
-    if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(state_.overloaded_count());
-    }
-    if (opt.paranoid_checks) state_.check_invariants();
-    result.migrations += step(rng);
-    ++result.rounds;
-  }
-  if (opt.record_potential) {
-    result.potential_trace.push_back(record_phi());
-  }
-  if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(state_.overloaded_count());
-  }
-  result.balanced = balanced();
-  result.final_max_load = state_.max_load();
-  return result;
+  return engine::run_with_options(*this, config_.options, rng);
 }
 
 RunResult UserControlledEngine::run(const tasks::Placement& placement,
                                     util::Rng& rng) {
-  reset(placement);
-  return run(rng);
+  return engine::reset_and_run(*this, placement, rng);
 }
 
 // ---------------------------------------------------------------------------
@@ -419,36 +406,25 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
 
 bool GroupedUserEngine::balanced() const { return overloaded().empty(); }
 
+std::uint32_t GroupedUserEngine::overloaded_count() const {
+  return static_cast<std::uint32_t>(overloaded().size());
+}
+
+double GroupedUserEngine::max_load() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+double GroupedUserEngine::reported_threshold() const {
+  return *std::max_element(thresholds_.begin(), thresholds_.end());
+}
+
 RunResult GroupedUserEngine::run(util::Rng& rng) {
-  RunResult result;
-  result.threshold =
-      *std::max_element(thresholds_.begin(), thresholds_.end());
-  const auto& opt = config_.options;
-  while (!balanced() && result.rounds < opt.max_rounds) {
-    if (opt.record_potential) result.potential_trace.push_back(potential());
-    if (opt.record_overloaded) {
-      result.overloaded_trace.push_back(
-          static_cast<std::uint32_t>(overloaded().size()));
-    }
-    if (opt.paranoid_checks) check_overloaded_invariant();
-    result.migrations += step(rng);
-    ++result.rounds;
-  }
-  if (opt.record_potential) result.potential_trace.push_back(potential());
-  if (opt.record_overloaded) {
-    result.overloaded_trace.push_back(
-        static_cast<std::uint32_t>(overloaded().size()));
-  }
-  if (opt.paranoid_checks) check_overloaded_invariant();
-  result.balanced = balanced();
-  result.final_max_load = *std::max_element(loads_.begin(), loads_.end());
-  return result;
+  return engine::run_with_options(*this, config_.options, rng);
 }
 
 RunResult GroupedUserEngine::run(const tasks::Placement& placement,
                                  util::Rng& rng) {
-  reset(placement);
-  return run(rng);
+  return engine::reset_and_run(*this, placement, rng);
 }
 
 }  // namespace tlb::core

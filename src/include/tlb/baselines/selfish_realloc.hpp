@@ -38,10 +38,24 @@ class SelfishReallocEngine {
   std::size_t step(util::Rng& rng);
   /// True iff every load is <= stop_threshold.
   bool balanced() const;
-  /// Run until balanced or max_rounds.
+  /// Run until balanced or max_rounds (engine::drive under the hood; the
+  /// EngineOptions tracing bools become trace observers).
   core::RunResult run(util::Rng& rng);
   /// Convenience: reset + run.
   core::RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// Threshold excess Σ_r max(0, load_r - stop_threshold).
+  double potential() const;
+  /// Number of resources above stop_threshold (O(n); observer-only).
+  std::uint32_t overloaded_count() const;
+  /// Heaviest resource right now.
+  double max_load() const;
+  double reported_threshold() const noexcept {
+    return config_.stop_threshold;
+  }
+  /// Paranoid-mode check: loads reconcile with the task locations.
+  void audit() const;
 
   /// Current loads (tests).
   const std::vector<double>& loads() const noexcept { return loads_; }

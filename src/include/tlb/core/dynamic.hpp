@@ -32,6 +32,13 @@
 #include "tlb/util/stats.hpp"
 #include "tlb/util/thread_pool.hpp"
 
+// The engine layer sits above core; the declaration below only names
+// DriveOptions, so core stays include-independent of it (callers of
+// run(DriveOptions, rng) include tlb/engine/driver.hpp themselves).
+namespace tlb::engine {
+struct DriveOptions;
+}
+
 namespace tlb::core {
 
 /// Weight classes for the dynamic workload: value + arrival probability.
@@ -84,11 +91,41 @@ class DynamicUserEngine {
   explicit DynamicUserEngine(DynamicConfig config);
 
   /// One round: arrivals -> completions -> (maybe) crash -> protocol step
-  /// with the threshold recomputed from the current W.
-  void step(util::Rng& rng);
+  /// with the threshold recomputed from the current W. Returns the number
+  /// of protocol migrations performed.
+  std::size_t step(util::Rng& rng);
 
-  /// Run `warmup` unrecorded rounds, then `measure` recorded rounds.
+  /// Run through engine::drive: `opt.warmup` unrecorded rounds, then
+  /// `opt.measure` recorded rounds (the driver brackets them with
+  /// begin_measure()/end_measure()). The unified churn entry point — the
+  /// same DriveOptions grammar every other engine runs under.
+  DynamicMetrics run(const engine::DriveOptions& opt, util::Rng& rng);
+
+  /// Deprecated forwarding overload (pre-driver signature); will be removed
+  /// next PR. Prefer run(DriveOptions, rng).
   DynamicMetrics run(long warmup, long measure, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// True iff no load exceeds the current threshold.
+  bool balanced() const { return overloaded_now().empty(); }
+  /// Number of resources above the current threshold.
+  std::uint32_t overloaded_count() const {
+    return static_cast<std::uint32_t>(overloaded_now().size());
+  }
+  /// Heaviest resource right now.
+  double max_load() const;
+  /// User potential Φ(t) = Σ_r φ_r(t) against the current threshold.
+  double potential() const;
+  /// The threshold currently in force (recomputed every round).
+  double reported_threshold() const noexcept { return threshold_; }
+  /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.
+  void audit() const { check_overloaded_invariant(); }
+  /// Measured-window brackets called by engine::drive: reset and arm the
+  /// metrics accumulator / disarm it.
+  void begin_measure();
+  void end_measure() { metrics_ = nullptr; }
+  /// Metrics of the last measured window (valid after a drive/run).
+  const DynamicMetrics& metrics() const noexcept { return metrics_store_; }
 
   /// Current total weight.
   double total_weight() const noexcept { return total_weight_; }
@@ -139,6 +176,7 @@ class DynamicUserEngine {
   long round_ = 0;                      // rounds stepped since construction
   std::size_t last_migrations_ = 0;
   DynamicMetrics* metrics_ = nullptr;   // non-null during measured rounds
+  DynamicMetrics metrics_store_;        // the driver-armed accumulator
   mutable OverloadedSet over_;          // incremental overloaded set
 
   /// One (resource, class) departure drawn in phase 1, applied in phase 2.

@@ -41,10 +41,22 @@ class GraphUserEngine {
   std::size_t step(util::Rng& rng);
   /// True iff every load is <= its resource's threshold.
   bool balanced() const;
-  /// Run until balanced or max_rounds.
+  /// Run until balanced or max_rounds (engine::drive under the hood).
   RunResult run(util::Rng& rng);
   /// Convenience: reset + run.
   RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// User potential Φ(t) = Σ_r φ_r(t) against the per-resource thresholds.
+  double potential() const;
+  /// Number of resources currently above threshold.
+  std::uint32_t overloaded_count() const;
+  /// Heaviest resource right now.
+  double max_load() const;
+  /// The threshold RunResult reports (largest configured).
+  double reported_threshold() const;
+  /// Paranoid-mode invariant check (throws std::logic_error on violation).
+  void audit() const;
 
   /// Read-only state access.
   const SystemState& state() const noexcept { return state_; }

@@ -50,11 +50,24 @@ class ResourceControlledEngine {
   /// O(#touched since the last query) via the state's incremental set.
   bool balanced() const { return state_.balanced(); }
 
-  /// Run until balanced or options.max_rounds, collecting metrics.
+  /// Run until balanced or options.max_rounds (engine::drive under the
+  /// hood), collecting metrics.
   RunResult run(util::Rng& rng);
 
   /// Convenience: reset + run.
   RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// Resource potential Φ of eq. (1): total unaccepted weight.
+  double potential() const;
+  /// Number of resources currently above threshold.
+  std::uint32_t overloaded_count() const;
+  /// Heaviest resource right now.
+  double max_load() const;
+  /// The threshold RunResult reports (largest configured).
+  double reported_threshold() const noexcept { return max_threshold_; }
+  /// Paranoid-mode invariant check (throws std::logic_error on violation).
+  void audit() const;
 
   /// Read-only state access (tests, potential traces).
   const SystemState& state() const noexcept { return state_; }

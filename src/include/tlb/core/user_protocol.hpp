@@ -86,10 +86,23 @@ class UserControlledEngine {
   /// True iff every load is <= threshold.
   bool balanced() const;
 
-  /// Run until balanced or max_rounds.
+  /// Run until balanced or max_rounds (engine::drive under the hood; the
+  /// EngineOptions tracing bools become trace observers).
   RunResult run(util::Rng& rng);
   /// Convenience: reset + run.
   RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// User potential Φ(t) = Σ_r φ_r(t) against the configured thresholds.
+  double potential() const;
+  /// Number of resources currently above threshold.
+  std::uint32_t overloaded_count() const;
+  /// Heaviest resource right now.
+  double max_load() const;
+  /// The threshold RunResult reports (largest configured).
+  double reported_threshold() const noexcept { return max_threshold_; }
+  /// Paranoid-mode invariant check (throws std::logic_error on violation).
+  void audit() const;
 
   /// Read-only state (tests and traces).
   const SystemState& state() const noexcept { return state_; }
@@ -142,10 +155,20 @@ class GroupedUserEngine {
   /// True iff every load is <= threshold.
   bool balanced() const;
 
-  /// Run until balanced or max_rounds.
+  /// Run until balanced or max_rounds (engine::drive under the hood).
   RunResult run(util::Rng& rng);
   /// Convenience: reset + run.
   RunResult run(const tasks::Placement& placement, util::Rng& rng);
+
+  // engine::Balancer view (driver metrics + observers).
+  /// Number of resources currently above threshold.
+  std::uint32_t overloaded_count() const;
+  /// Heaviest resource right now.
+  double max_load() const;
+  /// The threshold RunResult reports (largest configured).
+  double reported_threshold() const;
+  /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.
+  void audit() const { check_overloaded_invariant(); }
 
   /// Overloaded-list shard grain for the grouped phase-1 sampler (per-class
   /// binomials are cheap, so shards batch whole resources). Part of the

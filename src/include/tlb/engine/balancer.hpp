@@ -1,0 +1,112 @@
+#pragma once
+// The unified stepping API every round-based balancing process implements.
+//
+// The paper's protocols (Algorithms 5.1 / 6.1 and their variants) and the
+// comparison baselines (sequential/parallel threshold allocation, two-choice,
+// (1+β), selfish reallocation) are all *round processes*: repeat a
+// synchronous step until some completion condition holds, observing load
+// metrics along the way. `Balancer` captures exactly that surface, and
+// engine::drive (driver.hpp) owns the one round loop — max-rounds capping,
+// warmup/measure windows, paranoid audits, observer hooks and RunResult
+// accumulation — that used to be copied into every engine's private run().
+//
+// Requirements (checked by the concept):
+//   step(rng)            one synchronous round; returns migrations performed.
+//                        The ONLY call that may consume the caller's RNG
+//                        stream, so a drive() is a pure function of the seed.
+//   balanced()           true iff the balancing objective currently holds
+//                        (every load <= its threshold, for the threshold
+//                        protocols).
+//   overloaded_count()   number of resources above threshold right now.
+//   max_load()           heaviest resource right now.
+//   potential()          the process's natural potential function (the
+//                        paper's Φ for the core engines; threshold excess
+//                        for the baselines). Only evaluated when an observer
+//                        asks, so it may be O(n).
+//   reported_threshold() the threshold RunResult::threshold reports (the
+//                        largest configured one; the current one for
+//                        engines that recompute it).
+//   audit()              throw if internal invariants are violated
+//                        (paranoid-check mode; must not mutate or draw).
+//
+// Optional extensions, detected structurally by the driver:
+//   done()               true iff the process cannot usefully step further.
+//                        Defaults to balanced(); one-shot allocators finish
+//                        without necessarily balancing, so they split the
+//                        two.
+//   begin_measure() /    bracket the measured window of a warmup+measure
+//   end_measure()        drive (churn engines reset their aggregates here).
+
+#include <concepts>
+#include <cstdint>
+
+#include "tlb/util/rng.hpp"
+
+namespace tlb::engine {
+
+/// A round-based balancing process engine::drive can own the loop for.
+template <class B>
+concept Balancer = requires(B& b, const B& cb, util::Rng& rng) {
+  { b.step(rng) } -> std::convertible_to<std::size_t>;
+  { cb.balanced() } -> std::convertible_to<bool>;
+  { cb.overloaded_count() } -> std::convertible_to<std::uint32_t>;
+  { cb.max_load() } -> std::convertible_to<double>;
+  { cb.potential() } -> std::convertible_to<double>;
+  { cb.reported_threshold() } -> std::convertible_to<double>;
+  { cb.audit() };
+};
+
+/// Type-erased, lazy view of a balancer's observable state, handed to
+/// RoundObserver hooks so observers need not be templates.
+class BalancerView {
+ public:
+  virtual ~BalancerView() = default;
+  virtual double potential() const = 0;
+  virtual std::uint32_t overloaded_count() const = 0;
+  virtual double max_load() const = 0;
+  virtual bool balanced() const = 0;
+};
+
+/// The driver's loop condition: done() where the balancer distinguishes
+/// "cannot usefully step further" from "balanced", balanced() otherwise.
+/// Public because external round loops (e.g. the perf suite's timed one)
+/// must stop exactly where engine::drive would.
+template <class B>
+bool is_done(const B& b) {
+  if constexpr (requires { { b.done() } -> std::convertible_to<bool>; }) {
+    return b.done();
+  } else {
+    return b.balanced();
+  }
+}
+
+namespace detail {
+
+template <Balancer B>
+class ViewOf final : public BalancerView {
+ public:
+  explicit ViewOf(const B& b) : b_(&b) {}
+  double potential() const override { return b_->potential(); }
+  std::uint32_t overloaded_count() const override {
+    return b_->overloaded_count();
+  }
+  double max_load() const override { return b_->max_load(); }
+  bool balanced() const override { return b_->balanced(); }
+
+ private:
+  const B* b_;
+};
+
+template <class B>
+void begin_measure(B& b) {
+  if constexpr (requires { b.begin_measure(); }) b.begin_measure();
+}
+
+template <class B>
+void end_measure(B& b) {
+  if constexpr (requires { b.end_measure(); }) b.end_measure();
+}
+
+}  // namespace detail
+
+}  // namespace tlb::engine

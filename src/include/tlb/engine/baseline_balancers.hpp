@@ -1,0 +1,200 @@
+#pragma once
+// The six tlb::baselines allocators, wrapped as engine::Balancer processes.
+//
+// The baselines used to be free functions with bespoke result structs,
+// unreachable from workload::Scenario, tlb_sim and the perf suite. Each
+// wrapper below owns the process state (bin loads, unplaced balls) and
+// exposes the same step()/balanced()/observable surface as the paper's
+// engines, so engine::drive runs paper protocols and related-work baselines
+// head-to-head from the same spec grammar, with the same observers, audits
+// and deterministic RunResult accumulation.
+//
+// Round semantics:
+//   * SequentialThresholdBalancer, GreedyChoiceBalancer, OnePlusBetaBalancer
+//     and FirstFitBalancer are one-shot allocators: their whole (sequential)
+//     allocation is one synchronous "round of global coordination", so
+//     step() performs it entirely and done() is true afterwards. done() and
+//     balanced() differ: a two-choice allocation is *done* after its round
+//     but only *balanced* if the resulting maximum load meets the threshold
+//     it is being compared against.
+//   * ParallelThresholdBalancer is genuinely round-based (every unplaced
+//     ball proposes once per round) and maps 1:1 onto step().
+//   * Selfish reallocation already had engine shape; its engine
+//     (baselines::SelfishReallocEngine) satisfies the concept directly and
+//     needs no wrapper here.
+//
+// The legacy free functions (baselines::sequential_threshold,
+// parallel_threshold, greedy_d_choice, one_plus_beta,
+// first_fit_centralized) remain as thin shims over these wrappers — same
+// RNG stream, same results — so existing benches and tests are untouched.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/first_fit.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::engine {
+
+/// Observable-state base shared by the bin-model baselines: a flat load
+/// vector measured against one comparison threshold. Provides every
+/// Balancer view method except step()/done(), which each process defines.
+class BinLoadBalancer {
+ public:
+  /// True iff every bin load is <= the comparison threshold.
+  bool balanced() const;
+  /// Number of bins above the comparison threshold (O(n); observer-only).
+  std::uint32_t overloaded_count() const;
+  /// Heaviest bin right now.
+  double max_load() const;
+  /// Threshold excess Σ_r max(0, load_r - T) — the natural potential of a
+  /// threshold comparison (0 iff balanced).
+  double potential() const;
+  double reported_threshold() const noexcept { return threshold_; }
+  /// Paranoid-mode invariant check; derived classes extend it with their
+  /// own placement bookkeeping (throws std::logic_error on violation).
+  void audit() const;
+
+  const std::vector<double>& loads() const noexcept { return loads_; }
+
+ protected:
+  /// `threshold` is the comparison threshold (balanced()/potential());
+  /// whether it also constrains placement is up to the derived process.
+  BinLoadBalancer(const tasks::TaskSet& ts, graph::Node n, double threshold,
+                  const char* who);
+  ~BinLoadBalancer() = default;
+
+  /// Throw unless Σ loads == `expected_weight` (tolerates fp re-ordering).
+  void check_total_weight(double expected_weight, const char* who) const;
+
+  const tasks::TaskSet* tasks_;
+  graph::Node n_;
+  double threshold_;
+  std::vector<double> loads_;
+};
+
+/// Berenbrink et al. [5]: balls arrive one at a time, each retries uniform
+/// bins until one keeps load + w <= threshold. One-shot (step() allocates
+/// everything); `completed()` is false iff some ball exhausted its retries.
+class SequentialThresholdBalancer final : public BinLoadBalancer {
+ public:
+  SequentialThresholdBalancer(const tasks::TaskSet& ts, graph::Node n,
+                              double threshold,
+                              int max_retries_per_ball = 100000);
+
+  /// Allocate all balls (first call only); returns balls placed.
+  std::size_t step(util::Rng& rng);
+  bool done() const noexcept { return done_; }
+  /// A completed sequential-threshold allocation is balanced by
+  /// construction; an incomplete one is not.
+  bool balanced() const noexcept { return done_ && completed_; }
+  void audit() const;
+
+  bool completed() const noexcept { return completed_; }
+  std::size_t placed() const noexcept { return placed_; }
+  /// Total random bin probes ([5]'s communication measure).
+  std::uint64_t choices() const noexcept { return choices_; }
+
+ private:
+  int max_retries_;
+  bool done_ = false;
+  bool completed_ = false;
+  std::size_t placed_ = 0;
+  std::uint64_t choices_ = 0;
+};
+
+/// Adler et al. [4]: synchronous rounds; every unplaced ball proposes one
+/// uniform bin, bins accept while the round's threshold holds. Genuinely
+/// round-based: one step() = one proposal round.
+class ParallelThresholdBalancer final : public BinLoadBalancer {
+ public:
+  ParallelThresholdBalancer(const tasks::TaskSet& ts, graph::Node n,
+                            double threshold);
+
+  /// One proposal round; returns balls placed this round.
+  std::size_t step(util::Rng& rng);
+  bool done() const noexcept { return unplaced_.empty(); }
+  /// Placed balls respect the threshold by construction, so balance ==
+  /// every ball placed.
+  bool balanced() const noexcept { return unplaced_.empty(); }
+  void audit() const;
+
+  std::size_t placed() const noexcept { return placed_; }
+  std::size_t unplaced() const noexcept { return unplaced_.size(); }
+  /// Total ball->bin proposals ([4]'s communication measure).
+  std::uint64_t messages() const noexcept { return messages_; }
+
+ private:
+  std::vector<tasks::TaskId> unplaced_;
+  std::vector<tasks::TaskId> still_unplaced_;  // scratch
+  std::size_t placed_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+/// Talwar & Wieder [9]: each ball samples `choices` uniform bins and joins
+/// the least loaded (choices == 1: purely random). One-shot.
+class GreedyChoiceBalancer final : public BinLoadBalancer {
+ public:
+  GreedyChoiceBalancer(const tasks::TaskSet& ts, graph::Node n, int choices,
+                       double threshold);
+
+  std::size_t step(util::Rng& rng);
+  bool done() const noexcept { return done_; }
+  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  void audit() const;
+
+  /// max_load - W/n, the gap the multiple-choice literature tracks.
+  double gap() const;
+
+ private:
+  int choices_;
+  bool done_ = false;
+};
+
+/// Peres, Talwar & Wieder [11]: with probability beta a uniform bin, else
+/// the lesser loaded of two uniform choices. One-shot.
+class OnePlusBetaBalancer final : public BinLoadBalancer {
+ public:
+  OnePlusBetaBalancer(const tasks::TaskSet& ts, graph::Node n, double beta,
+                      double threshold);
+
+  std::size_t step(util::Rng& rng);
+  bool done() const noexcept { return done_; }
+  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  void audit() const;
+
+  double gap() const;
+
+ private:
+  double beta_;
+  bool done_ = false;
+};
+
+/// The centralized first-fit yardstick (Section 5.2's "proper assignment"):
+/// one round of global coordination, max load <= W/n + w_max guaranteed.
+/// Deterministic — step() ignores the RNG.
+class FirstFitBalancer final : public BinLoadBalancer {
+ public:
+  /// The comparison threshold defaults to the proper-assignment bound
+  /// W/n + w_max, under which first fit always balances.
+  FirstFitBalancer(const tasks::TaskSet& ts, graph::Node n);
+  FirstFitBalancer(const tasks::TaskSet& ts, graph::Node n, double threshold);
+
+  std::size_t step(util::Rng& rng);
+  bool done() const noexcept { return done_; }
+  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  void audit() const;
+
+  /// The computed placement (valid once done()).
+  const tasks::ProperAssignment& assignment() const noexcept {
+    return assignment_;
+  }
+
+ private:
+  bool done_ = false;
+  tasks::ProperAssignment assignment_;
+};
+
+}  // namespace tlb::engine

@@ -1,0 +1,133 @@
+#pragma once
+// engine::drive — the one round-loop driver.
+//
+// Every balancing process in the library used to own a private copy of the
+// same loop: check balance, maybe record traces, maybe audit, step, repeat
+// until the cap; plus a divergent warmup/measure variant in the dynamic
+// engine. drive() is that loop, once, for anything satisfying the Balancer
+// concept — the paper's six core engines, the six comparison baselines, and
+// whatever protocol lands next (parallel phase-2 apply plugs in here).
+//
+// Two modes, selected by DriveOptions::measure:
+//   * run-to-balance (measure < 0, the default): loop until done() or
+//     max_rounds. The batch protocols' semantics.
+//   * warmup + measure (measure >= 0): step `warmup` unobserved rounds,
+//     bracket the next `measure` rounds with begin_measure()/end_measure()
+//     (engines without the hooks just run), observing only the measured
+//     window. The churn semantics DynamicUserEngine::run(warmup, measure)
+//     used to hard-code.
+//
+// Determinism contract: drive() itself never draws from `rng`; only
+// step(rng) does. Observers see const views. A drive is therefore bitwise
+// reproducible from (balancer state, seed) — the property the legacy run()
+// wrappers rely on to stay identical to their pre-driver selves.
+
+#include <utility>
+
+#include "tlb/core/metrics.hpp"
+#include "tlb/engine/balancer.hpp"
+#include "tlb/engine/observer.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace tlb::engine {
+
+/// Loop-level knobs (everything that used to live in EngineOptions minus
+/// the tracing bools, which observers replaced, and `threads`, which is an
+/// engine-construction knob, not a loop knob).
+struct DriveOptions {
+  long max_rounds = 10000000;  ///< run-to-balance hard stop
+  /// Audit the balancer every round and once after the loop (throws on a
+  /// violated invariant; never mutates, never draws).
+  bool paranoid_checks = false;
+  long warmup = 0;    ///< measure mode: unobserved leading rounds
+  /// >= 0 switches to warmup+measure mode with exactly this many measured
+  /// rounds; < 0 runs to balance (max_rounds-capped).
+  long measure = -1;
+
+  /// Lift the loop-level fields out of the legacy options struct.
+  static DriveOptions from(const core::EngineOptions& opt) {
+    DriveOptions d;
+    d.max_rounds = opt.max_rounds;
+    d.paranoid_checks = opt.paranoid_checks;
+    return d;
+  }
+};
+
+/// Run `balancer` under `opt`, notifying `observer` (may be null), and
+/// return the accumulated RunResult. potential_trace/overloaded_trace stay
+/// empty — attach PotentialTrace/OverloadedTrace observers and move their
+/// vectors in (run_with_options below does exactly that for the legacy
+/// EngineOptions bools).
+template <Balancer B>
+core::RunResult drive(B& balancer, util::Rng& rng, const DriveOptions& opt,
+                      RoundObserver* observer = nullptr) {
+  detail::ViewOf<B> view(balancer);
+  core::RunResult result;
+
+  const auto measured_round = [&]() -> bool {
+    // One observed round; false = an observer stopped the run.
+    if (observer != nullptr && observer->should_stop(view, result.rounds)) {
+      return false;
+    }
+    if (observer != nullptr) observer->on_round(view, result.rounds);
+    if (opt.paranoid_checks) balancer.audit();
+    const std::size_t moved = balancer.step(rng);
+    result.migrations += moved;
+    if (observer != nullptr) {
+      observer->on_round_end(view, result.rounds, moved);
+    }
+    ++result.rounds;
+    return true;
+  };
+
+  if (opt.measure >= 0) {
+    for (long t = 0; t < opt.warmup; ++t) balancer.step(rng);
+    detail::begin_measure(balancer);
+    for (long t = 0; t < opt.measure; ++t) {
+      if (!measured_round()) break;
+    }
+    detail::end_measure(balancer);
+  } else {
+    while (!is_done(balancer) && result.rounds < opt.max_rounds) {
+      if (!measured_round()) break;
+    }
+  }
+
+  if (observer != nullptr) observer->on_finish(view);
+  if (opt.paranoid_checks) balancer.audit();
+  result.balanced = balancer.balanced();
+  result.final_max_load = balancer.max_load();
+  result.threshold = balancer.reported_threshold();
+  return result;
+}
+
+/// The legacy-run shim shared by every engine's run(rng): translate the
+/// EngineOptions tracing bools into trace observers, drive, and move the
+/// traces into the RunResult — byte-for-byte what the six deleted loop
+/// copies produced.
+template <Balancer B>
+core::RunResult run_with_options(B& balancer, const core::EngineOptions& opt,
+                                 util::Rng& rng) {
+  PotentialTrace potential;
+  OverloadedTrace overloaded;
+  ObserverList observers;
+  if (opt.record_potential) observers.add(&potential);
+  if (opt.record_overloaded) observers.add(&overloaded);
+  core::RunResult result =
+      drive(balancer, rng, DriveOptions::from(opt), observers.or_null());
+  if (opt.record_potential) result.potential_trace = potential.take();
+  if (opt.record_overloaded) result.overloaded_trace = overloaded.take();
+  return result;
+}
+
+/// The reset-then-run convenience every engine used to duplicate as its
+/// run(placement, rng) overload.
+template <class B>
+core::RunResult reset_and_run(B& balancer, const tasks::Placement& placement,
+                              util::Rng& rng) {
+  balancer.reset(placement);
+  return balancer.run(rng);
+}
+
+}  // namespace tlb::engine

@@ -1,0 +1,170 @@
+#pragma once
+// Composable round observers for engine::drive.
+//
+// The legacy engines baked two tracing flags (record_potential,
+// record_overloaded) into EngineOptions and copied the bookkeeping into
+// every run() loop. Observers replace the bools: the driver calls the hooks
+// below at well-defined points, and callers compose exactly the
+// instrumentation they want — potential traces, overloaded traces, early
+// stopping, per-round JSON — without the engines knowing any of it exists.
+//
+// Hook order per measured round t (bitwise-compatible with the legacy
+// loops: no hook may touch the caller's RNG):
+//   should_stop(view, t)        before anything else; true ends the run
+//   on_round(view, t)           round-start state, before step()
+//   [paranoid audit]
+//   step()
+//   on_round_end(view, t, mig)  round-end state + migrations of round t
+// and once after the loop:
+//   on_finish(view)             final state (legacy traces' trailing entry)
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tlb/engine/balancer.hpp"
+
+namespace tlb::engine {
+
+/// Interface the driver notifies; every hook defaults to a no-op.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  /// Round-start state of measured round `round`, before step().
+  virtual void on_round(const BalancerView& view, long round) {
+    (void)view;
+    (void)round;
+  }
+  /// Round-end state of measured round `round`; `migrations` is what its
+  /// step() returned.
+  virtual void on_round_end(const BalancerView& view, long round,
+                            std::size_t migrations) {
+    (void)view;
+    (void)round;
+    (void)migrations;
+  }
+  /// Final state, exactly once, after the loop ends for any reason.
+  virtual void on_finish(const BalancerView& view) { (void)view; }
+  /// Checked at the top of every measured round; true stops the run.
+  virtual bool should_stop(const BalancerView& view, long round) {
+    (void)view;
+    (void)round;
+    return false;
+  }
+};
+
+/// Records Φ at the start of every round plus one trailing entry for the
+/// final state — the exact shape of RunResult::potential_trace.
+class PotentialTrace final : public RoundObserver {
+ public:
+  void on_round(const BalancerView& view, long) override {
+    trace_.push_back(view.potential());
+  }
+  void on_finish(const BalancerView& view) override {
+    trace_.push_back(view.potential());
+  }
+  const std::vector<double>& trace() const noexcept { return trace_; }
+  std::vector<double> take() { return std::move(trace_); }
+
+ private:
+  std::vector<double> trace_;
+};
+
+/// Records the overloaded-resource count, same shape as
+/// RunResult::overloaded_trace.
+class OverloadedTrace final : public RoundObserver {
+ public:
+  void on_round(const BalancerView& view, long) override {
+    trace_.push_back(view.overloaded_count());
+  }
+  void on_finish(const BalancerView& view) override {
+    trace_.push_back(view.overloaded_count());
+  }
+  const std::vector<std::uint32_t>& trace() const noexcept { return trace_; }
+  std::vector<std::uint32_t> take() { return std::move(trace_); }
+
+ private:
+  std::vector<std::uint32_t> trace_;
+};
+
+/// Stops the run as soon as the predicate holds (checked at round start).
+/// E.g. "stop once Φ dropped below 1% of its start" or "stop after the
+/// overloaded count first hits k".
+class EarlyStop final : public RoundObserver {
+ public:
+  using Predicate = std::function<bool(const BalancerView&, long round)>;
+  explicit EarlyStop(Predicate pred) : pred_(std::move(pred)) {}
+  bool should_stop(const BalancerView& view, long round) override {
+    const bool stop = pred_(view, round);
+    stopped_ = stopped_ || stop;
+    return stop;
+  }
+  /// True iff this observer (not balance or the cap) ended the run.
+  bool triggered() const noexcept { return stopped_; }
+
+ private:
+  Predicate pred_;
+  bool stopped_ = false;
+};
+
+/// Collects one record per round and renders a deterministic JSON array of
+///   {"round": t, "potential": ..., "overloaded": ..., "migrations": ...}
+/// with a trailing final-state record ("round": -1 is never used; the final
+/// record carries "final": true instead of migrations).
+class JsonTraceSink final : public RoundObserver {
+ public:
+  void on_round_end(const BalancerView& view, long round,
+                    std::size_t migrations) override;
+  void on_finish(const BalancerView& view) override;
+  /// The rendered JSON array (valid once the drive returned).
+  std::string json() const;
+  std::size_t rounds_recorded() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    long round;
+    double potential;
+    std::uint32_t overloaded;
+    std::uint64_t migrations;
+    bool final_state;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Fans every hook out to a list of observers, in insertion order (the
+/// driver takes a single RoundObserver*; this is how several compose).
+/// should_stop is true if any member votes to stop — every member is still
+/// asked, so trace observers attached after a stopper stay consistent.
+class ObserverList final : public RoundObserver {
+ public:
+  ObserverList() = default;
+  explicit ObserverList(std::vector<RoundObserver*> observers)
+      : observers_(std::move(observers)) {}
+  void add(RoundObserver* observer) { observers_.push_back(observer); }
+  bool empty() const noexcept { return observers_.empty(); }
+  /// nullptr when empty, so callers can pass `list.or_null()` to drive.
+  RoundObserver* or_null() noexcept { return observers_.empty() ? nullptr : this; }
+
+  void on_round(const BalancerView& view, long round) override {
+    for (RoundObserver* o : observers_) o->on_round(view, round);
+  }
+  void on_round_end(const BalancerView& view, long round,
+                    std::size_t migrations) override {
+    for (RoundObserver* o : observers_) o->on_round_end(view, round, migrations);
+  }
+  void on_finish(const BalancerView& view) override {
+    for (RoundObserver* o : observers_) o->on_finish(view);
+  }
+  bool should_stop(const BalancerView& view, long round) override {
+    bool stop = false;
+    for (RoundObserver* o : observers_) stop = o->should_stop(view, round) || stop;
+    return stop;
+  }
+
+ private:
+  std::vector<RoundObserver*> observers_;
+};
+
+}  // namespace tlb::engine

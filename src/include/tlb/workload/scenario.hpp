@@ -18,6 +18,16 @@
 // arrivals (poisson/burst) currently require user:complete — they run the
 // grouped dynamic engine with the weight model reduced to a class table.
 //
+// Baseline protocols (engine::Balancer wrappers over tlb::baselines; all
+// require the complete topology and batch arrivals): seqthresh ([5]
+// retry-until-fits), parthresh ([4] synchronous propose/accept rounds),
+// twochoice(d) ([9] greedy d-choice, default d = 2), onebeta(beta) ([11]
+// (1+beta)-choice, default beta = 0.5), selfish ([12] threshold-free
+// reallocation, stopped at the same threshold the paper's protocols use),
+// firstfit (the centralized proper-assignment yardstick), e.g.
+//   seqthresh:complete:uniform(8)
+//   twochoice(2):complete:zipf(1.1,64)
+//
 // Determinism: every run derives all randomness from (seed, trial index)
 // via util::derive_seed, and randomised graphs are built once from a
 // dedicated stream — so results (and the JSON report) are identical
@@ -41,22 +51,39 @@ namespace tlb::workload {
 
 class ArrivalProcess;
 
-/// Which migration protocol a scenario runs.
+/// Which migration protocol a scenario runs. The first four are the
+/// paper's engines; the rest are the related-work baselines, promoted to
+/// first-class protocols through the engine::Balancer wrappers so they run
+/// head-to-head with the paper's protocols from the same spec grammar.
 enum class ProtocolKind {
-  kUser,      ///< Algorithm 6.1 on the complete graph
-  kResource,  ///< Algorithm 5.1 on an arbitrary graph
-  kGraphUser, ///< user-controlled with one P-step per migration
-  kMixed,     ///< blend: resource w.p. beta, user otherwise
+  kUser,       ///< Algorithm 6.1 on the complete graph
+  kResource,   ///< Algorithm 5.1 on an arbitrary graph
+  kGraphUser,  ///< user-controlled with one P-step per migration
+  kMixed,      ///< blend: resource w.p. beta, user otherwise
+  kSeqThresh,  ///< [5] sequential threshold allocation (retry until fits)
+  kParThresh,  ///< [4] parallel threshold rounds (propose/accept/retry)
+  kTwoChoice,  ///< [9] greedy d-choice sequential allocation
+  kOneBeta,    ///< [11] (1+beta)-choice sequential allocation
+  kSelfish,    ///< [12] threshold-free selfish reallocation rounds
+  kFirstFit,   ///< centralized first-fit proper assignment (one round)
 };
 
-/// Canonical protocol name ("user", "resource", "graphuser", "mixed").
+/// Canonical protocol name ("user", "resource", "graphuser", "mixed",
+/// "seqthresh", "parthresh", "twochoice", "onebeta", "selfish",
+/// "firstfit").
 const char* protocol_name(ProtocolKind kind);
+
+/// True iff `kind` is one of the comparison baselines (they run on the
+/// complete bin model and reject churn arrivals).
+bool is_baseline(ProtocolKind kind);
 
 /// Parsed scenario spec. weights/arrivals are stored canonicalised (the
 /// sub-model parsers round-trip them), so canonical() is stable.
 struct ScenarioSpec {
   ProtocolKind protocol = ProtocolKind::kUser;
-  double mixed_beta = 0.5;  ///< kMixed only
+  double mixed_beta = 0.5;     ///< kMixed only
+  int twochoice_d = 2;         ///< kTwoChoice only: candidate bins per ball
+  double onebeta_beta = 0.5;   ///< kOneBeta only: uniform-throw probability
   sim::GraphFamily family = sim::GraphFamily::kComplete;
   std::string weights = "unit";
   std::string arrivals = "batch";

@@ -7,12 +7,15 @@
 #include <optional>
 #include <stdexcept>
 
+#include "tlb/baselines/selfish_realloc.hpp"
 #include "tlb/core/dynamic.hpp"
 #include "tlb/core/graph_user_protocol.hpp"
 #include "tlb/core/mixed_protocol.hpp"
 #include "tlb/core/resource_protocol.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/core/user_protocol.hpp"
+#include "tlb/engine/baseline_balancers.hpp"
+#include "tlb/engine/driver.hpp"
 #include "tlb/sim/config.hpp"
 #include "tlb/sim/report.hpp"
 #include "tlb/tasks/placement.hpp"
@@ -34,14 +37,15 @@ constexpr std::uint64_t kPerfRunStream = 0x70657266'72ULL;      // "perf r"
 /// Threshold slack shared by every preset (tlb_sim's default).
 constexpr double kEps = 0.25;
 
-/// Round loop shared by every batch engine: time each round, stop at
-/// balance or the cap. Returns per-round wall-clock in ms.
+/// Round loop shared by every batch engine: time each round, stop where
+/// engine::drive would (done() for the one-shot baselines, balanced()
+/// otherwise) or at the cap. Returns per-round wall-clock in ms.
 template <class Engine>
 std::vector<double> drive_batch(Engine& engine, long max_rounds,
                                 util::Rng& rng, PerfResult& out) {
   std::vector<double> round_ms;
   util::Stopwatch watch;
-  while (!engine.balanced() && out.rounds < max_rounds) {
+  while (!tlb::engine::is_done(engine) && out.rounds < max_rounds) {
     watch.reset();
     out.migrations += engine.step(rng);
     round_ms.push_back(watch.elapsed_ms());
@@ -87,13 +91,14 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   sim::GraphSpec gspec;
   gspec.family = spec.family;
   gspec.n = preset.n;
-  // The user protocol's complete-graph semantics are built into the engine;
-  // materialising K_n at n = 10^6 would need ~4TB of edges. Only the
-  // graph-walking protocols get a real topology.
+  // The user protocol's complete-graph semantics are built into the engine
+  // and the baselines run on the complete bin model; materialising K_n at
+  // n = 10^6 would need ~4TB of edges. Only the graph-walking protocols
+  // get a real topology.
   graph::Graph g;
   graph::Node n = preset.n;
   randomwalk::WalkKind walk = gspec.recommended_walk();
-  if (spec.protocol != ProtocolKind::kUser) {
+  if (spec.protocol != ProtocolKind::kUser && !is_baseline(spec.protocol)) {
     util::Rng graph_rng(util::derive_seed(seed, kPerfGraphStream));
     g = gspec.build(graph_rng);
     n = g.num_nodes();
@@ -103,7 +108,10 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   const tasks::TaskSet ts = parse_weight_model(spec.weights)->make(m, rng);
   const double T = core::threshold_value(core::ThresholdKind::kAboveAverage,
                                          ts, n, kEps);
-  const tasks::Placement start = tasks::all_on_one(ts);
+  // Only the migration protocols start from a placement; the allocator
+  // baselines below start with every ball unplaced, so the O(m) vector is
+  // built where it is consumed.
+  const auto start = [&ts] { return tasks::all_on_one(ts); };
   out.n = n;
   out.m = m;
 
@@ -112,7 +120,7 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   std::vector<double> round_ms;
   const auto timed_drive = [&](auto& engine, auto&& final_over) {
     timer.start("place");
-    engine.reset(start);
+    engine.reset(start());
     timer.start("rounds");
     round_ms = drive_batch(engine, preset.max_rounds, rng, out);
     timer.start("finish");
@@ -120,6 +128,14 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   };
   const auto state_over = [](const auto& engine) {
     return static_cast<std::uint32_t>(engine.state().overloaded_count());
+  };
+  // Baseline allocators: balls start unplaced, so there is no placement
+  // phase to time.
+  const auto timed_alloc = [&](auto& balancer) {
+    timer.start("rounds");
+    round_ms = drive_batch(balancer, preset.max_rounds, rng, out);
+    timer.start("finish");
+    out.final_overloaded = balancer.overloaded_count();
   };
 
   switch (spec.protocol) {
@@ -172,6 +188,41 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.options.max_rounds = preset.max_rounds;
       core::MixedProtocolEngine engine(g, ts, cfg);
       timed_drive(engine, state_over);
+      break;
+    }
+    case ProtocolKind::kSeqThresh: {
+      tlb::engine::SequentialThresholdBalancer balancer(ts, n, T);
+      timed_alloc(balancer);
+      break;
+    }
+    case ProtocolKind::kParThresh: {
+      tlb::engine::ParallelThresholdBalancer balancer(ts, n, T);
+      timed_alloc(balancer);
+      break;
+    }
+    case ProtocolKind::kTwoChoice: {
+      tlb::engine::GreedyChoiceBalancer balancer(ts, n, spec.twochoice_d, T);
+      timed_alloc(balancer);
+      break;
+    }
+    case ProtocolKind::kOneBeta: {
+      tlb::engine::OnePlusBetaBalancer balancer(ts, n, spec.onebeta_beta, T);
+      timed_alloc(balancer);
+      break;
+    }
+    case ProtocolKind::kSelfish: {
+      baselines::SelfishConfig cfg;
+      cfg.stop_threshold = T;
+      cfg.options.max_rounds = preset.max_rounds;
+      baselines::SelfishReallocEngine engine(ts, n, cfg);
+      timed_drive(engine, [](const baselines::SelfishReallocEngine& e) {
+        return e.overloaded_count();
+      });
+      break;
+    }
+    case ProtocolKind::kFirstFit: {
+      tlb::engine::FirstFitBalancer balancer(ts, n, T);
+      timed_alloc(balancer);
       break;
     }
   }
@@ -267,6 +318,84 @@ void run_arena_churn_preset(const PerfPreset& preset, std::uint64_t seed,
   finish_timing(round_ms, out);
 }
 
+/// Composite baseline driver (scenario "baselines:suite[:<weights>]"): one
+/// task set, one above-average threshold, all six baseline balancers driven
+/// back to back through the timed round loop — seqthresh, parthresh,
+/// twochoice(2), onebeta(0.5), selfish (from the all-on-one start the paper
+/// protocols use) and firstfit — with one timer phase per baseline. The
+/// counters (rounds, migrations, balanced, final_overloaded) aggregate over
+/// the whole suite and are deterministic in the seed, so the preset rides
+/// the same byte-determinism CI checks as every other one.
+void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
+                                util::Timer& timer, PerfResult& out) {
+  timer.start("setup");
+  const graph::Node n = preset.n;
+  const std::size_t m = preset.load_factor * static_cast<std::size_t>(n);
+  std::string weights = "unit";
+  const std::string prefix = "baselines:suite:";
+  if (preset.scenario.size() > prefix.size()) {
+    weights = preset.scenario.substr(prefix.size());
+  }
+  util::Rng rng(util::derive_seed(seed, kPerfRunStream));
+  const tasks::TaskSet ts = parse_weight_model(weights)->make(m, rng);
+  const double T = core::threshold_value(core::ThresholdKind::kAboveAverage,
+                                         ts, n, kEps);
+  out.n = n;
+  out.m = m;
+  out.balanced = true;
+
+  std::vector<double> round_ms;
+  const auto drive_one = [&](const char* name, auto& balancer,
+                             long max_rounds) {
+    timer.start(name);
+    PerfResult one;
+    std::vector<double> ms = drive_batch(balancer, max_rounds, rng, one);
+    round_ms.insert(round_ms.end(), ms.begin(), ms.end());
+    out.rounds += one.rounds;
+    out.migrations += one.migrations;
+    out.balanced = out.balanced && one.balanced;
+    out.final_overloaded += balancer.overloaded_count();
+  };
+
+  {
+    tlb::engine::SequentialThresholdBalancer b(ts, n, T);
+    drive_one("seqthresh", b, preset.max_rounds);
+  }
+  {
+    tlb::engine::ParallelThresholdBalancer b(ts, n, T);
+    drive_one("parthresh", b, preset.max_rounds);
+  }
+  {
+    tlb::engine::GreedyChoiceBalancer b(ts, n, /*choices=*/2, T);
+    drive_one("twochoice", b, preset.max_rounds);
+  }
+  {
+    tlb::engine::OnePlusBetaBalancer b(ts, n, /*beta=*/0.5, T);
+    drive_one("onebeta", b, preset.max_rounds);
+  }
+  {
+    // Selfish reallocation never stops migrating on its own and its
+    // stochastic equilibrium can hover right at the threshold at large n,
+    // so the suite bounds it separately instead of letting it burn the
+    // whole preset.max_rounds budget; `balanced` honestly reports whether
+    // it got under T within the window.
+    constexpr long kSelfishRoundCap = 512;
+    baselines::SelfishConfig cfg;
+    cfg.stop_threshold = T;
+    cfg.options.max_rounds = std::min(kSelfishRoundCap, preset.max_rounds);
+    baselines::SelfishReallocEngine b(ts, n, cfg);
+    b.reset(tasks::all_on_one(ts));
+    drive_one("selfish", b, cfg.options.max_rounds);
+  }
+  {
+    tlb::engine::FirstFitBalancer b(ts, n, T);
+    drive_one("firstfit", b, preset.max_rounds);
+  }
+  timer.stop();
+  for (double t : round_ms) out.run_ms += t;
+  finish_timing(round_ms, out);
+}
+
 void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       PerfResult& out) {
@@ -334,6 +463,11 @@ const std::vector<PerfPreset>& perf_presets() {
       // wall-clock fields may differ.
       {"parallel-1m", "user:complete:uniform(8):batch", 1000000, 8, 100000,
        0, 0, /*threads=*/0},
+      // All six baseline protocols back to back over one 10^6-task set
+      // (per-baseline timer phases); the related-work yardsticks ride the
+      // same perf trajectory as the paper's engines.
+      {"baselines-1m", "baselines:suite:uniform(8)", 125000, 8, 100000, 0,
+       0},
   };
   return presets;
 }
@@ -355,6 +489,8 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
       // the smoke set) even when no --engine-threads override is given.
       {"smoke-parallel-exact", "user:complete:uniform(8):batch", 4096, 8,
        100000, 0, 0, /*threads=*/2},
+      {"smoke-baselines", "baselines:suite:uniform(8)", 4096, 8, 100000, 0,
+       0},
   };
   return presets;
 }
@@ -368,6 +504,13 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
     out.phases = timer.phases();
     out.setup_ms = timer.ms("setup");
     out.run_ms = timer.ms("rounds");
+    return out;
+  }
+  if (preset.scenario.rfind("baselines:suite", 0) == 0) {
+    util::Timer timer;
+    run_baselines_suite_preset(preset, seed, timer, out);
+    out.phases = timer.phases();
+    out.setup_ms = timer.ms("setup");
     return out;
   }
   const ScenarioSpec spec = resolve_scenario(preset.scenario);

@@ -7,11 +7,14 @@
 #include <stdexcept>
 
 #include "spec_parse.hpp"
+#include "tlb/baselines/selfish_realloc.hpp"
 #include "tlb/core/dynamic.hpp"
 #include "tlb/core/graph_user_protocol.hpp"
 #include "tlb/core/mixed_protocol.hpp"
 #include "tlb/core/resource_protocol.hpp"
 #include "tlb/core/user_protocol.hpp"
+#include "tlb/engine/baseline_balancers.hpp"
+#include "tlb/engine/driver.hpp"
 #include "tlb/sim/report.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/workload/arrival.hpp"
@@ -59,8 +62,32 @@ const char* protocol_name(ProtocolKind kind) {
     case ProtocolKind::kResource: return "resource";
     case ProtocolKind::kGraphUser: return "graphuser";
     case ProtocolKind::kMixed: return "mixed";
+    case ProtocolKind::kSeqThresh: return "seqthresh";
+    case ProtocolKind::kParThresh: return "parthresh";
+    case ProtocolKind::kTwoChoice: return "twochoice";
+    case ProtocolKind::kOneBeta: return "onebeta";
+    case ProtocolKind::kSelfish: return "selfish";
+    case ProtocolKind::kFirstFit: return "firstfit";
   }
   return "?";
+}
+
+bool is_baseline(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kUser:
+    case ProtocolKind::kResource:
+    case ProtocolKind::kGraphUser:
+    case ProtocolKind::kMixed:
+      return false;
+    case ProtocolKind::kSeqThresh:
+    case ProtocolKind::kParThresh:
+    case ProtocolKind::kTwoChoice:
+    case ProtocolKind::kOneBeta:
+    case ProtocolKind::kSelfish:
+    case ProtocolKind::kFirstFit:
+      return true;
+  }
+  return false;
 }
 
 ScenarioSpec ScenarioSpec::parse(const std::string& text) {
@@ -72,6 +99,29 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
   ScenarioSpec spec;
 
   const std::string& proto = fields[0];
+  // "name(x)" -> x for the parameterised protocols; bare "name" -> no
+  // override (the spec keeps its default).
+  const auto proto_param = [&](const char* name,
+                               const char* param) -> std::optional<double> {
+    const std::string prefix = name;
+    if (proto == prefix) return std::nullopt;
+    if (proto.size() < prefix.size() + 3 || proto[prefix.size()] != '(' ||
+        proto.back() != ')') {
+      bad_scenario(text, prefix + " takes the form " + prefix + "(" + param +
+                             ")");
+    }
+    const std::string inner =
+        proto.substr(prefix.size() + 1, proto.size() - prefix.size() - 2);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(inner, &used);
+      if (used != inner.size()) throw std::invalid_argument("trailing junk");
+      return v;
+    } catch (const std::exception&) {
+      bad_scenario(text, prefix + "(" + param + "): " + param +
+                             " is not a number");
+    }
+  };
   if (proto == "user") {
     spec.protocol = ProtocolKind::kUser;
   } else if (proto == "resource") {
@@ -81,23 +131,46 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
   } else if (proto.rfind("mixed", 0) == 0) {
     spec.protocol = ProtocolKind::kMixed;
     spec.mixed_beta = 0.5;
-    if (proto != "mixed") {
-      if (proto.size() < 8 || proto[5] != '(' || proto.back() != ')') {
-        bad_scenario(text, "mixed takes the form mixed(beta)");
-      }
-      try {
-        spec.mixed_beta = std::stod(proto.substr(6, proto.size() - 7));
-      } catch (const std::exception&) {
-        bad_scenario(text, "mixed(beta): beta is not a number");
-      }
-      if (spec.mixed_beta < 0.0 || spec.mixed_beta > 1.0) {
+    if (const auto beta = proto_param("mixed", "beta")) {
+      spec.mixed_beta = *beta;
+      // !(a && b) form so NaN fails the range check too.
+      if (!(spec.mixed_beta >= 0.0 && spec.mixed_beta <= 1.0)) {
         bad_scenario(text, "mixed(beta): beta in [0, 1]");
       }
     }
+  } else if (proto == "seqthresh") {
+    spec.protocol = ProtocolKind::kSeqThresh;
+  } else if (proto == "parthresh") {
+    spec.protocol = ProtocolKind::kParThresh;
+  } else if (proto.rfind("twochoice", 0) == 0) {
+    spec.protocol = ProtocolKind::kTwoChoice;
+    spec.twochoice_d = 2;
+    if (const auto d = proto_param("twochoice", "d")) {
+      if (*d < 1.0 || *d != std::floor(*d) || *d > 64.0) {
+        bad_scenario(text, "twochoice(d): d is an integer in [1, 64]");
+      }
+      spec.twochoice_d = static_cast<int>(*d);
+    }
+  } else if (proto.rfind("onebeta", 0) == 0) {
+    spec.protocol = ProtocolKind::kOneBeta;
+    spec.onebeta_beta = 0.5;
+    if (const auto beta = proto_param("onebeta", "beta")) {
+      spec.onebeta_beta = *beta;
+      // !(a && b) form so NaN fails the range check too.
+      if (!(spec.onebeta_beta >= 0.0 && spec.onebeta_beta <= 1.0)) {
+        bad_scenario(text, "onebeta(beta): beta in [0, 1]");
+      }
+    }
+  } else if (proto == "selfish") {
+    spec.protocol = ProtocolKind::kSelfish;
+  } else if (proto == "firstfit") {
+    spec.protocol = ProtocolKind::kFirstFit;
   } else {
     bad_scenario(text, "unknown protocol '" + proto +
                            "' (want user | resource | graphuser | "
-                           "mixed(beta))");
+                           "mixed(beta) | seqthresh | parthresh | "
+                           "twochoice(d) | onebeta(beta) | selfish | "
+                           "firstfit)");
   }
 
   try {
@@ -127,6 +200,12 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                  "the user protocol runs on the complete graph; use "
                  "graphuser for other topologies");
   }
+  if (is_baseline(spec.protocol) &&
+      spec.family != sim::GraphFamily::kComplete) {
+    bad_scenario(text,
+                 "baseline protocols run on the complete bin model; use "
+                 "topology 'complete'");
+  }
   if (spec.is_churn() && (spec.protocol != ProtocolKind::kUser ||
                           spec.family != sim::GraphFamily::kComplete)) {
     bad_scenario(text,
@@ -140,6 +219,10 @@ std::string ScenarioSpec::canonical() const {
   std::string out = protocol_name(protocol);
   if (protocol == ProtocolKind::kMixed) {
     out.append("(").append(detail::fmt_param(mixed_beta)).append(")");
+  } else if (protocol == ProtocolKind::kTwoChoice) {
+    out.append("(").append(std::to_string(twochoice_d)).append(")");
+  } else if (protocol == ProtocolKind::kOneBeta) {
+    out.append("(").append(detail::fmt_param(onebeta_beta)).append(")");
   }
   out.append(":").append(sim::family_name(family));
   out.append(":").append(weights);
@@ -192,16 +275,18 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     result.n = params_.n;
     result.m = 0;
 
-    const long warmup = params_.warmup;
-    const long measure = params_.measure;
+    // Warmup/measure are DriveOptions fields now: the churn trials run
+    // through the same engine::drive loop as every batch engine.
+    engine::DriveOptions drive_opt;
+    drive_opt.warmup = params_.warmup;
+    drive_opt.measure = params_.measure;
     result.stats = sim::run_trials(
         trials, seed,
-        [&cfg, warmup, measure](util::Rng& rng) {
+        [&cfg, drive_opt](util::Rng& rng) {
           core::DynamicUserEngine engine(cfg);
-          const core::DynamicMetrics metrics =
-              engine.run(warmup, measure, rng);
+          const core::DynamicMetrics metrics = engine.run(drive_opt, rng);
           core::RunResult r;
-          r.rounds = measure;
+          r.rounds = drive_opt.measure;
           r.balanced = metrics.overloaded_fraction.mean() <= 0.05;
           r.migrations = static_cast<std::uint64_t>(std::llround(
               metrics.migrations_per_round.mean() *
@@ -215,15 +300,21 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
   }
 
   // Batch mode: build the topology once from its own randomness stream,
-  // then run trials that each draw a task set from the weight model.
+  // then run trials that each draw a task set from the weight model. The
+  // baselines run on the complete bin model and never walk the graph, so
+  // K_n is not materialised for them (it is O(n^2) edges).
   sim::GraphSpec gspec;
   gspec.family = spec_.family;
   gspec.n = params_.n;
   gspec.degree = params_.degree;
   util::Rng graph_rng(util::derive_seed(seed, kGraphStream));
-  const graph::Graph g = gspec.build(graph_rng);
+  graph::Graph g;
+  graph::Node n = params_.n;
+  if (!is_baseline(spec_.protocol)) {
+    g = gspec.build(graph_rng);
+    n = g.num_nodes();
+  }
   const randomwalk::WalkKind walk = gspec.recommended_walk();
-  const graph::Node n = g.num_nodes();
   const std::size_t m = params_.load_factor * static_cast<std::size_t>(n);
   result.n = n;
   result.m = m;
@@ -232,14 +323,23 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
   const ScenarioParams& p = params_;
   const ProtocolKind protocol = spec_.protocol;
   const double beta = spec_.mixed_beta;
+  const int choices = spec_.twochoice_d;
+  const double onebeta = spec_.onebeta_beta;
 
   result.stats = sim::run_trials(
       trials, seed,
-      [&model, &p, &g, protocol, beta, walk, n, m](util::Rng& rng) {
+      [&model, &p, &g, protocol, beta, choices, onebeta, walk, n,
+       m](util::Rng& rng) {
         const tasks::TaskSet ts = model.make(m, rng);
         const double T =
             core::threshold_value(p.threshold, ts, n, p.eps);
-        const tasks::Placement start = tasks::all_on_one(ts);
+        // Only the migration protocols start from a placement; the
+        // allocator baselines start with every ball unplaced, so the O(m)
+        // all-on-one vector is built where it is consumed.
+        const auto start = [&ts] { return tasks::all_on_one(ts); };
+        engine::DriveOptions drive_opt;
+        drive_opt.max_rounds = p.max_rounds;
+        drive_opt.paranoid_checks = p.paranoid;
         switch (protocol) {
           case ProtocolKind::kUser: {
             core::UserProtocolConfig cfg;
@@ -248,7 +348,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
             cfg.options.threads = p.engine_threads;
-            return run_user_trial(ts, n, cfg, start, rng);
+            return run_user_trial(ts, n, cfg, start(), rng);
           }
           case ProtocolKind::kResource: {
             core::ResourceProtocolConfig cfg;
@@ -257,7 +357,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
             core::ResourceControlledEngine engine(g, ts, cfg);
-            return engine.run(start, rng);
+            return engine.run(start(), rng);
           }
           case ProtocolKind::kGraphUser: {
             core::GraphUserConfig cfg;
@@ -267,7 +367,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
             core::GraphUserEngine engine(g, ts, cfg);
-            return engine.run(start, rng);
+            return engine.run(start(), rng);
           }
           case ProtocolKind::kMixed: {
             core::MixedProtocolConfig cfg;
@@ -278,7 +378,35 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
             core::MixedProtocolEngine engine(g, ts, cfg);
-            return engine.run(start, rng);
+            return engine.run(start(), rng);
+          }
+          case ProtocolKind::kSeqThresh: {
+            engine::SequentialThresholdBalancer balancer(ts, n, T);
+            return engine::drive(balancer, rng, drive_opt);
+          }
+          case ProtocolKind::kParThresh: {
+            engine::ParallelThresholdBalancer balancer(ts, n, T);
+            return engine::drive(balancer, rng, drive_opt);
+          }
+          case ProtocolKind::kTwoChoice: {
+            engine::GreedyChoiceBalancer balancer(ts, n, choices, T);
+            return engine::drive(balancer, rng, drive_opt);
+          }
+          case ProtocolKind::kOneBeta: {
+            engine::OnePlusBetaBalancer balancer(ts, n, onebeta, T);
+            return engine::drive(balancer, rng, drive_opt);
+          }
+          case ProtocolKind::kSelfish: {
+            baselines::SelfishConfig cfg;
+            cfg.stop_threshold = T;
+            cfg.options.max_rounds = p.max_rounds;
+            cfg.options.paranoid_checks = p.paranoid;
+            baselines::SelfishReallocEngine eng(ts, n, cfg);
+            return eng.run(start(), rng);
+          }
+          case ProtocolKind::kFirstFit: {
+            engine::FirstFitBalancer balancer(ts, n, T);
+            return engine::drive(balancer, rng, drive_opt);
           }
         }
         throw std::logic_error("scenario: unreachable protocol");
@@ -303,6 +431,10 @@ std::string ScenarioResult::json() const {
       .add("alpha", params.alpha);
   if (spec.protocol == ProtocolKind::kMixed) {
     j.add("beta", spec.mixed_beta);
+  } else if (spec.protocol == ProtocolKind::kTwoChoice) {
+    j.add("choices", spec.twochoice_d);
+  } else if (spec.protocol == ProtocolKind::kOneBeta) {
+    j.add("beta", spec.onebeta_beta);
   }
   if (spec.is_churn()) {
     j.add("warmup", static_cast<std::int64_t>(params.warmup))
@@ -405,6 +537,24 @@ const std::vector<NamedScenario>& scenario_registry() {
       {"churn-burst", "user:complete:bimodal(8,0.1):burst(50,400,0.02)",
        "adversarial arrival spikes: 400 tasks land together every 50 "
        "rounds"},
+      {"baseline-seqthresh", "seqthresh:complete:uniform(8):batch",
+       "[5] sequential threshold allocation: one ball at a time, retry "
+       "until a bin keeps load + w <= T"},
+      {"baseline-parthresh", "parthresh:complete:uniform(8):batch",
+       "[4] parallel threshold rounds: every unplaced ball proposes one "
+       "uniform bin per round"},
+      {"baseline-twochoice", "twochoice(2):complete:uniform(8):batch",
+       "[9] greedy two-choice sequential allocation (balanced() measured "
+       "against the scenario threshold)"},
+      {"baseline-onebeta", "onebeta(0.5):complete:uniform(8):batch",
+       "[11] (1+beta)-choice: uniform bin w.p. beta, else the lesser of "
+       "two choices"},
+      {"baseline-selfish", "selfish:complete:uniform(8):batch",
+       "[12] threshold-free selfish reallocation, stopped at the same "
+       "threshold the paper's protocols use"},
+      {"baseline-firstfit", "firstfit:complete:uniform(8):batch",
+       "the centralized first-fit proper assignment (one round of global "
+       "coordination; the quality yardstick)"},
   };
   return registry;
 }

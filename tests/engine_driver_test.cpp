@@ -1,0 +1,417 @@
+// Differential tests for the engine::drive round-loop driver: for every
+// engine and every engine-thread count in {1, 2, 0}, the legacy run()
+// wrappers (now thin shims over drive) must produce bitwise-identical
+// RunResults — including the potential/overloaded traces — to a hand-rolled
+// replica of the pre-driver loop executed through the public step()/
+// balanced()/potential()/... surface. This pins the driver's loop
+// structure, trace shape and RNG-stream discipline to the legacy
+// semantics: only step() may draw, traces carry one entry per round plus a
+// trailing final-state entry, and the loop stops exactly at balance or the
+// cap. Also covers the observer set (trace observers, EarlyStop,
+// JsonTraceSink, ObserverList) and the warmup/measure drive mode the
+// dynamic engine runs under.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "tlb/baselines/selfish_realloc.hpp"
+#include "tlb/core/dynamic.hpp"
+#include "tlb/core/graph_user_protocol.hpp"
+#include "tlb/core/mixed_protocol.hpp"
+#include "tlb/core/resource_protocol.hpp"
+#include "tlb/core/user_protocol.hpp"
+#include "tlb/engine/driver.hpp"
+#include "tlb/graph/builders.hpp"
+#include "tlb/graph/graph.hpp"
+#include "tlb/tasks/placement.hpp"
+#include "tlb/tasks/task_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace {
+
+using namespace tlb;
+using core::EngineOptions;
+using core::RunResult;
+using tasks::Placement;
+using tasks::TaskSet;
+using util::Rng;
+
+// Engine-thread counts the differential runs cover (1 = inline, 2 = small
+// pool, 0 = hardware concurrency). Engines without threaded phase-1
+// sampling simply ignore the knob — the comparison still has to hold.
+const std::size_t kThreadCounts[] = {1, 2, 0};
+
+/// The pre-driver round loop, reconstructed over the public Balancer
+/// surface. Every engine's run() used to be exactly this (modulo which
+/// potential function and overloaded counter it inlined — now exposed as
+/// potential()/overloaded_count()).
+template <class Engine>
+RunResult reference_run(Engine& engine, const EngineOptions& opt, Rng& rng) {
+  RunResult result;
+  while (!engine.balanced() && result.rounds < opt.max_rounds) {
+    if (opt.record_potential) {
+      result.potential_trace.push_back(engine.potential());
+    }
+    if (opt.record_overloaded) {
+      result.overloaded_trace.push_back(engine.overloaded_count());
+    }
+    result.migrations += engine.step(rng);
+    ++result.rounds;
+  }
+  if (opt.record_potential) {
+    result.potential_trace.push_back(engine.potential());
+  }
+  if (opt.record_overloaded) {
+    result.overloaded_trace.push_back(engine.overloaded_count());
+  }
+  result.balanced = engine.balanced();
+  result.final_max_load = engine.max_load();
+  result.threshold = engine.reported_threshold();
+  return result;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what, std::size_t threads) {
+  EXPECT_EQ(a.rounds, b.rounds) << what << " threads=" << threads;
+  EXPECT_EQ(a.balanced, b.balanced) << what << " threads=" << threads;
+  EXPECT_EQ(a.migrations, b.migrations) << what << " threads=" << threads;
+  EXPECT_EQ(a.threshold, b.threshold) << what << " threads=" << threads;
+  EXPECT_EQ(a.final_max_load, b.final_max_load)
+      << what << " threads=" << threads;
+  ASSERT_EQ(a.potential_trace.size(), b.potential_trace.size())
+      << what << " threads=" << threads;
+  for (std::size_t i = 0; i < a.potential_trace.size(); ++i) {
+    EXPECT_EQ(a.potential_trace[i], b.potential_trace[i])
+        << what << " threads=" << threads << " round " << i;
+  }
+  ASSERT_EQ(a.overloaded_trace.size(), b.overloaded_trace.size())
+      << what << " threads=" << threads;
+  for (std::size_t i = 0; i < a.overloaded_trace.size(); ++i) {
+    EXPECT_EQ(a.overloaded_trace[i], b.overloaded_trace[i])
+        << what << " threads=" << threads << " round " << i;
+  }
+}
+
+/// Build two identically-configured engines, run one through the legacy
+/// replica and one through run() (the drive shim), and compare bitwise.
+template <class MakeEngine>
+void differential(const char* what, MakeEngine&& make,
+                  const EngineOptions& opt, const Placement& start,
+                  std::uint64_t seed) {
+  for (std::size_t threads : kThreadCounts) {
+    auto legacy = make(threads);
+    legacy.reset(start);
+    Rng legacy_rng(seed);
+    const RunResult expected = reference_run(legacy, opt, legacy_rng);
+
+    auto driven = make(threads);
+    Rng driven_rng(seed);
+    const RunResult actual = driven.run(start, driven_rng);
+    expect_identical(expected, actual, what, threads);
+
+    // Explicit drive with hand-attached observers must match too (this is
+    // what new callers write instead of EngineOptions bools).
+    auto composed = make(threads);
+    composed.reset(start);
+    Rng composed_rng(seed);
+    engine::PotentialTrace potential;
+    engine::OverloadedTrace overloaded;
+    engine::ObserverList observers;
+    if (opt.record_potential) observers.add(&potential);
+    if (opt.record_overloaded) observers.add(&overloaded);
+    RunResult composed_result = engine::drive(
+        composed, composed_rng, engine::DriveOptions::from(opt),
+        observers.or_null());
+    composed_result.potential_trace = potential.take();
+    composed_result.overloaded_trace = overloaded.take();
+    expect_identical(expected, composed_result, what, threads);
+  }
+}
+
+TaskSet continuous_tasks(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(m);
+  for (auto& x : w) x = 1.0 + 7.0 * rng.uniform01();
+  return TaskSet(std::move(w));
+}
+
+TaskSet two_point_tasks(std::size_t m) {
+  std::vector<double> w(m, 1.0);
+  for (std::size_t i = 0; i < m; i += 10) w[i] = 8.0;
+  return TaskSet(std::move(w));
+}
+
+EngineOptions traced_options() {
+  EngineOptions opt;
+  opt.max_rounds = 100000;
+  opt.record_potential = true;
+  opt.record_overloaded = true;
+  return opt;
+}
+
+TEST(EngineDriverTest, ExactEngineMatchesLegacyLoop) {
+  const graph::Node n = 48;
+  const TaskSet ts = continuous_tasks(4096, 0xA11CE);
+  const double T = 1.25 * ts.total_weight() / n + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "exact",
+      [&](std::size_t threads) {
+        core::UserProtocolConfig cfg;
+        cfg.threshold = T;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return core::UserControlledEngine(ts, n, cfg);
+      },
+      opt, tasks::all_on_one(ts), 901);
+}
+
+TEST(EngineDriverTest, GroupedEngineMatchesLegacyLoop) {
+  const graph::Node n = 96;
+  const TaskSet ts = two_point_tasks(2048);
+  const double T = 1.25 * ts.total_weight() / n + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "grouped",
+      [&](std::size_t threads) {
+        core::UserProtocolConfig cfg;
+        cfg.threshold = T;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return core::GroupedUserEngine(ts, n, cfg);
+      },
+      opt, tasks::all_on_one(ts), 902);
+}
+
+TEST(EngineDriverTest, GraphUserEngineMatchesLegacyLoop) {
+  const graph::Graph g = graph::hypercube(6);
+  const TaskSet ts = continuous_tasks(512, 0xBEE);
+  const double T =
+      1.25 * ts.total_weight() / g.num_nodes() + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "graphuser",
+      [&](std::size_t threads) {
+        core::GraphUserConfig cfg;
+        cfg.threshold = T;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return core::GraphUserEngine(g, ts, cfg);
+      },
+      opt, tasks::all_on_one(ts), 903);
+}
+
+TEST(EngineDriverTest, MixedEngineMatchesLegacyLoop) {
+  const graph::Graph g = graph::hypercube(6);
+  const TaskSet ts = continuous_tasks(512, 0xCAFE);
+  const double T =
+      1.25 * ts.total_weight() / g.num_nodes() + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "mixed",
+      [&](std::size_t threads) {
+        core::MixedProtocolConfig cfg;
+        cfg.threshold = T;
+        cfg.resource_probability = 0.5;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return core::MixedProtocolEngine(g, ts, cfg);
+      },
+      opt, tasks::all_on_one(ts), 904);
+}
+
+TEST(EngineDriverTest, ResourceEngineMatchesLegacyLoop) {
+  const graph::Graph g = graph::hypercube(6);
+  const TaskSet ts = continuous_tasks(512, 0xD00D);
+  const double T =
+      1.25 * ts.total_weight() / g.num_nodes() + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "resource",
+      [&](std::size_t threads) {
+        core::ResourceProtocolConfig cfg;
+        cfg.threshold = T;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return core::ResourceControlledEngine(g, ts, cfg);
+      },
+      opt, tasks::all_on_one(ts), 905);
+}
+
+TEST(EngineDriverTest, SelfishEngineMatchesLegacyLoop) {
+  const graph::Node n = 32;
+  const TaskSet ts = continuous_tasks(512, 0xFEED);
+  const double T = 1.5 * ts.total_weight() / n + ts.max_weight();
+  const EngineOptions opt = traced_options();
+  differential(
+      "selfish",
+      [&](std::size_t threads) {
+        baselines::SelfishConfig cfg;
+        cfg.stop_threshold = T;
+        cfg.options = opt;
+        cfg.options.threads = threads;
+        return baselines::SelfishReallocEngine(ts, n, cfg);
+      },
+      opt, tasks::all_on_one(ts), 906);
+}
+
+// ---- dynamic engine: warmup/measure through the driver --------------------
+
+/// Everything a dynamic run observably produced, as a comparable tuple.
+auto dynamic_fingerprint(const core::DynamicUserEngine& engine,
+                         const core::DynamicMetrics& metrics) {
+  std::vector<double> loads;
+  for (graph::Node r = 0; r < 256; ++r) loads.push_back(engine.load(r));
+  return std::tuple(
+      metrics.overloaded_fraction.mean(), metrics.max_over_avg.mean(),
+      metrics.population.mean(), metrics.migrations_per_round.mean(),
+      metrics.crashes, metrics.arrivals, metrics.completions,
+      engine.total_weight(), engine.population(),
+      engine.current_threshold(), loads);
+}
+
+TEST(EngineDriverTest, DynamicEngineMatchesLegacyWarmupMeasureLoop) {
+  core::DynamicConfig base;
+  base.n = 256;
+  base.arrival_rate = 120.0;
+  base.completion_rate = 0.04;
+  base.crash_rate = 0.01;
+  base.eps = 0.2;
+  base.classes = {{1.0, 0.8}, {4.0, 0.15}, {16.0, 0.05}};
+  const long warmup = 80;
+  const long measure = 160;
+  for (std::size_t threads : kThreadCounts) {
+    core::DynamicConfig cfg = base;
+    cfg.threads = threads;
+
+    // Legacy replica: warmup unrecorded, then a measured window bracketed
+    // by the public begin_measure()/end_measure() hooks.
+    core::DynamicUserEngine legacy(cfg);
+    Rng legacy_rng(4242);
+    for (long t = 0; t < warmup; ++t) legacy.step(legacy_rng);
+    legacy.begin_measure();
+    for (long t = 0; t < measure; ++t) legacy.step(legacy_rng);
+    legacy.end_measure();
+    const auto expected = dynamic_fingerprint(legacy, legacy.metrics());
+
+    // Unified API: DriveOptions{warmup, measure} through engine::drive.
+    core::DynamicUserEngine driven(cfg);
+    Rng driven_rng(4242);
+    engine::DriveOptions opt;
+    opt.warmup = warmup;
+    opt.measure = measure;
+    const core::DynamicMetrics metrics = driven.run(opt, driven_rng);
+    EXPECT_EQ(expected, dynamic_fingerprint(driven, metrics))
+        << "threads=" << threads;
+
+    // Deprecated forwarding overload must stay equivalent for one PR.
+    core::DynamicUserEngine forwarded(cfg);
+    Rng forwarded_rng(4242);
+    const core::DynamicMetrics fmetrics =
+        forwarded.run(warmup, measure, forwarded_rng);
+    EXPECT_EQ(expected, dynamic_fingerprint(forwarded, fmetrics))
+        << "threads=" << threads;
+  }
+}
+
+TEST(EngineDriverTest, DynamicRunRejectsUnboundedDrive) {
+  core::DynamicConfig cfg;
+  cfg.n = 8;
+  core::DynamicUserEngine engine(cfg);
+  Rng rng(1);
+  engine::DriveOptions opt;  // measure defaults to -1 (run to balance)
+  EXPECT_THROW(engine.run(opt, rng), std::invalid_argument);
+}
+
+// ---- observers ------------------------------------------------------------
+
+TEST(EngineDriverTest, EarlyStopEndsTheRunAndReportsTrigger) {
+  const graph::Node n = 32;
+  const TaskSet ts = continuous_tasks(2048, 0x5105);
+  const double T = 1.05 * ts.total_weight() / n + ts.max_weight();
+  core::UserProtocolConfig cfg;
+  cfg.threshold = T;
+  core::UserControlledEngine engine(ts, n, cfg);
+  engine.reset(tasks::all_on_one(ts));
+
+  engine::EarlyStop stopper(
+      [](const engine::BalancerView&, long round) { return round >= 3; });
+  Rng rng(7);
+  const RunResult result =
+      engine::drive(engine, rng, engine::DriveOptions{}, &stopper);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_TRUE(stopper.triggered());
+  EXPECT_FALSE(result.balanced);  // stopped well before balance
+}
+
+TEST(EngineDriverTest, JsonTraceSinkRecordsEveryRoundPlusFinal) {
+  const graph::Node n = 16;
+  const TaskSet ts = two_point_tasks(256);
+  const double T = 1.25 * ts.total_weight() / n + ts.max_weight();
+  core::UserProtocolConfig cfg;
+  cfg.threshold = T;
+  core::GroupedUserEngine engine(ts, n, cfg);
+  engine.reset(tasks::all_on_one(ts));
+
+  engine::JsonTraceSink sink;
+  Rng rng(11);
+  const RunResult result =
+      engine::drive(engine, rng, engine::DriveOptions{}, &sink);
+  EXPECT_TRUE(result.balanced);
+  EXPECT_EQ(sink.rounds_recorded(),
+            static_cast<std::size_t>(result.rounds) + 1);
+  const std::string json = sink.json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"potential\""), std::string::npos);
+  EXPECT_NE(json.find("\"final\":true"), std::string::npos);
+}
+
+TEST(EngineDriverTest, ObserverListFansOutInOrderAndVotesToStop) {
+  const graph::Node n = 16;
+  const TaskSet ts = continuous_tasks(512, 0x0B5);
+  const double T = 1.05 * ts.total_weight() / n + ts.max_weight();
+  core::UserProtocolConfig cfg;
+  cfg.threshold = T;
+  core::UserControlledEngine engine(ts, n, cfg);
+  engine.reset(tasks::all_on_one(ts));
+
+  engine::PotentialTrace potential;
+  engine::EarlyStop stopper(
+      [](const engine::BalancerView&, long round) { return round >= 2; });
+  engine::ObserverList observers;
+  observers.add(&potential);
+  observers.add(&stopper);
+  Rng rng(13);
+  const RunResult result =
+      engine::drive(engine, rng, engine::DriveOptions{}, observers.or_null());
+  EXPECT_EQ(result.rounds, 2);
+  // Trace: one entry per executed round plus the final entry; the stopped
+  // round contributes no round-start entry.
+  EXPECT_EQ(potential.trace().size(), 3u);
+}
+
+TEST(EngineDriverTest, EmptyObserverListIsNull) {
+  engine::ObserverList observers;
+  EXPECT_TRUE(observers.empty());
+  EXPECT_EQ(observers.or_null(), nullptr);
+}
+
+TEST(EngineDriverTest, ParanoidDriveAuditsEveryEngine) {
+  // Smoke: paranoid_checks through the driver must pass for a clean run of
+  // each engine family (the audits throw std::logic_error on corruption).
+  const graph::Node n = 16;
+  const TaskSet ts = continuous_tasks(256, 0xAB);
+  const double T = 1.25 * ts.total_weight() / n + ts.max_weight();
+  core::UserProtocolConfig cfg;
+  cfg.threshold = T;
+  cfg.options.paranoid_checks = true;
+  core::UserControlledEngine engine(ts, n, cfg);
+  Rng rng(3);
+  const RunResult result = engine.run(tasks::all_on_one(ts), rng);
+  EXPECT_TRUE(result.balanced);
+}
+
+}  // namespace

@@ -268,6 +268,13 @@ TEST(ScenarioSpecTest, ParseRoundTrip) {
            "graphuser:regular:zipf(1.1,64):batch",
            "mixed(0.5):torus:octaves(6):batch",
            "user:complete:mix(1:0.9,8:0.1):poisson(20,0.02)",
+           "seqthresh:complete:uniform(8):batch",
+           "parthresh:complete:zipf(1.1,64):batch",
+           "twochoice(2):complete:unit:batch",
+           "twochoice(4):complete:bimodal(8,0.1):batch",
+           "onebeta(0.5):complete:uniform(8):batch",
+           "selfish:complete:uniform(8):batch",
+           "firstfit:complete:pareto(2.5,64):batch",
        }) {
     const auto spec = workload::ScenarioSpec::parse(text);
     EXPECT_EQ(spec.canonical(), text);
@@ -293,6 +300,17 @@ TEST(ScenarioSpecTest, ParseErrors) {
            "mixed(:torus",                  // malformed mixed
            "user:complete:nope",            // bad weight model
            "user:complete:unit:nope",       // bad arrival process
+           "seqthresh:hypercube",           // baselines need complete
+           "twochoice:torus",               // baselines need complete
+           "selfish:complete:unit:poisson(5,0.02)",  // baselines are batch-only
+           "twochoice(0):complete",         // d out of range
+           "twochoice(2.5):complete",       // d not an integer
+           "twochoice(:complete",           // malformed parameter
+           "onebeta(1.5):complete",         // beta out of range
+           "onebeta(x):complete",           // beta not a number
+           "onebeta(0.5x):complete",        // trailing junk after the number
+           "twochoice(2,5):complete",       // trailing junk (second arg)
+           "firstfit(1):complete",          // firstfit takes no parameter
        }) {
     EXPECT_THROW(workload::ScenarioSpec::parse(text), std::invalid_argument)
         << text;

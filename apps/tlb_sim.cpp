@@ -14,9 +14,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "tlb/engine/observer.hpp"
+#include "tlb/obs/registry.hpp"
+#include "tlb/obs/trace_event.hpp"
 #include "tlb/sim/report.hpp"
 #include "tlb/util/alloc_tuning.hpp"
 #include "tlb/util/cli.hpp"
@@ -90,6 +94,16 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "perf suite: append {label, set, report} to this JSON array "
                "file (e.g. BENCH_perf.json)");
+  cli.add_flag("metrics", "false",
+               "collect the obs registry and append a deterministic "
+               "\"metrics\" JSON block (plus \"metrics_timing\" unless "
+               "--timings=false) to the report");
+  cli.add_flag("trace-out", "",
+               "write a chrome://tracing trace-event JSON file of the "
+               "engine's per-phase spans (load in Perfetto)");
+  cli.add_flag("round-trace", "",
+               "scenario mode: attach a per-round JSON trace to trial 0 and "
+               "write the array to this file");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_bool("list")) {
@@ -100,10 +114,15 @@ int main(int argc, char** argv) {
     try {
       const std::string set = cli.get_string("bench_set");
       const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      const std::string trace_out = cli.get_string("trace-out");
+      std::optional<obs::TraceWriter> trace;
+      if (!trace_out.empty()) trace.emplace();
       const std::string report = workload::run_perf_set(
           set, /*only=*/"", seed, cli.get_bool("timings"),
-          cli.get_int("engine-threads"));
+          cli.get_int("engine-threads"), cli.get_bool("metrics"),
+          trace ? &*trace : nullptr);
       std::printf("%s\n", report.c_str());
+      if (trace) trace->write(trace_out);
       workload::append_bench_entry_cli(cli.get_string("append"),
                                        cli.get_string("label"), set, seed,
                                        report, "tlb_sim");
@@ -153,16 +172,52 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
 
+    // Observability attachments (all optional; results are unchanged by
+    // any of them — observers never draw from the RNG).
+    const std::string trace_out = cli.get_string("trace-out");
+    const std::string round_trace = cli.get_string("round-trace");
+    std::optional<obs::Registry> registry;
+    std::optional<obs::TraceWriter> trace;
+    std::optional<engine::JsonTraceSink> round_sink;
+    if (cli.get_bool("metrics")) registry.emplace();
+    if (!trace_out.empty()) {
+      // Fail on an unwritable path before the run, not after it.
+      obs::write_text_file(trace_out, "");
+      trace.emplace();
+    }
+    if (!round_trace.empty()) {
+      obs::write_text_file(round_trace, "");
+      round_sink.emplace();
+    }
+    params.registry = registry ? &*registry : nullptr;
+    params.trace = trace ? &*trace : nullptr;
+    params.round_observer = round_sink ? &*round_sink : nullptr;
+
     const workload::Scenario scenario(spec, params);
     util::Stopwatch timer;
     const workload::ScenarioResult result =
         scenario.run(trials, seed, threads);
     const double elapsed = timer.elapsed_seconds();
 
+    if (trace) trace->write(trace_out);
+    if (round_sink) obs::write_text_file(round_trace, round_sink->json());
+    std::string metrics_raw;
+    std::string metrics_timing_raw;
+    if (registry) {
+      const obs::Snapshot snap = registry->snapshot();
+      metrics_raw = snap.json(obs::Snapshot::Part::kDeterministic);
+      if (cli.get_bool("timings")) {
+        metrics_timing_raw = snap.json(obs::Snapshot::Part::kTiming);
+      }
+    }
+
     if (cli.get_bool("json")) {
       // Wall time and thread count deliberately stay out of the JSON so the
-      // bytes only depend on (scenario, params, trials, seed).
-      std::printf("%s\n", result.json().c_str());
+      // bytes only depend on (scenario, params, trials, seed) — the metrics
+      // block is additive-only and itself deterministic; wall-clock metrics
+      // ride the separate "metrics_timing" key, dropped by --timings=false.
+      std::printf("%s\n",
+                  result.json(metrics_raw, metrics_timing_raw).c_str());
       return 0;
     }
 
@@ -194,6 +249,12 @@ int main(int argc, char** argv) {
                       : "hit the round cap without balancing");
     }
     std::printf("   [%zu trials in %.2fs]\n", trials, elapsed);
+    if (!metrics_raw.empty()) {
+      std::printf("   metrics: %s\n", metrics_raw.c_str());
+    }
+    if (!metrics_timing_raw.empty()) {
+      std::printf("   metrics_timing: %s\n", metrics_timing_raw.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tlb_sim: %s\n", e.what());

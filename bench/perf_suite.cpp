@@ -11,7 +11,9 @@
 //   perf_suite --set=full --only=grouped-unit-1m  # one preset
 #include <cstdio>
 #include <exception>
+#include <optional>
 
+#include "tlb/obs/trace_event.hpp"
 #include "tlb/util/alloc_tuning.hpp"
 #include "tlb/util/cli.hpp"
 #include "tlb/workload/perf_suite.hpp"
@@ -35,15 +37,27 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "append {label, set, report} to this JSON array file "
                "(e.g. BENCH_perf.json)");
+  cli.add_flag("metrics", "false",
+               "attach a fresh obs registry per preset and append its "
+               "deterministic \"metrics\" block (plus \"metrics_timing\" "
+               "unless --timings=false) to each preset's report");
+  cli.add_flag("trace-out", "",
+               "write a chrome://tracing trace-event JSON file of per-phase "
+               "spans across the run (load in Perfetto)");
   if (!cli.parse(argc, argv)) return 1;
 
   try {
     const std::string set = cli.get_string("set");
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const std::string trace_out = cli.get_string("trace-out");
+    std::optional<obs::TraceWriter> trace;
+    if (!trace_out.empty()) trace.emplace();
     const std::string report = workload::run_perf_set(
         set, cli.get_string("only"), seed, cli.get_bool("timings"),
-        cli.get_int("engine-threads"));
+        cli.get_int("engine-threads"), cli.get_bool("metrics"),
+        trace ? &*trace : nullptr);
     std::printf("%s\n", report.c_str());
+    if (trace) trace->write(trace_out);
     workload::append_bench_entry_cli(cli.get_string("append"),
                                      cli.get_string("label"), set, seed,
                                      report, "perf_suite");

@@ -61,6 +61,26 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
   if (config_.threads != 1) {
     pool_ = std::make_unique<util::ThreadPool>(config_.threads);
   }
+  sink_.registry = config_.registry;
+  sink_.trace = config_.trace;
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    m_arrivals_ns_ = reg.counter("dynamic.arrivals_ns", /*timing=*/true);
+    m_completions_ns_ = reg.counter("dynamic.completions_ns", /*timing=*/true);
+    m_sample_ns_ = reg.counter("dynamic.sample_ns", /*timing=*/true);
+    m_apply_ns_ = reg.counter("dynamic.apply_ns", /*timing=*/true);
+    m_arrivals_ = reg.counter("dynamic.arrivals");
+    m_completions_ = reg.counter("dynamic.completions");
+    m_crashes_ = reg.counter("dynamic.crashes");
+    m_threshold_changes_ = reg.counter("dynamic.threshold_changes");
+    m_flush_checks_ = reg.counter("dynamic.flush_checks");
+    m_dirty_marks_ = reg.counter("dynamic.dirty_marks");
+    seen_flush_checks_ = over_.flush_checks();
+    seen_dirty_marks_ = over_.dirty_marks();
+  }
+  if (pool_ && sink_.attached()) {
+    pool_->attach_probe(sink_.registry, sink_.trace);
+  }
 }
 
 void DynamicUserEngine::recompute_threshold() {
@@ -77,6 +97,7 @@ void DynamicUserEngine::recompute_threshold() {
   if (next == threshold_) return;
   threshold_ = next;
   over_.mark_all_dirty();
+  if (sink_.registry != nullptr) sink_.registry->add(m_threshold_changes_, 1);
 }
 
 const std::vector<graph::Node>& DynamicUserEngine::overloaded_now() const {
@@ -117,11 +138,13 @@ void DynamicUserEngine::do_arrivals(util::Rng& rng) {
     ++population_;
     if (metrics_) ++metrics_->arrivals;
   }
+  if (sink_.registry != nullptr) sink_.registry->add(m_arrivals_, count);
 }
 
 void DynamicUserEngine::do_completions(util::Rng& rng) {
   if (config_.completion_rate <= 0.0) return;
   const std::size_t C = class_weights_.size();
+  std::uint64_t total_done = 0;
   for (graph::Node r = 0; r < config_.n; ++r) {
     for (std::size_t c = 0; c < C; ++c) {
       auto& slot = counts_[static_cast<std::size_t>(r) * C + c];
@@ -135,9 +158,11 @@ void DynamicUserEngine::do_completions(util::Rng& rng) {
       over_.mark_dirty(r);
       total_weight_ -= static_cast<double>(done) * class_weights_[c];
       population_ -= done;
+      total_done += done;
       if (metrics_) metrics_->completions += done;
     }
   }
+  if (sink_.registry != nullptr) sink_.registry->add(m_completions_, total_done);
 }
 
 void DynamicUserEngine::do_crash(util::Rng& rng) {
@@ -162,6 +187,7 @@ void DynamicUserEngine::do_crash(util::Rng& rng) {
   task_counts_[victim] = 0;
   over_.mark_dirty(victim);
   if (metrics_) ++metrics_->crashes;
+  if (sink_.registry != nullptr) sink_.registry->add(m_crashes_, 1);
 }
 
 std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
@@ -176,36 +202,40 @@ std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
   const std::vector<graph::Node>& over = overloaded_now();
   const std::size_t shards = util::shard_count(over.size(), kShardGrain);
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
-  util::parallel_shard(
-      over.size(), kShardGrain, pool_.get(),
-      [this, &over, C, round_seed](std::size_t shard, std::size_t lo,
-                                   std::size_t hi) {
-        std::vector<Departure>& buf = shard_bufs_[shard];
-        buf.clear();
-        util::Rng srng(util::derive_seed(round_seed, shard));
-        for (std::size_t i = lo; i < hi; ++i) {
-          const graph::Node r = over[i];
-          if (task_counts_[r] == 0) continue;
-          const double phi = phi_of(r);
-          if (phi <= 0.0) continue;
-          const double p =
-              std::min(1.0, config_.alpha * std::ceil(phi / w_max_) /
-                                static_cast<double>(task_counts_[r]));
-          for (std::size_t c = 0; c < C; ++c) {
-            const std::uint32_t k =
-                counts_[static_cast<std::size_t>(r) * C + c];
-            if (k == 0) continue;
-            const auto leavers =
-                static_cast<std::uint32_t>(util::binomial(srng, k, p));
-            if (leavers > 0) {
-              buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+  {
+    const obs::PhaseSpan span(sink_, m_sample_ns_, "dynamic.sample");
+    util::parallel_shard(
+        over.size(), kShardGrain, pool_.get(),
+        [this, &over, C, round_seed](std::size_t shard, std::size_t lo,
+                                     std::size_t hi) {
+          std::vector<Departure>& buf = shard_bufs_[shard];
+          buf.clear();
+          util::Rng srng(util::derive_seed(round_seed, shard));
+          for (std::size_t i = lo; i < hi; ++i) {
+            const graph::Node r = over[i];
+            if (task_counts_[r] == 0) continue;
+            const double phi = phi_of(r);
+            if (phi <= 0.0) continue;
+            const double p =
+                std::min(1.0, config_.alpha * std::ceil(phi / w_max_) /
+                                  static_cast<double>(task_counts_[r]));
+            for (std::size_t c = 0; c < C; ++c) {
+              const std::uint32_t k =
+                  counts_[static_cast<std::size_t>(r) * C + c];
+              if (k == 0) continue;
+              const auto leavers =
+                  static_cast<std::uint32_t>(util::binomial(srng, k, p));
+              if (leavers > 0) {
+                buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+              }
             }
           }
-        }
-      });
+        });
+  }
 
   // Phase 2: apply in shard order on the calling thread.
   std::size_t migrations = 0;
+  const obs::PhaseSpan span(sink_, m_apply_ns_, "dynamic.apply");
   for (std::size_t s = 0; s < shards; ++s) {
     for (const Departure& d : shard_bufs_[s]) {
       counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
@@ -250,12 +280,25 @@ double DynamicUserEngine::phi_of(graph::Node r) const {
 }
 
 std::size_t DynamicUserEngine::step(util::Rng& rng) {
-  do_arrivals(rng);
+  {
+    const obs::PhaseSpan span(sink_, m_arrivals_ns_, "dynamic.arrivals");
+    do_arrivals(rng);
+  }
   ++round_;
-  do_completions(rng);
+  {
+    const obs::PhaseSpan span(sink_, m_completions_ns_, "dynamic.completions");
+    do_completions(rng);
+  }
   do_crash(rng);
   recompute_threshold();
   last_migrations_ = do_protocol_step(rng);
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);
+    reg.add(m_dirty_marks_, over_.dirty_marks() - seen_dirty_marks_);
+    seen_flush_checks_ = over_.flush_checks();
+    seen_dirty_marks_ = over_.dirty_marks();
+  }
   if (config_.paranoid_checks) check_overloaded_invariant();
 
   if (metrics_) {
@@ -291,7 +334,8 @@ void DynamicUserEngine::begin_measure() {
 }
 
 DynamicMetrics DynamicUserEngine::run(const engine::DriveOptions& opt,
-                                      util::Rng& rng) {
+                                      util::Rng& rng,
+                                      engine::RoundObserver* observer) {
   if (opt.measure < 0) {
     // The churn process never terminates on its own; a run-to-balance drive
     // would race the arrival stream. Callers must bound the window.
@@ -299,7 +343,7 @@ DynamicMetrics DynamicUserEngine::run(const engine::DriveOptions& opt,
         "DynamicUserEngine::run: DriveOptions::measure must be >= 0");
   }
   metrics_ = nullptr;
-  engine::drive(*this, rng, opt);
+  engine::drive(*this, rng, opt, observer);
   return metrics_store_;
 }
 

@@ -114,6 +114,23 @@ UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
     state_.set_thresholds(thresholds_);
   }
   pool_ = make_phase1_pool(config_.options.threads);
+  sink_.registry = config_.options.registry;
+  sink_.trace = config_.options.trace;
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    m_sample_ns_ = reg.counter("exact.sample_ns", /*timing=*/true);
+    m_merge_ns_ = reg.counter("exact.merge_ns", /*timing=*/true);
+    m_apply_ns_ = reg.counter("exact.apply_ns", /*timing=*/true);
+    m_coins_ = reg.counter("exact.coins");
+    m_departures_ = reg.counter("exact.departures");
+    m_flush_checks_ = reg.counter("exact.flush_checks");
+    m_dirty_marks_ = reg.counter("exact.dirty_marks");
+    seen_flush_checks_ = state_.overloaded_tracker().flush_checks();
+    seen_dirty_marks_ = state_.overloaded_tracker().dirty_marks();
+  }
+  if (pool_ && sink_.attached()) {
+    pool_->attach_probe(sink_.registry, sink_.trace);
+  }
 }
 
 void UserControlledEngine::reset(const tasks::Placement& placement) {
@@ -140,73 +157,93 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
   coin_prefix_.resize(k + 1);
   leave_p_.resize(k);
   std::size_t total = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    const ResourceStack stack = std::as_const(state_).stack(over[i]);
-    coin_prefix_[i] = total;
-    total += stack.count();
-    const double phi = stack.phi(*tasks_, threshold(over[i]));
-    leave_p_[i] = leave_probability(config_.alpha, phi, w_max, stack.count());
-  }
-  coin_prefix_[k] = total;
+  {
+    const obs::PhaseSpan span(sink_, m_sample_ns_, "exact.sample");
+    for (std::size_t i = 0; i < k; ++i) {
+      const ResourceStack stack = std::as_const(state_).stack(over[i]);
+      coin_prefix_[i] = total;
+      total += stack.count();
+      const double phi = stack.phi(*tasks_, threshold(over[i]));
+      leave_p_[i] = leave_probability(config_.alpha, phi, w_max, stack.count());
+    }
+    coin_prefix_[k] = total;
 
-  // Phase 1b: flip the coins. Sharding the flat coin index space (rather
-  // than the overloaded list) keeps the all-on-one initial round parallel
-  // too. Shards only read the frozen arrays and write disjoint mask bytes,
-  // so the pass is race-free and bitwise independent of the thread count.
-  flat_mask_.assign(total, 0);
-  util::parallel_shard(
-      total, kCoinShardGrain, pool_.get(),
-      [this, round_seed](std::size_t shard, std::size_t lo, std::size_t hi) {
-        util::Rng srng(util::derive_seed(round_seed, shard));
-        // Resource index whose coin range contains lo.
-        std::size_t i = static_cast<std::size_t>(
-                            std::upper_bound(coin_prefix_.begin(),
-                                             coin_prefix_.end(), lo) -
-                            coin_prefix_.begin()) -
-                        1;
-        std::size_t pos = lo;
-        while (pos < hi) {
-          while (coin_prefix_[i + 1] <= pos) ++i;
-          const std::size_t end = std::min(hi, coin_prefix_[i + 1]);
-          const double p = leave_p_[i];
-          if (p >= 1.0) {
-            // Deterministic all-leave: p is a pure function of the frozen
-            // round-start state, so skipping the draws is thread-invariant.
-            std::fill(flat_mask_.begin() + static_cast<std::ptrdiff_t>(pos),
-                      flat_mask_.begin() + static_cast<std::ptrdiff_t>(end),
-                      std::uint8_t{1});
-          } else if (p > 0.0) {
-            // Integer-threshold coin: success iff the raw 64-bit draw falls
-            // below p * 2^64 (p < 1 keeps the product below 2^64).
-            const auto cut = static_cast<std::uint64_t>(p * 0x1.0p64);
-            for (std::size_t c = pos; c < end; ++c) {
-              if (srng() < cut) flat_mask_[c] = 1;
+    // Phase 1b: flip the coins. Sharding the flat coin index space (rather
+    // than the overloaded list) keeps the all-on-one initial round parallel
+    // too. Shards only read the frozen arrays and write disjoint mask bytes,
+    // so the pass is race-free and bitwise independent of the thread count.
+    flat_mask_.assign(total, 0);
+    util::parallel_shard(
+        total, kCoinShardGrain, pool_.get(),
+        [this, round_seed](std::size_t shard, std::size_t lo, std::size_t hi) {
+          util::Rng srng(util::derive_seed(round_seed, shard));
+          // Resource index whose coin range contains lo.
+          std::size_t i = static_cast<std::size_t>(
+                              std::upper_bound(coin_prefix_.begin(),
+                                               coin_prefix_.end(), lo) -
+                              coin_prefix_.begin()) -
+                          1;
+          std::size_t pos = lo;
+          while (pos < hi) {
+            while (coin_prefix_[i + 1] <= pos) ++i;
+            const std::size_t end = std::min(hi, coin_prefix_[i + 1]);
+            const double p = leave_p_[i];
+            if (p >= 1.0) {
+              // Deterministic all-leave: p is a pure function of the frozen
+              // round-start state, so skipping the draws is thread-invariant.
+              std::fill(flat_mask_.begin() + static_cast<std::ptrdiff_t>(pos),
+                        flat_mask_.begin() + static_cast<std::ptrdiff_t>(end),
+                        std::uint8_t{1});
+            } else if (p > 0.0) {
+              // Integer-threshold coin: success iff the raw 64-bit draw falls
+              // below p * 2^64 (p < 1 keeps the product below 2^64).
+              const auto cut = static_cast<std::uint64_t>(p * 0x1.0p64);
+              for (std::size_t c = pos; c < end; ++c) {
+                if (srng() < cut) flat_mask_[c] = 1;
+              }
             }
+            pos = end;
           }
-          pos = end;
-        }
-      });
+        });
+  }
 
   // Phase 1c: apply the removals on the calling thread, in overloaded-list
   // order — single-threaded mutation, deterministic merge.
   movers_.clear();
   mover_origin_.clear();
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t count = coin_prefix_[i + 1] - coin_prefix_[i];
-    if (count == 0) continue;
-    const std::uint8_t* mask = flat_mask_.data() + coin_prefix_[i];
-    if (std::memchr(mask, 1, count) == nullptr) continue;
-    const std::size_t before = movers_.size();
-    state_.remove_marked(over[i], mask, count, movers_);
-    mover_origin_.insert(mover_origin_.end(), movers_.size() - before,
-                         over[i]);
+  {
+    const obs::PhaseSpan span(sink_, m_merge_ns_, "exact.merge");
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t count = coin_prefix_[i + 1] - coin_prefix_[i];
+      if (count == 0) continue;
+      const std::uint8_t* mask = flat_mask_.data() + coin_prefix_[i];
+      if (std::memchr(mask, 1, count) == nullptr) continue;
+      const std::size_t before = movers_.size();
+      state_.remove_marked(over[i], mask, count, movers_);
+      mover_origin_.insert(mover_origin_.end(), movers_.size() - before,
+                           over[i]);
+    }
   }
 
   // Phase 2: scatter to uniformly random resources.
-  for (std::size_t i = 0; i < movers_.size(); ++i) {
-    const Node dst =
-        sample_destination(n, mover_origin_[i], config_.exclude_self, rng);
-    state_.push(dst, movers_[i]);
+  {
+    const obs::PhaseSpan span(sink_, m_apply_ns_, "exact.apply");
+    for (std::size_t i = 0; i < movers_.size(); ++i) {
+      const Node dst =
+          sample_destination(n, mover_origin_[i], config_.exclude_self, rng);
+      state_.push(dst, movers_[i]);
+    }
+  }
+
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    reg.add(m_coins_, total);
+    reg.add(m_departures_, movers_.size());
+    const OverloadedSet& trk = state_.overloaded_tracker();
+    reg.add(m_flush_checks_, trk.flush_checks() - seen_flush_checks_);
+    reg.add(m_dirty_marks_, trk.dirty_marks() - seen_dirty_marks_);
+    seen_flush_checks_ = trk.flush_checks();
+    seen_dirty_marks_ = trk.dirty_marks();
   }
   return movers_.size();
 }
@@ -268,6 +305,22 @@ GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
     task_class_[i] = static_cast<std::uint32_t>(it - class_weights_.begin());
   }
   pool_ = make_phase1_pool(config_.options.threads);
+  sink_.registry = config_.options.registry;
+  sink_.trace = config_.options.trace;
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    m_sample_ns_ = reg.counter("grouped.sample_ns", /*timing=*/true);
+    m_apply_ns_ = reg.counter("grouped.apply_ns", /*timing=*/true);
+    m_departure_groups_ = reg.counter("grouped.departure_groups");
+    m_departures_ = reg.counter("grouped.departures");
+    m_flush_checks_ = reg.counter("grouped.flush_checks");
+    m_dirty_marks_ = reg.counter("grouped.dirty_marks");
+    seen_flush_checks_ = over_.flush_checks();
+    seen_dirty_marks_ = over_.dirty_marks();
+  }
+  if (pool_ && sink_.attached()) {
+    pool_->attach_probe(sink_.registry, sink_.trace);
+  }
 }
 
 void GroupedUserEngine::reset(const tasks::Placement& placement) {
@@ -349,57 +402,75 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
   const std::vector<Node>& over = overloaded();
   const std::size_t shards = util::shard_count(over.size(), kShardGrain);
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
-  util::parallel_shard(
-      over.size(), kShardGrain, pool_.get(),
-      [this, &over, C, w_max, round_seed](std::size_t shard, std::size_t lo,
-                                          std::size_t hi) {
-        std::vector<Departure>& buf = shard_bufs_[shard];
-        buf.clear();
-        util::Rng srng(util::derive_seed(round_seed, shard));
-        for (std::size_t i = lo; i < hi; ++i) {
-          const Node r = over[i];
-          const double phi = phi_of(r);
-          const double p =
-              leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
-          if (p <= 0.0) continue;
-          for (std::size_t c = 0; c < C; ++c) {
-            const std::uint32_t k =
-                counts_[static_cast<std::size_t>(r) * C + c];
-            if (k == 0) continue;
-            const auto leavers =
-                static_cast<std::uint32_t>(util::binomial(srng, k, p));
-            if (leavers > 0) {
-              buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+  {
+    const obs::PhaseSpan span(sink_, m_sample_ns_, "grouped.sample");
+    util::parallel_shard(
+        over.size(), kShardGrain, pool_.get(),
+        [this, &over, C, w_max, round_seed](std::size_t shard, std::size_t lo,
+                                            std::size_t hi) {
+          std::vector<Departure>& buf = shard_bufs_[shard];
+          buf.clear();
+          util::Rng srng(util::derive_seed(round_seed, shard));
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Node r = over[i];
+            const double phi = phi_of(r);
+            const double p =
+                leave_probability(config_.alpha, phi, w_max, task_counts_[r]);
+            if (p <= 0.0) continue;
+            for (std::size_t c = 0; c < C; ++c) {
+              const std::uint32_t k =
+                  counts_[static_cast<std::size_t>(r) * C + c];
+              if (k == 0) continue;
+              const auto leavers =
+                  static_cast<std::uint32_t>(util::binomial(srng, k, p));
+              if (leavers > 0) {
+                buf.push_back({r, static_cast<std::uint32_t>(c), leavers});
+              }
             }
           }
-        }
-      });
+        });
+  }
 
   // Phase 2: apply in shard order on the calling thread — remove, then
   // scatter each departing task independently from the caller's stream.
   std::size_t migrations = 0;
-  for (std::size_t s = 0; s < shards; ++s) {
-    for (const Departure& d : shard_bufs_[s]) {
-      counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
-      const double w = class_weights_[d.cls];
-      loads_[d.src] -= static_cast<double>(d.count) * w;
-      task_counts_[d.src] -= d.count;
-      over_.mark_dirty(d.src);
-    }
-  }
-  for (std::size_t s = 0; s < shards; ++s) {
-    for (const Departure& d : shard_bufs_[s]) {
-      const double w = class_weights_[d.cls];
-      for (std::uint32_t i = 0; i < d.count; ++i) {
-        const Node dst =
-            sample_destination(n_, d.src, config_.exclude_self, rng);
-        ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
-        loads_[dst] += w;
-        ++task_counts_[dst];
-        over_.mark_dirty(dst);
-        ++migrations;
+  std::size_t departure_groups = 0;
+  {
+    const obs::PhaseSpan span(sink_, m_apply_ns_, "grouped.apply");
+    for (std::size_t s = 0; s < shards; ++s) {
+      departure_groups += shard_bufs_[s].size();
+      for (const Departure& d : shard_bufs_[s]) {
+        counts_[static_cast<std::size_t>(d.src) * C + d.cls] -= d.count;
+        const double w = class_weights_[d.cls];
+        loads_[d.src] -= static_cast<double>(d.count) * w;
+        task_counts_[d.src] -= d.count;
+        over_.mark_dirty(d.src);
       }
     }
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const Departure& d : shard_bufs_[s]) {
+        const double w = class_weights_[d.cls];
+        for (std::uint32_t i = 0; i < d.count; ++i) {
+          const Node dst =
+              sample_destination(n_, d.src, config_.exclude_self, rng);
+          ++counts_[static_cast<std::size_t>(dst) * C + d.cls];
+          loads_[dst] += w;
+          ++task_counts_[dst];
+          over_.mark_dirty(dst);
+          ++migrations;
+        }
+      }
+    }
+  }
+
+  if (sink_.registry != nullptr) {
+    obs::Registry& reg = *sink_.registry;
+    reg.add(m_departure_groups_, departure_groups);
+    reg.add(m_departures_, migrations);
+    reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);
+    reg.add(m_dirty_marks_, over_.dirty_marks() - seen_dirty_marks_);
+    seen_flush_checks_ = over_.flush_checks();
+    seen_dirty_marks_ = over_.dirty_marks();
   }
   return migrations;
 }

@@ -8,6 +8,7 @@ void JsonTraceSink::on_round_end(const BalancerView& view, long round,
                                  std::size_t migrations) {
   rows_.push_back({round, view.potential(), view.overloaded_count(),
                    static_cast<std::uint64_t>(migrations), false});
+  ++measured_rounds_;
 }
 
 void JsonTraceSink::on_finish(const BalancerView& view) {

@@ -28,15 +28,18 @@
 #include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/graph/graph.hpp"
+#include "tlb/obs/profile.hpp"
 #include "tlb/util/rng.hpp"
 #include "tlb/util/stats.hpp"
 #include "tlb/util/thread_pool.hpp"
 
-// The engine layer sits above core; the declaration below only names
-// DriveOptions, so core stays include-independent of it (callers of
-// run(DriveOptions, rng) include tlb/engine/driver.hpp themselves).
+// The engine layer sits above core; the declarations below only name
+// DriveOptions/RoundObserver, so core stays include-independent of it
+// (callers of run(DriveOptions, rng) include tlb/engine/driver.hpp
+// themselves).
 namespace tlb::engine {
 struct DriveOptions;
+class RoundObserver;
 }
 
 namespace tlb::core {
@@ -72,6 +75,11 @@ struct DynamicConfig {
   /// pool of k). Bitwise-identical results for every value — see
   /// EngineOptions::threads.
   std::size_t threads = 1;
+  /// Observability sinks (optional, not owned, determinism-neutral): the
+  /// engine reports "dynamic.*" phase spans and cost counters when a
+  /// registry/trace is attached; detached it takes no timestamps.
+  obs::Registry* registry = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 /// Aggregated steady-state metrics.
@@ -98,8 +106,10 @@ class DynamicUserEngine {
   /// Run through engine::drive: `opt.warmup` unrecorded rounds, then
   /// `opt.measure` recorded rounds (the driver brackets them with
   /// begin_measure()/end_measure()). The unified churn entry point — the
-  /// same DriveOptions grammar every other engine runs under.
-  DynamicMetrics run(const engine::DriveOptions& opt, util::Rng& rng);
+  /// same DriveOptions grammar every other engine runs under. `observer`
+  /// (optional, not owned) sees the measured rounds like any drive.
+  DynamicMetrics run(const engine::DriveOptions& opt, util::Rng& rng,
+                     engine::RoundObserver* observer = nullptr);
 
   /// Deprecated forwarding overload (pre-driver signature); will be removed
   /// next PR. Prefer run(DriveOptions, rng).
@@ -187,6 +197,15 @@ class DynamicUserEngine {
   };
   std::unique_ptr<util::ThreadPool> pool_;          // phase-1 workers
   std::vector<std::vector<Departure>> shard_bufs_;  // per-shard output
+
+  // Observability: "dynamic.*" phase spans + deterministic churn/cost
+  // counters, wired from DynamicConfig::registry/trace in the constructor.
+  obs::Sink sink_;
+  obs::MetricId m_arrivals_ns_, m_completions_ns_, m_sample_ns_, m_apply_ns_;
+  obs::MetricId m_arrivals_, m_completions_, m_crashes_,
+      m_threshold_changes_, m_flush_checks_, m_dirty_marks_;
+  std::uint64_t seen_flush_checks_ = 0;
+  std::uint64_t seen_dirty_marks_ = 0;
 };
 
 }  // namespace tlb::core

@@ -5,6 +5,15 @@
 #include <cstdint>
 #include <vector>
 
+namespace tlb::engine {
+class RoundObserver;
+}  // namespace tlb::engine
+
+namespace tlb::obs {
+class Registry;
+class TraceWriter;
+}  // namespace tlb::obs
+
 namespace tlb::core {
 
 /// Outcome of one protocol execution (one trial).
@@ -39,6 +48,20 @@ struct EngineOptions {
   /// with per-(round, shard) RNG streams, so the thread count only decides
   /// who runs a shard, never what it computes.
   std::size_t threads = 1;
+
+  // --- Observability (all optional, none owned, all determinism-neutral:
+  // observers never touch the RNG and probes only read clocks) ---
+
+  /// Extra observer appended to the run()'s observer list (e.g. a
+  /// JsonTraceSink or obs::MetricsObserver supplied by the caller).
+  engine::RoundObserver* observer = nullptr;
+  /// Metrics registry the engine and driver report counters/timings into.
+  /// nullptr (the default) = fully detached: no handles registered, no
+  /// timestamps taken.
+  obs::Registry* registry = nullptr;
+  /// Trace-event writer for per-phase spans (chrome://tracing). nullptr =
+  /// no spans recorded.
+  obs::TraceWriter* trace = nullptr;
 };
 
 }  // namespace tlb::core

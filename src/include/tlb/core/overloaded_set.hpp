@@ -43,6 +43,7 @@ class OverloadedSet {
     if (!in_dirty_[r]) {
       in_dirty_[r] = 1;
       dirty_.push_back(r);
+      ++dirty_marks_;
     }
   }
 
@@ -54,6 +55,7 @@ class OverloadedSet {
       dirty_[r] = r;
     }
     std::fill(in_dirty_.begin(), in_dirty_.end(), 1);
+    dirty_marks_ += dirty_.size();
   }
 
   /// Reconcile the tracked list with `over` (r -> bool). Cost is
@@ -133,6 +135,14 @@ class OverloadedSet {
   /// actually cost — e.g. that a quiet round (no mutations, unchanged
   /// threshold) does no rescan at all. Survives reset() deliberately.
   std::uint64_t flush_checks() const noexcept { return flush_checks_; }
+  /// Lifetime count of dirty-set insertions (mark_dirty that actually
+  /// enqueued + mark_all_dirty's bulk marks). The obs hooks export the
+  /// per-round delta, giving a seed-deterministic measure of how much churn
+  /// each round inflicted on the tracker. Survives reset() like
+  /// flush_checks().
+  std::uint64_t dirty_marks() const noexcept { return dirty_marks_; }
+  /// Resources currently awaiting re-check (the pending dirty-set size).
+  std::size_t dirty_size() const noexcept { return dirty_.size(); }
 
  private:
   std::vector<graph::Node> list_;        // current overloaded set (sorted)
@@ -140,6 +150,7 @@ class OverloadedSet {
   std::vector<std::uint8_t> in_list_;    // membership flag per resource
   std::vector<std::uint8_t> in_dirty_;   // dedup flag per resource
   std::uint64_t flush_checks_ = 0;       // predicate calls across flushes
+  std::uint64_t dirty_marks_ = 0;        // dirty-set insertions (lifetime)
 };
 
 }  // namespace tlb::core

@@ -111,6 +111,13 @@ class SystemState {
   /// True iff no resource is overloaded. O(#dirty + #overloaded).
   bool balanced() const;
 
+  /// Read access to the incremental tracker itself, for observability:
+  /// flush_checks()/dirty_marks() deltas per round are seed-deterministic
+  /// cost counters the obs hooks export.
+  const OverloadedSet& overloaded_tracker() const noexcept {
+    return overloaded_;
+  }
+
   /// Place with *per-resource* thresholds (non-uniform threshold extension;
   /// the paper's conclusion lists this as future work). thresholds[r] is
   /// resource r's acceptance bound; pass an empty vector to skip acceptance.

@@ -40,6 +40,7 @@
 #include "tlb/core/metrics.hpp"
 #include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/system_state.hpp"
+#include "tlb/obs/profile.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/util/rng.hpp"
 #include "tlb/util/thread_pool.hpp"
@@ -135,6 +136,14 @@ class UserControlledEngine {
   std::vector<std::size_t> coin_prefix_;  // scratch: flat coin index bounds
   std::vector<double> leave_p_;           // scratch: per-overloaded p
   std::vector<std::uint8_t> flat_mask_;   // scratch: flat departure mask
+  // Observability: "exact.*" phase spans + deterministic cost counters,
+  // wired from EngineOptions::registry/trace in the constructor. Detached
+  // (the default) the spans take no timestamps.
+  obs::Sink sink_;
+  obs::MetricId m_sample_ns_, m_merge_ns_, m_apply_ns_;
+  obs::MetricId m_coins_, m_departures_, m_flush_checks_, m_dirty_marks_;
+  std::uint64_t seen_flush_checks_ = 0;  // tracker counters are lifetime;
+  std::uint64_t seen_dirty_marks_ = 0;   // we export per-step deltas
 };
 
 /// Grouped (binomial-per-weight-class) engine. Requires a task set with at
@@ -215,6 +224,14 @@ class GroupedUserEngine {
   mutable OverloadedSet over_;                // incremental overloaded set
   std::unique_ptr<util::ThreadPool> pool_;    // phase-1 workers (threads != 1)
   std::vector<std::vector<Departure>> shard_bufs_;  // per-shard phase-1 output
+  // Observability: "grouped.*" phase spans + deterministic cost counters
+  // (same wiring as the exact engine).
+  obs::Sink sink_;
+  obs::MetricId m_sample_ns_, m_apply_ns_;
+  obs::MetricId m_departure_groups_, m_departures_, m_flush_checks_,
+      m_dirty_marks_;
+  std::uint64_t seen_flush_checks_ = 0;
+  std::uint64_t seen_dirty_marks_ = 0;
 };
 
 }  // namespace tlb::core

@@ -27,6 +27,7 @@
 #include "tlb/core/metrics.hpp"
 #include "tlb/engine/balancer.hpp"
 #include "tlb/engine/observer.hpp"
+#include "tlb/obs/profile.hpp"
 #include "tlb/tasks/placement.hpp"
 #include "tlb/util/rng.hpp"
 
@@ -45,11 +46,18 @@ struct DriveOptions {
   /// rounds; < 0 runs to balance (max_rounds-capped).
   long measure = -1;
 
+  // Observability sinks (optional, not owned). With both null — the
+  // default — drive() registers nothing and takes no timestamps.
+  obs::Registry* registry = nullptr;  ///< drive.rounds / round timings
+  obs::TraceWriter* trace = nullptr;  ///< per-round "drive.round" spans
+
   /// Lift the loop-level fields out of the legacy options struct.
   static DriveOptions from(const core::EngineOptions& opt) {
     DriveOptions d;
     d.max_rounds = opt.max_rounds;
     d.paranoid_checks = opt.paranoid_checks;
+    d.registry = opt.registry;
+    d.trace = opt.trace;
     return d;
   }
 };
@@ -65,6 +73,18 @@ core::RunResult drive(B& balancer, util::Rng& rng, const DriveOptions& opt,
   detail::ViewOf<B> view(balancer);
   core::RunResult result;
 
+  // Driver-level observability: measured-round count (deterministic) and
+  // per-round step() wall time (timing class — counter + latency histogram
+  // + trace span). All dormant when no sink is attached.
+  const obs::Sink sink{opt.registry, opt.trace};
+  obs::MetricId m_rounds, m_round_ns, h_round_us;
+  if (opt.registry != nullptr) {
+    m_rounds = opt.registry->counter("drive.rounds");
+    m_round_ns = opt.registry->counter("drive.round_ns", /*timing=*/true);
+    h_round_us = opt.registry->histogram("drive.round_us", 0.0, 50000.0, 50,
+                                         /*timing=*/true);
+  }
+
   const auto measured_round = [&]() -> bool {
     // One observed round; false = an observer stopped the run.
     if (observer != nullptr && observer->should_stop(view, result.rounds)) {
@@ -72,7 +92,17 @@ core::RunResult drive(B& balancer, util::Rng& rng, const DriveOptions& opt,
     }
     if (observer != nullptr) observer->on_round(view, result.rounds);
     if (opt.paranoid_checks) balancer.audit();
+    const std::uint64_t t0 = sink.attached() ? obs::monotonic_ns() : 0;
     const std::size_t moved = balancer.step(rng);
+    if (sink.attached()) {
+      const std::uint64_t dur = obs::monotonic_ns() - t0;
+      if (opt.registry != nullptr) {
+        opt.registry->add(m_rounds, 1);
+        opt.registry->add(m_round_ns, dur);
+        opt.registry->observe(h_round_us, static_cast<double>(dur) / 1000.0);
+      }
+      if (opt.trace != nullptr) opt.trace->complete("drive.round", t0, dur);
+    }
     result.migrations += moved;
     if (observer != nullptr) {
       observer->on_round_end(view, result.rounds, moved);
@@ -114,6 +144,9 @@ core::RunResult run_with_options(B& balancer, const core::EngineOptions& opt,
   ObserverList observers;
   if (opt.record_potential) observers.add(&potential);
   if (opt.record_overloaded) observers.add(&overloaded);
+  // Caller-supplied observer runs after the built-in traces, so the legacy
+  // trace shapes are unaffected by whatever it does.
+  if (opt.observer != nullptr) observers.add(opt.observer);
   core::RunResult result =
       drive(balancer, rng, DriveOptions::from(opt), observers.or_null());
   if (opt.record_potential) result.potential_trace = potential.take();

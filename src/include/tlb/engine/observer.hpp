@@ -120,7 +120,9 @@ class JsonTraceSink final : public RoundObserver {
   void on_finish(const BalancerView& view) override;
   /// The rendered JSON array (valid once the drive returned).
   std::string json() const;
-  std::size_t rounds_recorded() const noexcept { return rows_.size(); }
+  /// Measured rounds recorded — excludes the trailing final-state record
+  /// appended by on_finish, which is a state snapshot, not a round.
+  std::size_t rounds_recorded() const noexcept { return measured_rounds_; }
 
  private:
   struct Row {
@@ -131,6 +133,7 @@ class JsonTraceSink final : public RoundObserver {
     bool final_state;
   };
   std::vector<Row> rows_;
+  std::size_t measured_rounds_ = 0;
 };
 
 /// Fans every hook out to a list of observers, in insertion order (the

@@ -1,0 +1,64 @@
+#pragma once
+// MetricsObserver — the bridge between the metrics registry and the round
+// loop. Attached to engine::drive like any other RoundObserver, it
+// snapshots the registry at round boundaries and keeps per-round deltas
+// ("what did round t cost in departures / flush checks / phase time")
+// alongside the cumulative totals.
+//
+// It also enforces the driver's hook contract: hooks arriving out of order
+// (on_round_end without on_round, a second on_finish, …) throw
+// std::logic_error, so tests can use it as an ordering sentinel.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlb/engine/observer.hpp"
+#include "tlb/obs/registry.hpp"
+
+namespace tlb::obs {
+
+class MetricsObserver final : public engine::RoundObserver {
+ public:
+  /// `registry` must outlive the observer. With keep_rounds=true every
+  /// round's delta snapshot is retained (memory grows with rounds); with
+  /// false only the totals and round count are kept.
+  explicit MetricsObserver(Registry* registry, bool keep_rounds = false);
+
+  void on_round(const engine::BalancerView& view, long round) override;
+  void on_round_end(const engine::BalancerView& view, long round,
+                    std::size_t migrations) override;
+  void on_finish(const engine::BalancerView& view) override;
+
+  struct RoundRecord {
+    long round = 0;
+    std::uint64_t migrations = 0;
+    Snapshot delta;  ///< registry change across this round's step()
+  };
+
+  /// Rounds fully observed (on_round + matching on_round_end).
+  std::size_t rounds_observed() const noexcept { return rounds_observed_; }
+  /// Per-round delta records (empty unless keep_rounds).
+  const std::vector<RoundRecord>& rounds() const noexcept { return rounds_; }
+  /// True once on_finish ran.
+  bool finished() const noexcept { return finished_; }
+  /// Cumulative registry snapshot taken at on_finish.
+  const Snapshot& final_snapshot() const;
+
+  /// {"totals": {...}} plus, when keep_rounds, "rounds": [{"round","migrations",
+  /// "metrics"}...] — restricted to `part` like Snapshot::json.
+  std::string json(Snapshot::Part part) const;
+
+ private:
+  Registry* registry_;
+  bool keep_rounds_;
+  bool in_round_ = false;
+  bool finished_ = false;
+  long current_round_ = 0;
+  std::size_t rounds_observed_ = 0;
+  Snapshot before_;
+  Snapshot final_;
+  std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace tlb::obs

@@ -1,0 +1,54 @@
+#pragma once
+// Profiling probes for the round pipeline: a Sink bundles the (optional)
+// registry + trace writer a component reports into, and PhaseSpan is the
+// RAII span that feeds both. Every probe is a no-op when the sink is
+// detached — no clock reads, no stores — so instrumented code pays only a
+// pointer test when observability is off.
+
+#include <cstdint>
+
+#include "tlb/obs/registry.hpp"
+#include "tlb/obs/trace_event.hpp"
+
+namespace tlb::obs {
+
+/// Where a component reports. Default-constructed = fully detached.
+struct Sink {
+  Registry* registry = nullptr;
+  TraceWriter* trace = nullptr;
+  bool attached() const noexcept {
+    return registry != nullptr || trace != nullptr;
+  }
+};
+
+/// RAII phase span: on destruction adds the elapsed nanoseconds to a
+/// counter (if a registry is attached) and emits a trace-event span (if a
+/// trace writer is attached). Detached sinks take no timestamps at all.
+/// `trace_name` must outlive the trace writer (use string literals).
+class PhaseSpan {
+ public:
+  PhaseSpan() = default;
+  PhaseSpan(const Sink& sink, MetricId ns_counter, const char* trace_name) {
+    if (!sink.attached()) return;
+    sink_ = sink;
+    id_ = ns_counter;
+    name_ = trace_name;
+    start_ = monotonic_ns();
+  }
+  ~PhaseSpan() {
+    if (!sink_.attached()) return;
+    const std::uint64_t dur = monotonic_ns() - start_;
+    if (sink_.registry != nullptr) sink_.registry->add(id_, dur);
+    if (sink_.trace != nullptr) sink_.trace->complete(name_, start_, dur);
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  Sink sink_;
+  MetricId id_;
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace tlb::obs

@@ -1,0 +1,79 @@
+#pragma once
+// chrome://tracing / Perfetto trace-event JSON writer.
+//
+// Probes record complete ("X") spans — name, absolute start, duration —
+// into per-thread buffers using the same thread-local cache trick as
+// obs::Registry, so the hot path is a bounds check plus a vector push with
+// no locking. json() renders the Trace Event Format object
+// ({"traceEvents":[...]}), which loads directly in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Timestamps are obs::monotonic_ns() values; the writer subtracts its own
+// construction time so traces start near t=0. The event count is capped
+// (spans past the cap are counted in dropped(), never silently lost) to
+// bound memory on very long runs.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tlb::obs {
+
+/// Write `content` to `path`, throwing std::runtime_error on failure.
+/// Shared by --trace-out / --round-trace so bad paths fail the same way.
+void write_text_file(const std::string& path, const std::string& content);
+
+class TraceWriter {
+ public:
+  /// Cap on recorded events; further spans are dropped (and counted).
+  explicit TraceWriter(std::size_t max_events = 1u << 20);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Record one complete span. `name` must outlive the writer (string
+  /// literals in practice). `start_ns` is an obs::monotonic_ns() reading.
+  /// Lock-free after the calling thread's first event.
+  void complete(const char* name, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+
+  /// Render the Trace Event Format JSON. Call only at a quiescent point
+  /// (no thread mid-complete()), same discipline as Registry::snapshot().
+  std::string json() const;
+  /// json() + write_text_file.
+  void write(const std::string& path) const;
+
+  /// Events recorded (excludes dropped).
+  std::size_t events() const noexcept;
+  /// Events dropped because the cap was reached.
+  std::size_t dropped() const noexcept;
+  /// monotonic_ns() at construction; spans render relative to this.
+  std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+ private:
+  struct Event {
+    const char* name;
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;
+  };
+  struct Buffer {
+    std::uint32_t tid;
+    std::vector<Event> events;
+  };
+
+  Buffer* local_buffer();
+
+  const std::uint64_t id_;  // process-unique instance id for the tl cache
+  const std::uint64_t epoch_ns_;
+  const std::size_t max_events_;
+  std::atomic<std::size_t> recorded_{0};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace tlb::obs

@@ -24,9 +24,19 @@ struct TrialStats {
 /// A trial: given its private RNG, run one experiment and return the result.
 using TrialFn = std::function<core::RunResult(util::Rng&)>;
 
+/// An index-aware trial: additionally receives its trial index. Lets
+/// callers attach per-trial instrumentation (e.g. a round observer on trial
+/// 0 only) without perturbing any trial's RNG stream.
+using IndexedTrialFn =
+    std::function<core::RunResult(std::size_t, util::Rng&)>;
+
 /// Run `trials` independent trials in parallel (threads == 0: hardware
 /// concurrency) and aggregate. Trial i uses Rng(derive_seed(master_seed, i)).
 TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
                       const TrialFn& trial, std::size_t threads = 0);
+
+/// Index-aware overload; same seeding and aggregation.
+TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
+                      const IndexedTrialFn& trial, std::size_t threads = 0);
 
 }  // namespace tlb::sim

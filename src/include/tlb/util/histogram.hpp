@@ -15,6 +15,13 @@ class Histogram {
   /// `bins` equal-width buckets spanning [lo, hi]; requires lo < hi, bins >= 1.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Bin index `x` falls into for an equal-width layout over [lo, ·) with
+  /// `bins` buckets of width `bin_width`; out-of-range values clamp to the
+  /// edge bins. Exposed so other fixed-bucket consumers (obs::Registry's
+  /// histogram metrics) share one bucketing rule with this class.
+  static std::size_t bucket_index(double lo, double bin_width,
+                                  std::size_t bins, double x);
+
   /// Insert one observation.
   void add(double x);
   /// Insert many observations.

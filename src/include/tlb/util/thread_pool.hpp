@@ -8,8 +8,15 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "tlb/obs/registry.hpp"
+
+namespace tlb::obs {
+class TraceWriter;
+}  // namespace tlb::obs
 
 namespace tlb::util {
 
@@ -35,6 +42,15 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Attach observability: `<prefix>.tasks` counts executed tasks,
+  /// `<prefix>.busy_ns` / `<prefix>.idle_ns` accumulate worker run/wait
+  /// time (all timing-class — they depend on the thread count), and the
+  /// trace writer (optional) gets one span per task. Call while the pool is
+  /// quiescent (no tasks in flight), typically right after construction;
+  /// detached pools (the default) take no timestamps at all.
+  void attach_probe(obs::Registry* registry, obs::TraceWriter* trace,
+                    const std::string& prefix = "pool");
+
  private:
   void worker_loop();
 
@@ -46,6 +62,12 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+  // Observability (guarded by mutex_; workers copy under the lock).
+  obs::Registry* registry_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
+  obs::MetricId m_tasks_;
+  obs::MetricId m_busy_ns_;
+  obs::MetricId m_idle_ns_;
 };
 
 }  // namespace tlb::util

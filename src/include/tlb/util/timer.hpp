@@ -3,7 +3,9 @@
 // accumulator (Timer) the perf suite uses for per-phase breakdowns.
 
 #include <chrono>
+#include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -50,12 +52,10 @@ class Timer {
     current_.clear();
   }
 
-  /// Accumulated milliseconds of `phase` (0 if never started).
+  /// Accumulated milliseconds of `phase` (0 if never started). O(1).
   double ms(const std::string& phase) const {
-    for (const auto& [name, total] : phases_) {
-      if (name == phase) return total;
-    }
-    return 0.0;
+    const auto it = index_.find(phase);
+    return it == index_.end() ? 0.0 : phases_[it->second].second;
   }
 
   /// All phases in first-start order.
@@ -64,19 +64,21 @@ class Timer {
   }
 
  private:
+  // phases_ keeps first-start order for reporting; index_ maps name to its
+  // position so repeated accumulation stays O(1) per call.
   void add(const std::string& phase, double ms) {
-    for (auto& [name, total] : phases_) {
-      if (name == phase) {
-        total += ms;
-        return;
-      }
+    const auto [it, inserted] = index_.try_emplace(phase, phases_.size());
+    if (inserted) {
+      phases_.emplace_back(phase, ms);
+    } else {
+      phases_[it->second].second += ms;
     }
-    phases_.emplace_back(phase, ms);
   }
 
   Stopwatch watch_;
   std::string current_;
   std::vector<std::pair<std::string, double>> phases_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace tlb::util

@@ -24,6 +24,10 @@
 
 #include "tlb/graph/graph.hpp"
 
+namespace tlb::obs {
+class TraceWriter;
+}  // namespace tlb::obs
+
 namespace tlb::workload {
 
 /// One benchmark configuration. `scenario` is any spec string
@@ -67,6 +71,11 @@ struct PerfResult {
   double migrations_per_sec = 0.0;
   /// Per-phase breakdown from util::Timer (first-start order).
   std::vector<std::pair<std::string, double>> phases;
+
+  // Observability (both empty unless metrics collection was requested; a
+  // fresh obs::Registry is attached per preset).
+  std::string metrics_json;         ///< deterministic counter snapshot
+  std::string metrics_timing_json;  ///< wall-clock metric snapshot
 };
 
 /// Production-scale presets (n up to 10^6, m up to 10^7; unit/zipf/bimodal/
@@ -78,8 +87,14 @@ const std::vector<PerfPreset>& perf_presets();
 const std::vector<PerfPreset>& perf_smoke_presets();
 
 /// Run one preset. All randomness derives from `seed`; counters are
-/// deterministic in (preset, seed).
-PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed);
+/// deterministic in (preset, seed). With collect_metrics a fresh
+/// obs::Registry is attached to the preset's engine and snapshotted into
+/// PerfResult::metrics_json / metrics_timing_json; `trace` (optional, not
+/// owned) additionally records per-phase trace-event spans. Neither changes
+/// any counter field.
+PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
+                           bool collect_metrics = false,
+                           obs::TraceWriter* trace = nullptr);
 
 /// Resolve a set name ("smoke" | "full"), run every preset in it (or just
 /// the one named by a non-empty `only`), with progress on stderr, and
@@ -89,9 +104,15 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed);
 /// `engine_threads` >= 0 overrides every preset's engine-level thread
 /// count (the --engine-threads flag; -1 keeps the preset values) — CI runs
 /// the smoke set with and without it and diffs the deterministic JSON.
+/// `collect_metrics`/`trace` thread through to run_perf_preset; the
+/// deterministic metrics block is emitted under a "metrics" key per preset
+/// (additive-only), the timing block under "metrics_timing" only when
+/// include_timings is also set.
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
-                         long engine_threads = -1);
+                         long engine_threads = -1,
+                         bool collect_metrics = false,
+                         obs::TraceWriter* trace = nullptr);
 
 /// Serialise a suite run. include_timings = false omits every wall-clock
 /// field, making the bytes a pure function of (presets, seed).

@@ -118,6 +118,19 @@ struct ScenarioParams {
   /// Orthogonal to the trial-level `threads` argument of Scenario::run, and
   /// — like it — never changes results (per-(round, shard) seeding).
   std::size_t engine_threads = 1;
+
+  // --- Observability (optional, not owned, determinism-neutral) ---
+
+  /// Metrics registry every trial's engine and driver report into (shared —
+  /// the registry merges per-thread shards; counters aggregate over all
+  /// trials). nullptr = detached, no timestamps taken anywhere.
+  obs::Registry* registry = nullptr;
+  /// Trace-event writer for per-phase spans across the run.
+  obs::TraceWriter* trace = nullptr;
+  /// Round observer attached to trial 0 only (per-round data for `trials`
+  /// engines at once would interleave meaninglessly). Observers never draw
+  /// from the RNG, so attaching one changes no results.
+  engine::RoundObserver* round_observer = nullptr;
 };
 
 /// Everything a run produced, ready for table or JSON emission.
@@ -133,7 +146,13 @@ struct ScenarioResult {
   /// Deterministic JSON object. In churn mode `rounds` counts measured
   /// rounds per trial, `migrations` the migrations over the measured
   /// window, and `final_max_load` the mean max/avg load ratio.
-  std::string json() const;
+  ///
+  /// The optional raw-JSON blocks are appended as "metrics" (deterministic
+  /// counters) and "metrics_timing" (wall-clock metrics) keys when
+  /// non-empty — additive-only, so default output is byte-identical to a
+  /// run with observability detached.
+  std::string json(const std::string& metrics_raw = "",
+                   const std::string& metrics_timing_raw = "") const;
 };
 
 /// A runnable scenario. Construction validates the spec/params combination

@@ -1,0 +1,83 @@
+#include "tlb/obs/metrics_observer.hpp"
+
+#include <stdexcept>
+
+#include "tlb/sim/report.hpp"
+
+namespace tlb::obs {
+
+MetricsObserver::MetricsObserver(Registry* registry, bool keep_rounds)
+    : registry_(registry), keep_rounds_(keep_rounds) {
+  if (registry_ == nullptr) {
+    throw std::invalid_argument("MetricsObserver: registry must not be null");
+  }
+}
+
+void MetricsObserver::on_round(const engine::BalancerView&, long round) {
+  if (finished_) {
+    throw std::logic_error("MetricsObserver: on_round after on_finish");
+  }
+  if (in_round_) {
+    throw std::logic_error("MetricsObserver: on_round without on_round_end");
+  }
+  in_round_ = true;
+  current_round_ = round;
+  before_ = registry_->snapshot();
+}
+
+void MetricsObserver::on_round_end(const engine::BalancerView&, long round,
+                                   std::size_t migrations) {
+  if (!in_round_ || round != current_round_) {
+    throw std::logic_error(
+        "MetricsObserver: on_round_end without matching on_round");
+  }
+  in_round_ = false;
+  ++rounds_observed_;
+  if (keep_rounds_) {
+    RoundRecord rec;
+    rec.round = round;
+    rec.migrations = migrations;
+    rec.delta = registry_->snapshot().delta(before_);
+    rounds_.push_back(std::move(rec));
+  }
+}
+
+void MetricsObserver::on_finish(const engine::BalancerView&) {
+  if (finished_) {
+    throw std::logic_error("MetricsObserver: on_finish called twice");
+  }
+  if (in_round_) {
+    throw std::logic_error("MetricsObserver: on_finish inside a round");
+  }
+  finished_ = true;
+  final_ = registry_->snapshot();
+}
+
+const Snapshot& MetricsObserver::final_snapshot() const {
+  if (!finished_) {
+    throw std::logic_error(
+        "MetricsObserver: final_snapshot before on_finish");
+  }
+  return final_;
+}
+
+std::string MetricsObserver::json(Snapshot::Part part) const {
+  sim::Json obj;
+  obj.add_raw("totals", final_snapshot().json(part));
+  if (keep_rounds_) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < rounds_.size(); ++i) {
+      if (i > 0) arr += ',';
+      sim::Json row;
+      row.add("round", static_cast<std::int64_t>(rounds_[i].round));
+      row.add("migrations", rounds_[i].migrations);
+      row.add_raw("metrics", rounds_[i].delta.json(part));
+      arr += row.str();
+    }
+    arr += ']';
+    obj.add_raw("rounds", arr);
+  }
+  return obj.str();
+}
+
+}  // namespace tlb::obs

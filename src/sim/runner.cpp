@@ -8,6 +8,16 @@ namespace tlb::sim {
 
 TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
                       const TrialFn& trial, std::size_t threads) {
+  return run_trials(
+      trials, master_seed,
+      IndexedTrialFn([&trial](std::size_t, util::Rng& rng) {
+        return trial(rng);
+      }),
+      threads);
+}
+
+TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
+                      const IndexedTrialFn& trial, std::size_t threads) {
   // Fill a dense result vector in parallel, then reduce serially; the
   // reduction is trivial compared to the trials themselves and keeps the
   // aggregation deterministic.
@@ -16,7 +26,7 @@ TrialStats run_trials(std::size_t trials, std::uint64_t master_seed,
       trials,
       [&](std::size_t i) {
         util::Rng rng(util::derive_seed(master_seed, i));
-        results[i] = trial(rng);
+        results[i] = trial(i, rng);
       },
       threads);
 

@@ -14,10 +14,15 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   counts_.assign(bins, 0);
 }
 
+std::size_t Histogram::bucket_index(double lo, double bin_width,
+                                    std::size_t bins, double x) {
+  auto b = static_cast<long>((x - lo) / bin_width);
+  b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
+  return static_cast<std::size_t>(b);
+}
+
 void Histogram::add(double x) {
-  auto b = static_cast<long>((x - lo_) / bin_width_);
-  b = std::clamp<long>(b, 0, static_cast<long>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(b)];
+  ++counts_[bucket_index(lo_, bin_width_, counts_.size(), x)];
   ++total_;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tlb/obs/trace_event.hpp"
+
 namespace tlb::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -41,22 +43,62 @@ void ThreadPool::wait_idle() {
   }
 }
 
+void ThreadPool::attach_probe(obs::Registry* registry, obs::TraceWriter* trace,
+                              const std::string& prefix) {
+  // Register outside the lock (registration takes the registry's own
+  // mutex), then publish under ours — workers read the probe fields under
+  // mutex_, so this is race-free as long as the pool is quiescent.
+  obs::MetricId tasks, busy, idle;
+  if (registry != nullptr) {
+    tasks = registry->counter(prefix + ".tasks", /*timing=*/true);
+    busy = registry->counter(prefix + ".busy_ns", /*timing=*/true);
+    idle = registry->counter(prefix + ".idle_ns", /*timing=*/true);
+  }
+  std::lock_guard lock(mutex_);
+  registry_ = registry;
+  trace_ = trace;
+  m_tasks_ = tasks;
+  m_busy_ns_ = busy;
+  m_idle_ns_ = idle;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    obs::Registry* registry;
+    obs::TraceWriter* trace;
     {
       std::unique_lock lock(mutex_);
+      // Probe fields are read under the lock; a detached pool takes no
+      // timestamps on either side of the wait.
+      const bool probed = registry_ != nullptr || trace_ != nullptr;
+      const std::uint64_t wait_start = probed ? obs::monotonic_ns() : 0;
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (probed && registry_ != nullptr) {
+        registry_->add(m_idle_ns_, obs::monotonic_ns() - wait_start);
+      }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      registry = registry_;
+      trace = trace_;
     }
+    const bool probed = registry != nullptr || trace != nullptr;
+    const std::uint64_t run_start = probed ? obs::monotonic_ns() : 0;
     try {
       task();
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (probed) {
+      const std::uint64_t dur = obs::monotonic_ns() - run_start;
+      if (registry != nullptr) {
+        registry->add(m_tasks_, 1);
+        registry->add(m_busy_ns_, dur);
+      }
+      if (trace != nullptr) trace->complete("pool.task", run_start, dur);
     }
     {
       std::lock_guard lock(mutex_);

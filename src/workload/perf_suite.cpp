@@ -16,6 +16,8 @@
 #include "tlb/core/user_protocol.hpp"
 #include "tlb/engine/baseline_balancers.hpp"
 #include "tlb/engine/driver.hpp"
+#include "tlb/obs/registry.hpp"
+#include "tlb/obs/trace_event.hpp"
 #include "tlb/sim/config.hpp"
 #include "tlb/sim/report.hpp"
 #include "tlb/tasks/placement.hpp"
@@ -86,6 +88,7 @@ void finish_timing(const std::vector<double>& round_ms, PerfResult& out) {
 
 void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
+                      obs::Registry* registry, obs::TraceWriter* trace,
                       PerfResult& out) {
   timer.start("setup");
   sim::GraphSpec gspec;
@@ -144,6 +147,8 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.threshold = T;
       cfg.options.max_rounds = preset.max_rounds;
       cfg.options.threads = preset.threads;
+      cfg.options.registry = registry;
+      cfg.options.trace = trace;
       // Shared engine-selection policy (run_user_trial uses the same
       // helper), including the degrade-to-exact fallback.
       std::optional<core::GroupedUserEngine> grouped =
@@ -167,6 +172,8 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.threshold = T;
       cfg.walk = walk;
       cfg.options.max_rounds = preset.max_rounds;
+      cfg.options.registry = registry;
+      cfg.options.trace = trace;
       core::ResourceControlledEngine engine(g, ts, cfg);
       timed_drive(engine, state_over);
       break;
@@ -176,6 +183,8 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.threshold = T;
       cfg.walk = walk;
       cfg.options.max_rounds = preset.max_rounds;
+      cfg.options.registry = registry;
+      cfg.options.trace = trace;
       core::GraphUserEngine engine(g, ts, cfg);
       timed_drive(engine, state_over);
       break;
@@ -186,6 +195,8 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.resource_probability = spec.mixed_beta;
       cfg.walk = walk;
       cfg.options.max_rounds = preset.max_rounds;
+      cfg.options.registry = registry;
+      cfg.options.trace = trace;
       core::MixedProtocolEngine engine(g, ts, cfg);
       timed_drive(engine, state_over);
       break;
@@ -214,6 +225,8 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       baselines::SelfishConfig cfg;
       cfg.stop_threshold = T;
       cfg.options.max_rounds = preset.max_rounds;
+      cfg.options.registry = registry;
+      cfg.options.trace = trace;
       baselines::SelfishReallocEngine engine(ts, n, cfg);
       timed_drive(engine, [](const baselines::SelfishReallocEngine& e) {
         return e.overloaded_count();
@@ -398,15 +411,18 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
 
 void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
+                      obs::Registry* registry, obs::TraceWriter* trace,
                       PerfResult& out) {
   timer.start("setup");
   auto model = parse_weight_model(spec.weights);
   auto process = parse_arrival_process(spec.arrivals);
   util::Rng class_rng(util::derive_seed(seed, kPerfClassesStream));
   // Same config-assembly path as Scenario::run (process outlives engine).
-  const core::DynamicConfig cfg = make_dynamic_config(
+  core::DynamicConfig cfg = make_dynamic_config(
       *model, *process, preset.n, kEps, /*alpha=*/1.0,
       /*paranoid=*/false, preset.threads, class_rng);
+  cfg.registry = registry;
+  cfg.trace = trace;
   core::DynamicUserEngine engine(cfg);
   util::Rng rng(util::derive_seed(seed, kPerfRunStream));
   out.n = preset.n;
@@ -495,15 +511,28 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
   return presets;
 }
 
-PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
+PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
+                           bool collect_metrics, obs::TraceWriter* trace) {
   PerfResult out;
   out.preset = preset;
+  // Fresh registry per preset so the snapshots do not aggregate across
+  // presets; engines hold a raw pointer, so it outlives the runner calls.
+  std::optional<obs::Registry> registry;
+  if (collect_metrics) registry.emplace();
+  obs::Registry* const reg = registry ? &*registry : nullptr;
+  const auto snapshot_metrics = [&] {
+    if (!registry) return;
+    const obs::Snapshot snap = registry->snapshot();
+    out.metrics_json = snap.json(obs::Snapshot::Part::kDeterministic);
+    out.metrics_timing_json = snap.json(obs::Snapshot::Part::kTiming);
+  };
   if (preset.scenario.rfind("arena:churn", 0) == 0) {
     util::Timer timer;
     run_arena_churn_preset(preset, seed, timer, out);
     out.phases = timer.phases();
     out.setup_ms = timer.ms("setup");
     out.run_ms = timer.ms("rounds");
+    snapshot_metrics();
     return out;
   }
   if (preset.scenario.rfind("baselines:suite", 0) == 0) {
@@ -511,24 +540,27 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed) {
     run_baselines_suite_preset(preset, seed, timer, out);
     out.phases = timer.phases();
     out.setup_ms = timer.ms("setup");
+    snapshot_metrics();
     return out;
   }
   const ScenarioSpec spec = resolve_scenario(preset.scenario);
   util::Timer timer;
   if (spec.is_churn()) {
-    run_churn_preset(spec, preset, seed, timer, out);
+    run_churn_preset(spec, preset, seed, timer, reg, trace, out);
   } else {
-    run_batch_preset(spec, preset, seed, timer, out);
+    run_batch_preset(spec, preset, seed, timer, reg, trace, out);
   }
   out.phases = timer.phases();
   out.setup_ms = timer.ms("setup");
   out.run_ms = timer.ms("rounds");
+  snapshot_metrics();
   return out;
 }
 
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
-                         long engine_threads) {
+                         long engine_threads, bool collect_metrics,
+                         obs::TraceWriter* trace) {
   const std::vector<PerfPreset>* presets = nullptr;
   if (set == "smoke") {
     presets = &perf_smoke_presets();
@@ -546,7 +578,7 @@ std::string run_perf_set(const std::string& set, const std::string& only,
     }
     std::fprintf(stderr, "perf_suite: running %-26s (%s) ...\n",
                  preset.name.c_str(), preset.scenario.c_str());
-    results.push_back(run_perf_preset(preset, seed));
+    results.push_back(run_perf_preset(preset, seed, collect_metrics, trace));
     const PerfResult& r = results.back();
     std::fprintf(stderr,
                  "perf_suite:   %ld rounds, %.1fms round1, %.3fms tail "
@@ -574,6 +606,9 @@ std::string perf_suite_json(const std::vector<PerfResult>& results,
         .add("migrations", r.migrations)
         .add("balanced", r.balanced)
         .add("final_overloaded", static_cast<std::uint64_t>(r.final_overloaded));
+    // Additive-only: the key appears only when metrics were collected, and
+    // holds seed-pure counters — byte-identical across thread counts.
+    if (!r.metrics_json.empty()) j.add_raw("metrics", r.metrics_json);
     if (include_timings) {
       // Reported with the wall-clock fields (and only there): the thread
       // count is a performance knob that cannot change the counters above,
@@ -590,6 +625,9 @@ std::string perf_suite_json(const std::vector<PerfResult>& results,
       sim::Json phases;
       for (const auto& [name, ms] : r.phases) phases.add(name, ms);
       j.add_raw("phases", phases.str());
+      if (!r.metrics_timing_json.empty()) {
+        j.add_raw("metrics_timing", r.metrics_timing_json);
+      }
     }
     if (i) presets += ",";
     presets += j.str();

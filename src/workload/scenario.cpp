@@ -269,9 +269,11 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     // Dynamic mode: grouped dynamic engine, weight model reduced to a class
     // table with a dedicated randomness stream (identical for every trial).
     util::Rng class_rng(util::derive_seed(seed, kClassesStream));
-    const core::DynamicConfig cfg = make_dynamic_config(
+    core::DynamicConfig cfg = make_dynamic_config(
         *model_, *process_, params_.n, params_.eps, params_.alpha,
         params_.paranoid, params_.engine_threads, class_rng);
+    cfg.registry = params_.registry;
+    cfg.trace = params_.trace;
     result.n = params_.n;
     result.m = 0;
 
@@ -280,11 +282,17 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     engine::DriveOptions drive_opt;
     drive_opt.warmup = params_.warmup;
     drive_opt.measure = params_.measure;
+    drive_opt.registry = params_.registry;
+    drive_opt.trace = params_.trace;
+    engine::RoundObserver* const round_observer = params_.round_observer;
     result.stats = sim::run_trials(
         trials, seed,
-        [&cfg, drive_opt](util::Rng& rng) {
+        sim::IndexedTrialFn([&cfg, drive_opt,
+                             round_observer](std::size_t trial,
+                                             util::Rng& rng) {
           core::DynamicUserEngine engine(cfg);
-          const core::DynamicMetrics metrics = engine.run(drive_opt, rng);
+          const core::DynamicMetrics metrics = engine.run(
+              drive_opt, rng, trial == 0 ? round_observer : nullptr);
           core::RunResult r;
           r.rounds = drive_opt.measure;
           r.balanced = metrics.overloaded_fraction.mean() <= 0.05;
@@ -294,7 +302,7 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
           r.final_max_load = metrics.max_over_avg.mean();
           r.threshold = engine.current_threshold();
           return r;
-        },
+        }),
         threads);
     return result;
   }
@@ -328,8 +336,8 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
 
   result.stats = sim::run_trials(
       trials, seed,
-      [&model, &p, &g, protocol, beta, choices, onebeta, walk, n,
-       m](util::Rng& rng) {
+      sim::IndexedTrialFn([&model, &p, &g, protocol, beta, choices, onebeta,
+                           walk, n, m](std::size_t trial, util::Rng& rng) {
         const tasks::TaskSet ts = model.make(m, rng);
         const double T =
             core::threshold_value(p.threshold, ts, n, p.eps);
@@ -337,9 +345,16 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
         // allocator baselines start with every ball unplaced, so the O(m)
         // all-on-one vector is built where it is consumed.
         const auto start = [&ts] { return tasks::all_on_one(ts); };
+        // The per-round observer goes to trial 0 only; the shared registry
+        // and trace writer aggregate across all trials (per-thread shards
+        // make the counters race-free).
+        engine::RoundObserver* const observer =
+            trial == 0 ? p.round_observer : nullptr;
         engine::DriveOptions drive_opt;
         drive_opt.max_rounds = p.max_rounds;
         drive_opt.paranoid_checks = p.paranoid;
+        drive_opt.registry = p.registry;
+        drive_opt.trace = p.trace;
         switch (protocol) {
           case ProtocolKind::kUser: {
             core::UserProtocolConfig cfg;
@@ -348,6 +363,9 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
             cfg.options.threads = p.engine_threads;
+            cfg.options.registry = p.registry;
+            cfg.options.trace = p.trace;
+            cfg.options.observer = observer;
             return run_user_trial(ts, n, cfg, start(), rng);
           }
           case ProtocolKind::kResource: {
@@ -356,6 +374,9 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
+            cfg.options.registry = p.registry;
+            cfg.options.trace = p.trace;
+            cfg.options.observer = observer;
             core::ResourceControlledEngine engine(g, ts, cfg);
             return engine.run(start(), rng);
           }
@@ -366,6 +387,9 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
+            cfg.options.registry = p.registry;
+            cfg.options.trace = p.trace;
+            cfg.options.observer = observer;
             core::GraphUserEngine engine(g, ts, cfg);
             return engine.run(start(), rng);
           }
@@ -377,45 +401,52 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.walk = walk;
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
+            cfg.options.registry = p.registry;
+            cfg.options.trace = p.trace;
+            cfg.options.observer = observer;
             core::MixedProtocolEngine engine(g, ts, cfg);
             return engine.run(start(), rng);
           }
           case ProtocolKind::kSeqThresh: {
             engine::SequentialThresholdBalancer balancer(ts, n, T);
-            return engine::drive(balancer, rng, drive_opt);
+            return engine::drive(balancer, rng, drive_opt, observer);
           }
           case ProtocolKind::kParThresh: {
             engine::ParallelThresholdBalancer balancer(ts, n, T);
-            return engine::drive(balancer, rng, drive_opt);
+            return engine::drive(balancer, rng, drive_opt, observer);
           }
           case ProtocolKind::kTwoChoice: {
             engine::GreedyChoiceBalancer balancer(ts, n, choices, T);
-            return engine::drive(balancer, rng, drive_opt);
+            return engine::drive(balancer, rng, drive_opt, observer);
           }
           case ProtocolKind::kOneBeta: {
             engine::OnePlusBetaBalancer balancer(ts, n, onebeta, T);
-            return engine::drive(balancer, rng, drive_opt);
+            return engine::drive(balancer, rng, drive_opt, observer);
           }
           case ProtocolKind::kSelfish: {
             baselines::SelfishConfig cfg;
             cfg.stop_threshold = T;
             cfg.options.max_rounds = p.max_rounds;
             cfg.options.paranoid_checks = p.paranoid;
+            cfg.options.registry = p.registry;
+            cfg.options.trace = p.trace;
+            cfg.options.observer = observer;
             baselines::SelfishReallocEngine eng(ts, n, cfg);
             return eng.run(start(), rng);
           }
           case ProtocolKind::kFirstFit: {
             engine::FirstFitBalancer balancer(ts, n, T);
-            return engine::drive(balancer, rng, drive_opt);
+            return engine::drive(balancer, rng, drive_opt, observer);
           }
         }
         throw std::logic_error("scenario: unreachable protocol");
-      },
+      }),
       threads);
   return result;
 }
 
-std::string ScenarioResult::json() const {
+std::string ScenarioResult::json(const std::string& metrics_raw,
+                                 const std::string& metrics_timing_raw) const {
   sim::Json j;
   j.add("scenario", spec.canonical())
       .add("protocol", protocol_name(spec.protocol))
@@ -445,6 +476,12 @@ std::string ScenarioResult::json() const {
   j.add("trials", trials)
       .add("seed", seed)
       .add_raw("results", sim::trial_stats_json(stats));
+  // Additive-only: with observability detached both strings are empty and
+  // the output is byte-identical to the pre-observability format.
+  if (!metrics_raw.empty()) j.add_raw("metrics", metrics_raw);
+  if (!metrics_timing_raw.empty()) {
+    j.add_raw("metrics_timing", metrics_timing_raw);
+  }
   return j.str();
 }
 

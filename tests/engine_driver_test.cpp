@@ -360,8 +360,11 @@ TEST(EngineDriverTest, JsonTraceSinkRecordsEveryRoundPlusFinal) {
   const RunResult result =
       engine::drive(engine, rng, engine::DriveOptions{}, &sink);
   EXPECT_TRUE(result.balanced);
-  EXPECT_EQ(sink.rounds_recorded(),
-            static_cast<std::size_t>(result.rounds) + 1);
+  // Regression: rounds_recorded() used to over-count by one after
+  // on_finish, conflating the trailing final-state snapshot with a round.
+  // It counts measured rounds only; the final record still exists in the
+  // JSON but is a state snapshot, not a round.
+  EXPECT_EQ(sink.rounds_recorded(), static_cast<std::size_t>(result.rounds));
   const std::string json = sink.json();
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json.back(), ']');

@@ -1,0 +1,78 @@
+// Tests for the chrome://tracing trace-event writer.
+#include "tlb/obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "tlb/obs/registry.hpp"
+
+namespace {
+
+using tlb::obs::monotonic_ns;
+using tlb::obs::TraceWriter;
+using tlb::obs::write_text_file;
+
+TEST(ObsTraceEventTest, RecordsCompleteSpans) {
+  TraceWriter trace;
+  const std::uint64_t t0 = monotonic_ns();
+  trace.complete("phase.a", t0, 1500);
+  trace.complete("phase.b", t0 + 2000, 500);
+  EXPECT_EQ(trace.events(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  const std::string json = trace.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(ObsTraceEventTest, CapDropsAndCounts) {
+  TraceWriter trace(/*max_events=*/4);
+  const std::uint64_t t0 = monotonic_ns();
+  for (int i = 0; i < 10; ++i) trace.complete("s", t0, 100);
+  EXPECT_EQ(trace.events(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // The dropped count is surfaced in the JSON, never silently swallowed.
+  EXPECT_NE(trace.json().find("\"dropped\""), std::string::npos);
+}
+
+TEST(ObsTraceEventTest, MultiThreadSpansLandInSeparateBuffers) {
+  TraceWriter trace;
+  std::thread a([&] { trace.complete("from.a", monotonic_ns(), 10); });
+  std::thread b([&] { trace.complete("from.b", monotonic_ns(), 10); });
+  a.join();
+  b.join();
+  EXPECT_EQ(trace.events(), 2u);
+  const std::string json = trace.json();
+  EXPECT_NE(json.find("from.a"), std::string::npos);
+  EXPECT_NE(json.find("from.b"), std::string::npos);
+}
+
+TEST(ObsTraceEventTest, WriteRoundTripsToDisk) {
+  TraceWriter trace;
+  trace.complete("span", monotonic_ns(), 250);
+  const std::string path =
+      testing::TempDir() + "/tlb_obs_trace_test.json";
+  trace.write(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string content{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  EXPECT_EQ(content, trace.json());
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceEventTest, WriteTextFileThrowsOnBadPath) {
+  EXPECT_THROW(
+      write_text_file("/nonexistent-dir-for-tlb-test/out.json", "{}"),
+      std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Tests for the named-phase accumulating timer.
+#include "tlb/util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using tlb::util::Timer;
+
+TEST(TimerTest, UnknownPhaseReportsZero) {
+  Timer timer;
+  EXPECT_DOUBLE_EQ(timer.ms("never-started"), 0.0);
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+TEST(TimerTest, AccumulatesAcrossReentry) {
+  Timer timer;
+  timer.start("a");
+  timer.start("b");  // closes a, opens b
+  timer.start("a");  // closes b, resumes a
+  timer.stop();
+  ASSERT_EQ(timer.phases().size(), 2u);
+  EXPECT_GE(timer.ms("a"), 0.0);
+  EXPECT_GE(timer.ms("b"), 0.0);
+  // Phase totals and the ordered list agree.
+  EXPECT_DOUBLE_EQ(timer.phases()[0].second, timer.ms("a"));
+  EXPECT_DOUBLE_EQ(timer.phases()[1].second, timer.ms("b"));
+}
+
+TEST(TimerTest, PhasesKeepFirstStartOrder) {
+  Timer timer;
+  timer.start("setup");
+  timer.start("rounds");
+  timer.start("finish");
+  timer.start("rounds");  // re-entry must not reorder
+  timer.stop();
+  ASSERT_EQ(timer.phases().size(), 3u);
+  EXPECT_EQ(timer.phases()[0].first, "setup");
+  EXPECT_EQ(timer.phases()[1].first, "rounds");
+  EXPECT_EQ(timer.phases()[2].first, "finish");
+}
+
+TEST(TimerTest, StopWithoutStartIsANoOp) {
+  Timer timer;
+  timer.stop();
+  EXPECT_TRUE(timer.phases().empty());
+}
+
+TEST(TimerTest, ManyPhasesStayConsistent) {
+  // The O(1) index must agree with the ordered vector for a wide phase set.
+  Timer timer;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      timer.start("phase-" + std::to_string(i));
+    }
+  }
+  timer.stop();
+  ASSERT_EQ(timer.phases().size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = "phase-" + std::to_string(i);
+    EXPECT_EQ(timer.phases()[static_cast<std::size_t>(i)].first, name);
+    EXPECT_DOUBLE_EQ(timer.phases()[static_cast<std::size_t>(i)].second,
+                     timer.ms(name));
+  }
+}
+
+}  // namespace

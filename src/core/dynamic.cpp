@@ -55,7 +55,10 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
   counts_.assign(static_cast<std::size_t>(config_.n) * class_weights_.size(), 0);
   loads_.assign(config_.n, 0.0);
   task_counts_.assign(config_.n, 0);
-  over_.reset(config_.n);
+  // Fresh store, everything pending re-check — the shared rebuild hook, so
+  // the initial recompute below registers its value without invalidating
+  // anything a second time.
+  over_.rebuild(config_.n);
   threshold_ = 0.0;  // force the first recompute to register its value
   recompute_threshold();
   if (config_.threads != 1) {
@@ -75,8 +78,14 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
     m_threshold_changes_ = reg.counter("dynamic.threshold_changes");
     m_flush_checks_ = reg.counter("dynamic.flush_checks");
     m_dirty_marks_ = reg.counter("dynamic.dirty_marks");
+    m_band_size_ = reg.counter("index.band_size");
+    m_bucket_moves_ = reg.counter("index.bucket_moves");
+    m_reconciled_ = reg.counter("index.reconciled");
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
+    seen_band_size_ = over_.load_index().band_size();
+    seen_bucket_moves_ = over_.load_index().bucket_moves();
+    seen_reconciled_ = over_.load_index().reconciled();
   }
   if (pool_ && sink_.attached()) {
     pool_->attach_probe(sink_.registry, sink_.trace);
@@ -92,11 +101,22 @@ void DynamicUserEngine::recompute_threshold() {
                       w_max_;
   // Only a *changed* threshold can flip a resource whose load did not move;
   // quiet rounds (no arrivals, completions or crashes) recompute to exactly
-  // the same value, and invalidating all n resources then would turn the
-  // next overloaded_now() into a pointless full rescan.
+  // the same value, and invalidating anything then would turn the next
+  // overloaded_now() into a pointless rescan.
   if (next == threshold_) return;
+  const double prev = threshold_;
   threshold_ = next;
-  over_.mark_all_dirty();
+  if (prev > 0.0) {
+    // A moved threshold flips exactly the resources whose load lies between
+    // the old and new value: reconcile only that band through the tracker's
+    // bucketed load index (O(#band + #touched) instead of the old
+    // mark_all_dirty() O(n) rescan — the number threshold-churn runs are
+    // judged by).
+    over_.shift_threshold(prev, next,
+                          [this](graph::Node r) { return loads_[r]; });
+  }
+  // prev == 0 is the construction-time registration: the tracker was just
+  // rebuilt with every resource pending, so there is nothing to add.
   if (sink_.registry != nullptr) sink_.registry->add(m_threshold_changes_, 1);
 }
 
@@ -296,8 +316,15 @@ std::size_t DynamicUserEngine::step(util::Rng& rng) {
     obs::Registry& reg = *sink_.registry;
     reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);
     reg.add(m_dirty_marks_, over_.dirty_marks() - seen_dirty_marks_);
+    const LoadIndex& idx = over_.load_index();
+    reg.add(m_band_size_, idx.band_size() - seen_band_size_);
+    reg.add(m_bucket_moves_, idx.bucket_moves() - seen_bucket_moves_);
+    reg.add(m_reconciled_, idx.reconciled() - seen_reconciled_);
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
+    seen_band_size_ = idx.band_size();
+    seen_bucket_moves_ = idx.bucket_moves();
+    seen_reconciled_ = idx.reconciled();
   }
   if (config_.paranoid_checks) check_overloaded_invariant();
 

@@ -1,0 +1,34 @@
+#include "tlb/core/load_index.hpp"
+
+namespace tlb::core {
+
+void LoadIndex::reset(graph::Node n) {
+  // Back to dormant: all incremental state is dropped (the next build
+  // re-reads every load anyway). Cost counters survive deliberately, like
+  // OverloadedSet::flush_checks().
+  n_ = n;
+  built_ = false;
+  stale_ = false;
+  bucket_.clear();
+  pos_.clear();
+  load_.clear();
+  buckets_.clear();
+  pending_.clear();
+  in_pending_.clear();
+}
+
+void LoadIndex::move_to_bucket(graph::Node r, std::int32_t nb) {
+  std::vector<graph::Node>& old_bucket = buckets_[bucket_[r]];
+  const std::uint32_t p = pos_[r];
+  const graph::Node moved = old_bucket.back();
+  old_bucket[p] = moved;
+  pos_[moved] = p;
+  old_bucket.pop_back();
+  std::vector<graph::Node>& new_bucket = buckets_[nb];
+  bucket_[r] = nb;
+  pos_[r] = static_cast<std::uint32_t>(new_bucket.size());
+  new_bucket.push_back(r);
+  ++bucket_moves_;
+}
+
+}  // namespace tlb::core

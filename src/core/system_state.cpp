@@ -16,8 +16,34 @@ void SystemState::set_thresholds(double threshold) {
   if (threshold <= 0.0) {
     throw std::invalid_argument("SystemState::set_thresholds: threshold > 0");
   }
+  // Re-registering the value already in force cannot flip any status (the
+  // recompute_threshold no-op guard, applied to the bulk mutator): zero
+  // re-checks on the next query.
+  if (track_thresholds_.empty() && track_uniform_ == threshold) return;
+  if (track_thresholds_.empty() && track_uniform_ > 0.0) {
+    // Uniform -> uniform: only loads between the old and new value can
+    // flip; the tracker's load index confines the invalidation to that
+    // band instead of dirtying all n resources.
+    const double prev = track_uniform_;
+    track_uniform_ = threshold;
+    overloaded_.shift_threshold(
+        prev, threshold, [this](Node r) { return arena_.load(r); });
+    return;
+  }
+  if (!track_thresholds_.empty()) {
+    // Per-resource -> uniform: re-check exactly the resources whose own
+    // threshold actually changes (one O(n) compare pass, but the next
+    // flush only pays for the changed ones).
+    const Node n = arena_.num_resources();
+    for (Node r = 0; r < n; ++r) {
+      if (track_thresholds_[r] != threshold) overloaded_.mark_dirty(r);
+    }
+    track_uniform_ = threshold;
+    track_thresholds_.clear();
+    return;
+  }
+  // First registration: nothing was tracked against anything yet.
   track_uniform_ = threshold;
-  track_thresholds_.clear();
   overloaded_.mark_all_dirty();
 }
 
@@ -31,6 +57,18 @@ void SystemState::set_thresholds(std::vector<double> thresholds) {
       throw std::invalid_argument(
           "SystemState::set_thresholds: all thresholds must be > 0");
     }
+  }
+  const Node n = arena_.num_resources();
+  if (track_uniform_ == 0.0 && track_thresholds_ == thresholds) return;
+  if (has_thresholds()) {
+    // Some registration is already in force: re-check only the resources
+    // whose effective threshold changes (the band notion per resource).
+    for (Node r = 0; r < n; ++r) {
+      if (threshold_of(r) != thresholds[r]) overloaded_.mark_dirty(r);
+    }
+    track_uniform_ = 0.0;
+    track_thresholds_ = std::move(thresholds);
+    return;
   }
   track_uniform_ = 0.0;
   track_thresholds_ = std::move(thresholds);

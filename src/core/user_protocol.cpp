@@ -125,8 +125,14 @@ UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
     m_departures_ = reg.counter("exact.departures");
     m_flush_checks_ = reg.counter("exact.flush_checks");
     m_dirty_marks_ = reg.counter("exact.dirty_marks");
+    m_band_size_ = reg.counter("index.band_size");
+    m_bucket_moves_ = reg.counter("index.bucket_moves");
+    m_reconciled_ = reg.counter("index.reconciled");
     seen_flush_checks_ = state_.overloaded_tracker().flush_checks();
     seen_dirty_marks_ = state_.overloaded_tracker().dirty_marks();
+    seen_band_size_ = state_.overloaded_tracker().load_index().band_size();
+    seen_bucket_moves_ = state_.overloaded_tracker().load_index().bucket_moves();
+    seen_reconciled_ = state_.overloaded_tracker().load_index().reconciled();
   }
   if (pool_ && sink_.attached()) {
     pool_->attach_probe(sink_.registry, sink_.trace);
@@ -242,8 +248,15 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
     const OverloadedSet& trk = state_.overloaded_tracker();
     reg.add(m_flush_checks_, trk.flush_checks() - seen_flush_checks_);
     reg.add(m_dirty_marks_, trk.dirty_marks() - seen_dirty_marks_);
+    const LoadIndex& idx = trk.load_index();
+    reg.add(m_band_size_, idx.band_size() - seen_band_size_);
+    reg.add(m_bucket_moves_, idx.bucket_moves() - seen_bucket_moves_);
+    reg.add(m_reconciled_, idx.reconciled() - seen_reconciled_);
     seen_flush_checks_ = trk.flush_checks();
     seen_dirty_marks_ = trk.dirty_marks();
+    seen_band_size_ = idx.band_size();
+    seen_bucket_moves_ = idx.bucket_moves();
+    seen_reconciled_ = idx.reconciled();
   }
   return movers_.size();
 }
@@ -315,8 +328,14 @@ GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
     m_departures_ = reg.counter("grouped.departures");
     m_flush_checks_ = reg.counter("grouped.flush_checks");
     m_dirty_marks_ = reg.counter("grouped.dirty_marks");
+    m_band_size_ = reg.counter("index.band_size");
+    m_bucket_moves_ = reg.counter("index.bucket_moves");
+    m_reconciled_ = reg.counter("index.reconciled");
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
+    seen_band_size_ = over_.load_index().band_size();
+    seen_bucket_moves_ = over_.load_index().bucket_moves();
+    seen_reconciled_ = over_.load_index().reconciled();
   }
   if (pool_ && sink_.attached()) {
     pool_->attach_probe(sink_.registry, sink_.trace);
@@ -340,8 +359,9 @@ void GroupedUserEngine::reset(const tasks::Placement& placement) {
     loads_[r] += tasks_->weight(i);
     ++task_counts_[r];
   }
-  over_.reset(n_);
-  over_.mark_all_dirty();
+  // Counts were rebuilt from scratch: one shared invalidation entry point
+  // (every status pending, load index stale).
+  over_.rebuild(n_);
 }
 
 const std::vector<Node>& GroupedUserEngine::overloaded() const {
@@ -469,8 +489,15 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
     reg.add(m_departures_, migrations);
     reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);
     reg.add(m_dirty_marks_, over_.dirty_marks() - seen_dirty_marks_);
+    const LoadIndex& idx = over_.load_index();
+    reg.add(m_band_size_, idx.band_size() - seen_band_size_);
+    reg.add(m_bucket_moves_, idx.bucket_moves() - seen_bucket_moves_);
+    reg.add(m_reconciled_, idx.reconciled() - seen_reconciled_);
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
+    seen_band_size_ = idx.band_size();
+    seen_bucket_moves_ = idx.bucket_moves();
+    seen_reconciled_ = idx.reconciled();
   }
   return migrations;
 }

@@ -165,10 +165,12 @@ class DynamicUserEngine {
   void recompute_threshold();
   double phi_of(graph::Node r) const;
   /// The incrementally tracked overloaded set (reconciled on access). A
-  /// *changed* global threshold can flip any resource and marks everything
-  /// dirty (O(n) on the next flush); a recomputation that lands on the same
-  /// value — quiet rounds with no arrivals, completions or crashes — leaves
-  /// the dirty set untouched, so those rounds stay O(#touched).
+  /// *changed* global threshold flips exactly the resources whose load lies
+  /// between the old and new value, and the tracker's bucketed LoadIndex
+  /// confines the invalidation to that band (O(#band + #touched) per move);
+  /// a recomputation that lands on the same value — quiet rounds with no
+  /// arrivals, completions or crashes — leaves the dirty set untouched, so
+  /// those rounds stay O(#touched).
   const std::vector<graph::Node>& overloaded_now() const;
   void check_overloaded_invariant() const;
 
@@ -204,8 +206,12 @@ class DynamicUserEngine {
   obs::MetricId m_arrivals_ns_, m_completions_ns_, m_sample_ns_, m_apply_ns_;
   obs::MetricId m_arrivals_, m_completions_, m_crashes_,
       m_threshold_changes_, m_flush_checks_, m_dirty_marks_;
+  obs::MetricId m_band_size_, m_bucket_moves_, m_reconciled_;
   std::uint64_t seen_flush_checks_ = 0;
   std::uint64_t seen_dirty_marks_ = 0;
+  std::uint64_t seen_band_size_ = 0;
+  std::uint64_t seen_bucket_moves_ = 0;
+  std::uint64_t seen_reconciled_ = 0;
 };
 
 }  // namespace tlb::core

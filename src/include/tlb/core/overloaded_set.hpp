@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "tlb/core/load_index.hpp"
 #include "tlb/graph/graph.hpp"
 
 namespace tlb::core {
@@ -28,6 +29,15 @@ namespace tlb::core {
 /// load, or its threshold), then flush() with the authoritative predicate
 /// before reading. Between flushes the tracked list is stable, so it is safe
 /// to iterate while marking new dirt (e.g. scattering movers mid-round).
+///
+/// Threshold moves: a changed *global* threshold can flip any resource, but
+/// only the ones whose load lies between the old and the new value actually
+/// flip. shift_threshold() confines the invalidation to exactly that band
+/// via an embedded LoadIndex (loads bucketed geometrically, built lazily on
+/// the first shift), so a drifting threshold costs O(#band + #touched) per
+/// move instead of the O(n) mark_all_dirty() fallback. Engines that never
+/// move thresholds pay nothing: the index stays dormant and mark_dirty's
+/// feed into it is a single predicted branch.
 class OverloadedSet {
  public:
   /// Reset to n resources, nothing overloaded, nothing dirty.
@@ -36,19 +46,30 @@ class OverloadedSet {
     in_dirty_.assign(n, 0);
     list_.clear();
     dirty_.clear();
+    index_.reset(n);
   }
 
-  /// O(1) amortised: remember that r's status must be re-checked.
+  /// The single invalidation entry point for "the backing store was rebuilt
+  /// from scratch" (bulk placement, engine reset): reset to n resources
+  /// with every status pending re-check, and the load index stale.
+  void rebuild(graph::Node n) {
+    reset(n);
+    mark_all_dirty();
+  }
+
+  /// O(1) amortised: remember that r's status must be re-checked. Also
+  /// feeds the load index (when armed) — by the tracker contract every
+  /// load mutation passes through here, so the index's pending queue sees
+  /// every resource whose bucket may have moved.
   void mark_dirty(graph::Node r) {
-    if (!in_dirty_[r]) {
-      in_dirty_[r] = 1;
-      dirty_.push_back(r);
-      ++dirty_marks_;
-    }
+    enqueue_dirty(r);
+    index_.touch(r);
   }
 
-  /// Invalidate every resource (O(n)) — used after bulk placement and after
-  /// a global threshold change, where any status may have flipped.
+  /// Invalidate every resource (O(n)) — used after bulk placement, where
+  /// any status may have flipped. Also marks the load index stale: every
+  /// load may have changed, so the next shift rebuilds it wholesale
+  /// instead of replaying n touches.
   void mark_all_dirty() {
     dirty_.resize(in_dirty_.size());
     for (graph::Node r = 0; r < static_cast<graph::Node>(dirty_.size()); ++r) {
@@ -56,6 +77,25 @@ class OverloadedSet {
     }
     std::fill(in_dirty_.begin(), in_dirty_.end(), 1);
     dirty_marks_ += dirty_.size();
+    index_.invalidate();
+  }
+
+  /// The tracked threshold moved from `from` to `to`: mark dirty exactly
+  /// the resources whose load lies in (min, max] — the only ones whose
+  /// status can flip when nothing else changed. `load` is the authoritative
+  /// per-resource load (same source the flush predicate reads). Arms the
+  /// load index on first use (one O(n) build); afterwards each shift costs
+  /// O(#touched since the last shift + #band). The marked resources are
+  /// re-checked by the next flush() against the caller's predicate, so the
+  /// tracked list, its order, and all query results are identical to what
+  /// mark_all_dirty() would have produced — only cheaper.
+  template <class LoadFn>
+  void shift_threshold(double from, double to, LoadFn&& load) {
+    if (from == to) return;
+    index_.ensure(load);
+    const double lo = std::min(from, to);
+    const double hi = std::max(from, to);
+    index_.visit_band(lo, hi, [this](graph::Node r) { enqueue_dirty(r); });
   }
 
   /// Reconcile the tracked list with `over` (r -> bool). Cost is
@@ -143,14 +183,30 @@ class OverloadedSet {
   std::uint64_t dirty_marks() const noexcept { return dirty_marks_; }
   /// Resources currently awaiting re-check (the pending dirty-set size).
   std::size_t dirty_size() const noexcept { return dirty_.size(); }
+  /// The embedded bucketed load index (dormant until the first
+  /// shift_threshold). Exposes the deterministic cost counters the obs
+  /// hooks export: band_size()/bucket_moves()/reconciled().
+  const LoadIndex& load_index() const noexcept { return index_; }
 
  private:
+  /// mark_dirty without the index feed — shift_threshold marks the band
+  /// through this (the loads did not change, so re-bucketing would be a
+  /// guaranteed no-op).
+  void enqueue_dirty(graph::Node r) {
+    if (!in_dirty_[r]) {
+      in_dirty_[r] = 1;
+      dirty_.push_back(r);
+      ++dirty_marks_;
+    }
+  }
+
   std::vector<graph::Node> list_;        // current overloaded set (sorted)
   std::vector<graph::Node> dirty_;       // resources awaiting re-check
   std::vector<std::uint8_t> in_list_;    // membership flag per resource
   std::vector<std::uint8_t> in_dirty_;   // dedup flag per resource
   std::uint64_t flush_checks_ = 0;       // predicate calls across flushes
   std::uint64_t dirty_marks_ = 0;        // dirty-set insertions (lifetime)
+  LoadIndex index_;                      // band-limited threshold shifts
 };
 
 }  // namespace tlb::core

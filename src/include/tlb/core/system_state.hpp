@@ -43,6 +43,11 @@ class SystemState {
   /// it is independent of the acceptance threshold passed to place(). The
   /// scalar form stays scalar internally — no n-sized vector is
   /// materialised for the (common) uniform-threshold configuration.
+  /// Re-registration is incremental: the same value is a no-op (zero
+  /// re-checks), a moved uniform value reconciles only the band of loads
+  /// between old and new through the tracker's bucketed LoadIndex, and a
+  /// changed per-resource vector re-checks only the resources whose own
+  /// threshold differs. Only the first registration invalidates all n.
   void set_thresholds(double threshold);
   void set_thresholds(std::vector<double> thresholds);
   /// True iff thresholds were registered (the O(active) queries require it).

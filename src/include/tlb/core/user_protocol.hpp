@@ -142,8 +142,12 @@ class UserControlledEngine {
   obs::Sink sink_;
   obs::MetricId m_sample_ns_, m_merge_ns_, m_apply_ns_;
   obs::MetricId m_coins_, m_departures_, m_flush_checks_, m_dirty_marks_;
+  obs::MetricId m_band_size_, m_bucket_moves_, m_reconciled_;
   std::uint64_t seen_flush_checks_ = 0;  // tracker counters are lifetime;
   std::uint64_t seen_dirty_marks_ = 0;   // we export per-step deltas
+  std::uint64_t seen_band_size_ = 0;
+  std::uint64_t seen_bucket_moves_ = 0;
+  std::uint64_t seen_reconciled_ = 0;
 };
 
 /// Grouped (binomial-per-weight-class) engine. Requires a task set with at
@@ -230,8 +234,12 @@ class GroupedUserEngine {
   obs::MetricId m_sample_ns_, m_apply_ns_;
   obs::MetricId m_departure_groups_, m_departures_, m_flush_checks_,
       m_dirty_marks_;
+  obs::MetricId m_band_size_, m_bucket_moves_, m_reconciled_;
   std::uint64_t seen_flush_checks_ = 0;
   std::uint64_t seen_dirty_marks_ = 0;
+  std::uint64_t seen_band_size_ = 0;
+  std::uint64_t seen_bucket_moves_ = 0;
+  std::uint64_t seen_reconciled_ = 0;
 };
 
 }  // namespace tlb::core

@@ -472,6 +472,13 @@ const std::vector<PerfPreset>& perf_presets() {
        262144, 8, 100000, 0, 0},
       {"churn-poisson-64k", "user:complete:bimodal(8,0.1):poisson(640,0.01)",
        65536, 0, 0, 300, 600},
+      // Threshold-churn stressor: Poisson arrivals move W (and with it the
+      // recomputed threshold) every round at n = 10^6, so the cost of a
+      // threshold shift — band reconciliation through the bucketed
+      // LoadIndex vs the old O(n) mark_all_dirty — dominates the round.
+      {"threshold-churn-1m",
+       "user:complete:bimodal(8,0.1):poisson(100000,0.01)", 1000000, 0, 0,
+       100, 200},
       {"arena-churn-1m", "arena:churn:uniform(8)", 1000000, 8, 0, 12, 36},
       // Same workload as exact-uniform-1m with the phase-1 sampler on a
       // hardware-concurrency pool: the deterministic counters must match
@@ -500,6 +507,13 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
        4096, 8, 100000, 0, 0},
       {"smoke-churn-poisson", "user:complete:bimodal(8,0.1):poisson(40,0.01)",
        4096, 0, 0, 100, 200},
+      // Small-n copy of threshold-churn-1m (heavier per-resource arrival
+      // rate, so the threshold moves every round): keeps the LoadIndex
+      // build/shift/reconcile path under the sanitizer jobs and gives the
+      // metrics parity check rounds with non-zero index.* counters.
+      {"smoke-threshold-churn",
+       "user:complete:bimodal(8,0.1):poisson(400,0.01)", 4096, 0, 0, 100,
+       200},
       {"smoke-arena-churn", "arena:churn:uniform(8)", 4096, 8, 0, 20, 40},
       // Keeps the pooled phase-1 path under the sanitizer jobs (which run
       // the smoke set) even when no --engine-threads override is given.

@@ -181,4 +181,41 @@ TEST(DynamicTest, QuietRoundsAfterChurnStayIncremental) {
   EXPECT_EQ(engine.overloaded_tracker().flush_checks(), before);
 }
 
+TEST(DynamicTest, ChangedThresholdReconcilesOnlyTheBand) {
+  // Regression for the LoadIndex refactor: a round whose threshold *does*
+  // move used to fall back to mark_all_dirty — an O(n) flush every churn
+  // round. Now shift_threshold confines the invalidation to the band of
+  // loads between the old and new value, so per-round flush work is
+  // O(#touched + #band + #overloaded), far below n when only a handful of
+  // tasks arrive or complete.
+  DynamicConfig cfg = base_config();
+  cfg.n = 50000;
+  cfg.arrival_rate = 5.0;  // a few arrivals per round => W (and T) moves
+  cfg.completion_rate = 0.001;
+  cfg.crash_rate = 0.0;
+  cfg.classes = {{1.0, 0.9}, {8.0, 0.1}};
+  DynamicUserEngine engine(cfg);
+  Rng rng(17);
+  // Let the index arm itself (first shift builds it O(n) once) and the
+  // population settle into a sparse-change regime.
+  for (int t = 0; t < 50; ++t) engine.step(rng);
+  ASSERT_TRUE(engine.overloaded_tracker().load_index().built());
+
+  const std::uint64_t builds0 =
+      engine.overloaded_tracker().load_index().rebuilds();
+  const std::uint64_t checks0 = engine.overloaded_tracker().flush_checks();
+  const int kRounds = 100;
+  for (int t = 0; t < kRounds; ++t) engine.step(rng);
+  const std::uint64_t checks =
+      engine.overloaded_tracker().flush_checks() - checks0;
+  // ~5 arrivals + a few completions + the band they shift per round: the
+  // per-round average must be orders of magnitude below n = 50000. The
+  // bound is loose (100x headroom over the ~10-20 observed) but fails
+  // instantly if any churn round regresses to an O(n) rescan.
+  EXPECT_LT(checks, static_cast<std::uint64_t>(kRounds) * 500u);
+  // And the index itself never rebuilt: the engine mutates loads only
+  // through mark_dirty, so every shift reconciles incrementally.
+  EXPECT_EQ(engine.overloaded_tracker().load_index().rebuilds(), builds0);
+}
+
 }  // namespace

@@ -1,0 +1,314 @@
+// Tests for the bucketed LoadIndex and the band-limited threshold shifts it
+// gives OverloadedSet: bucket_of monotonicity, band-visit exactness, the
+// lazy build/touch/invalidate lifecycle, and a randomized differential
+// check of shift_threshold against both a naive full rescan and the legacy
+// mark_all_dirty invalidation over full operation traces (loads mutating,
+// thresholds moving up and down, zero-load and all-/none-overloaded
+// extremes). Also asserts the o(n) cost contract: after the one-time
+// build, a threshold shift's flush work is bounded by the band, not n.
+#include "tlb/core/load_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tlb/core/overloaded_set.hpp"
+#include "tlb/util/rng.hpp"
+
+namespace {
+
+using namespace tlb::core;
+using tlb::graph::Node;
+using tlb::util::Rng;
+
+TEST(LoadIndexBucketTest, NonPositiveLoadsParkInBucketZero) {
+  EXPECT_EQ(LoadIndex::bucket_of(0.0), 0);
+  EXPECT_EQ(LoadIndex::bucket_of(-1.0), 0);
+  EXPECT_EQ(LoadIndex::bucket_of(-0.0), 0);
+  EXPECT_GT(LoadIndex::bucket_of(1e-300), 0);
+}
+
+TEST(LoadIndexBucketTest, MonotoneNonDecreasing) {
+  // Monotonicity is what makes a band a contiguous bucket-id range; sweep a
+  // wide grid of magnitudes (including denormal-ish and huge values, where
+  // the exponent clamp kicks in) plus dense coverage around 1.
+  std::vector<double> grid = {0.0};
+  for (int e = -320; e <= 320; e += 7) {
+    grid.push_back(std::ldexp(1.0, e));
+    grid.push_back(std::ldexp(1.3, e));
+    grid.push_back(std::ldexp(1.9999, e));
+  }
+  for (int i = 0; i <= 1000; ++i) grid.push_back(0.5 + i * 0.01);
+  std::sort(grid.begin(), grid.end());
+  std::int32_t prev = -1;
+  for (double v : grid) {
+    const std::int32_t b = LoadIndex::bucket_of(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, LoadIndex::kNumBuckets);
+    ASSERT_GE(b, prev) << "bucket_of not monotone at load " << v;
+    prev = b;
+  }
+}
+
+TEST(LoadIndexBucketTest, SubBucketsSliceTheOctave) {
+  // Within one octave [2^e, 2^(e+1)) the kSubBuckets slices are hit in
+  // order and cover the whole mantissa range.
+  // Octave [8, 16): loads spread over exactly kSubBuckets consecutive ids.
+  std::int32_t first = LoadIndex::bucket_of(8.0);
+  std::int32_t last = LoadIndex::bucket_of(15.9999);
+  EXPECT_EQ(last - first, LoadIndex::kSubBuckets - 1);
+}
+
+TEST(LoadIndexTest, BuildThenBandVisitIsExact) {
+  LoadIndex idx;
+  idx.reset(10);
+  EXPECT_FALSE(idx.built());
+  std::vector<double> loads = {0.0, 1.0, 2.0, 3.0, 4.0,
+                               5.0, 6.0, 7.0, 8.0, 9.0};
+  idx.ensure([&](Node r) { return loads[r]; });
+  EXPECT_TRUE(idx.built());
+  EXPECT_EQ(idx.rebuilds(), 1u);
+
+  // (2, 6] — half-open on the low side, closed on the high side.
+  std::vector<Node> hit;
+  const std::size_t visited =
+      idx.visit_band(2.0, 6.0, [&](Node r) { hit.push_back(r); });
+  std::sort(hit.begin(), hit.end());
+  EXPECT_EQ(hit, (std::vector<Node>{3, 4, 5, 6}));
+  EXPECT_EQ(visited, 4u);
+  EXPECT_EQ(idx.band_size(), 4u);
+
+  // Zero-load resource is never in a positive band.
+  hit.clear();
+  idx.visit_band(0.0, 100.0, [&](Node r) { hit.push_back(r); });
+  std::sort(hit.begin(), hit.end());
+  EXPECT_EQ(hit.size(), 9u);
+  EXPECT_EQ(std::count(hit.begin(), hit.end(), 0), 0);
+}
+
+TEST(LoadIndexTest, TouchReconcilesOnlyPendingEntries) {
+  LoadIndex idx;
+  idx.reset(100);
+  std::vector<double> loads(100, 1.0);
+  idx.ensure([&](Node r) { return loads[r]; });
+  const std::uint64_t rec0 = idx.reconciled();
+
+  loads[7] = 50.0;
+  loads[42] = 0.0;
+  idx.touch(7);
+  idx.touch(42);
+  idx.touch(7);  // dedup: same resource queued once
+  EXPECT_EQ(idx.pending_size(), 2u);
+  idx.ensure([&](Node r) { return loads[r]; });
+  EXPECT_EQ(idx.reconciled() - rec0, 2u);  // not 100
+  EXPECT_EQ(idx.indexed_load(7), 50.0);
+  EXPECT_EQ(idx.indexed_load(42), 0.0);
+
+  std::vector<Node> hit;
+  idx.visit_band(10.0, 100.0, [&](Node r) { hit.push_back(r); });
+  EXPECT_EQ(hit, (std::vector<Node>{7}));
+}
+
+TEST(LoadIndexTest, TouchIsFreeWhileDormantOrStale) {
+  LoadIndex idx;
+  idx.reset(10);
+  idx.touch(3);  // dormant: nothing recorded
+  EXPECT_EQ(idx.pending_size(), 0u);
+
+  std::vector<double> loads(10, 2.0);
+  idx.ensure([&](Node r) { return loads[r]; });
+  idx.invalidate();
+  EXPECT_FALSE(idx.built());
+  idx.touch(3);  // stale: the rebuild re-reads everything anyway
+  EXPECT_EQ(idx.pending_size(), 0u);
+  loads.assign(10, 4.0);
+  idx.ensure([&](Node r) { return loads[r]; });
+  EXPECT_EQ(idx.rebuilds(), 2u);
+  EXPECT_EQ(idx.indexed_load(3), 4.0);
+}
+
+TEST(LoadIndexTest, CountersSurviveReset) {
+  LoadIndex idx;
+  idx.reset(4);
+  std::vector<double> loads = {1.0, 2.0, 3.0, 4.0};
+  idx.ensure([&](Node r) { return loads[r]; });
+  idx.visit_band(0.5, 10.0, [](Node) {});
+  const std::uint64_t band = idx.band_size();
+  const std::uint64_t builds = idx.rebuilds();
+  EXPECT_GT(band, 0u);
+  idx.reset(4);
+  EXPECT_EQ(idx.band_size(), band);
+  EXPECT_EQ(idx.rebuilds(), builds);
+  EXPECT_FALSE(idx.built());
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: an OverloadedSet driven by shift_threshold must be
+// indistinguishable (items(), order, query results) from (a) a naive full
+// rescan and (b) a legacy OverloadedSet that invalidates everything on each
+// threshold move — across random load mutations and threshold moves.
+// ---------------------------------------------------------------------------
+
+std::vector<Node> brute_force(const std::vector<double>& loads, double T) {
+  std::vector<Node> out;
+  for (Node r = 0; r < static_cast<Node>(loads.size()); ++r) {
+    if (loads[r] > T) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(LoadIndexDifferentialTest, ShiftThresholdMatchesRescanAndLegacy) {
+  const Node n = 64;
+  Rng rng(20260808);
+  std::vector<double> loads(n, 0.0);
+  for (Node r = 0; r < n; ++r) {
+    loads[r] = rng.bernoulli(0.15) ? 0.0 : 16.0 * rng.uniform01();
+  }
+  double T = 8.0;
+  const auto load_of = [&](Node r) { return loads[r]; };
+  const auto over = [&](Node r) { return loads[r] > T; };
+
+  OverloadedSet banded;  // threshold moves via shift_threshold
+  banded.rebuild(n);
+  OverloadedSet legacy;  // threshold moves via mark_all_dirty
+  legacy.rebuild(n);
+
+  for (int step = 0; step < 2000; ++step) {
+    const int op = static_cast<int>(rng.uniform_below(10));
+    if (op < 5) {
+      // Load mutation on a random resource (sometimes to exactly 0).
+      const auto r = static_cast<Node>(rng.uniform_below(n));
+      loads[r] = rng.bernoulli(0.2) ? 0.0 : 16.0 * rng.uniform01();
+      banded.mark_dirty(r);
+      legacy.mark_dirty(r);
+    } else if (op < 8) {
+      // Threshold drift: small moves up and down around the middle.
+      const double next =
+          std::max(0.25, T + (rng.uniform01() - 0.5) * 2.0);
+      banded.shift_threshold(T, next, load_of);
+      legacy.mark_all_dirty();
+      T = next;
+    } else if (op == 8) {
+      // Extreme jump: everything overloaded, then nothing.
+      const double next = rng.bernoulli(0.5) ? 1e-3 : 1e6;
+      banded.shift_threshold(T, next, load_of);
+      legacy.mark_all_dirty();
+      T = next;
+    } else {
+      // No-op shift: same value must not disturb anything.
+      banded.shift_threshold(T, T, load_of);
+    }
+    banded.flush(over);
+    legacy.flush(over);
+    const std::vector<Node> truth = brute_force(loads, T);
+    ASSERT_EQ(banded.items(), truth) << "banded diverged at step " << step
+                                     << " (T = " << T << ")";
+    ASSERT_EQ(legacy.items(), truth) << "legacy diverged at step " << step;
+  }
+}
+
+TEST(LoadIndexDifferentialTest, AllAndNoneOverloadedExtremes) {
+  const Node n = 32;
+  std::vector<double> loads(n);
+  for (Node r = 0; r < n; ++r) loads[r] = 1.0 + r;
+  double T = 100.0;  // nobody overloaded
+  const auto load_of = [&](Node r) { return loads[r]; };
+  const auto over = [&](Node r) { return loads[r] > T; };
+
+  OverloadedSet set;
+  set.rebuild(n);
+  set.flush(over);
+  EXPECT_TRUE(set.items().empty());
+
+  // Dive below every load: all n flip on.
+  set.shift_threshold(T, 0.5, load_of);
+  T = 0.5;
+  set.flush(over);
+  EXPECT_EQ(set.items(), brute_force(loads, T));
+  EXPECT_EQ(set.items().size(), static_cast<std::size_t>(n));
+
+  // Back above every load: all n flip off.
+  set.shift_threshold(T, 1000.0, load_of);
+  T = 1000.0;
+  set.flush(over);
+  EXPECT_TRUE(set.items().empty());
+
+  // Boundary exactness: threshold exactly at a load value — strict
+  // "load > T" means the resource at the boundary is NOT overloaded, and
+  // the band (lo, hi] must agree.
+  set.shift_threshold(T, loads[10], load_of);
+  T = loads[10];
+  set.flush(over);
+  EXPECT_EQ(set.items(), brute_force(loads, T));
+  EXPECT_EQ(set.items().front(), static_cast<Node>(11));
+}
+
+TEST(LoadIndexDifferentialTest, ShiftCostIsBandNotN) {
+  // After the one-time build, a small threshold move over a big population
+  // re-checks only the band: flush_checks delta == |list| + |band|, far
+  // below n.
+  const Node n = 4096;
+  std::vector<double> loads(n);
+  for (Node r = 0; r < n; ++r) loads[r] = static_cast<double>(r);
+  double T = static_cast<double>(n - 17);  // 16 overloaded
+  const auto load_of = [&](Node r) { return loads[r]; };
+  const auto over = [&](Node r) { return loads[r] > T; };
+
+  OverloadedSet set;
+  set.rebuild(n);
+  set.flush(over);
+  ASSERT_EQ(set.items().size(), 16u);
+
+  // First shift pays the build (O(n) once), so measure from the second on.
+  set.shift_threshold(T, T - 8.0, load_of);
+  T -= 8.0;
+  set.flush(over);
+  const std::uint64_t checks0 = set.flush_checks();
+  const std::uint64_t band0 = set.load_index().band_size();
+
+  set.shift_threshold(T, T - 8.0, load_of);
+  T -= 8.0;
+  set.flush(over);
+  ASSERT_EQ(set.items(), brute_force(loads, T));
+  // Band = 8 integer loads; flush re-checks the 24 listed + 8 banded.
+  EXPECT_EQ(set.load_index().band_size() - band0, 8u);
+  EXPECT_LE(set.flush_checks() - checks0, 40u);  // << n = 4096
+  EXPECT_EQ(set.load_index().rebuilds(), 1u);    // built exactly once
+}
+
+TEST(LoadIndexDifferentialTest, StaleIndexRebuildsAfterBulkInvalidate) {
+  const Node n = 128;
+  Rng rng(99);
+  std::vector<double> loads(n);
+  for (Node r = 0; r < n; ++r) loads[r] = 4.0 * rng.uniform01();
+  double T = 2.0;
+  const auto load_of = [&](Node r) { return loads[r]; };
+  const auto over = [&](Node r) { return loads[r] > T; };
+
+  OverloadedSet set;
+  set.rebuild(n);
+  set.shift_threshold(T, 1.5, load_of);
+  T = 1.5;
+  set.flush(over);
+  ASSERT_EQ(set.items(), brute_force(loads, T));
+  const std::uint64_t builds0 = set.load_index().rebuilds();
+
+  // Bulk placement: every load changes at once; mark_all_dirty must leave
+  // the index stale so the next shift rebuilds instead of trusting stale
+  // buckets.
+  for (Node r = 0; r < n; ++r) loads[r] = 4.0 * rng.uniform01();
+  set.mark_all_dirty();
+  set.flush(over);
+  ASSERT_EQ(set.items(), brute_force(loads, T));
+
+  set.shift_threshold(T, 2.5, load_of);
+  T = 2.5;
+  set.flush(over);
+  EXPECT_EQ(set.items(), brute_force(loads, T));
+  EXPECT_EQ(set.load_index().rebuilds(), builds0 + 1);
+}
+
+}  // namespace

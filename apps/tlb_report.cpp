@@ -1,0 +1,158 @@
+// tlb_report — perf-trajectory analysis and regression gate over
+// BENCH_perf.json (see tlb/obs/perf_report.hpp for the comparison
+// semantics).
+//
+// Compares two labelled entries of the trajectory preset by preset:
+// deterministic counters must be bit-identical (compared as the raw number
+// text from the file), wall-clock throughput may drop at most
+// --wall-threshold before a regression fires. By default the last two
+// entries in the file are compared, i.e. "what did the newest recorded run
+// change against its predecessor".
+//
+//   tlb_report --list                          # labels in the trajectory
+//   tlb_report                                 # markdown, last two entries
+//   tlb_report --base=pr7 --head=pr8-analytics --format=json
+//   tlb_report --gate --no-wall                # CI: exit 1 on counter drift
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tlb/obs/perf_report.hpp"
+#include "tlb/util/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("tlb_report: cannot read " + path);
+  }
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+const tlb::obs::TrajectoryEntry& find_entry(
+    const std::vector<tlb::obs::TrajectoryEntry>& entries,
+    const std::string& label) {
+  // Last match wins, mirroring "the newest run under this label".
+  const tlb::obs::TrajectoryEntry* hit = nullptr;
+  for (const auto& e : entries) {
+    if (e.label == label) hit = &e;
+  }
+  if (!hit) {
+    throw std::runtime_error("tlb_report: no entry labelled '" + label +
+                             "' (try --list)");
+  }
+  return *hit;
+}
+
+void write_or_print(const std::string& out_path, const std::string& text) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out.good()) {
+    throw std::runtime_error("tlb_report: cannot write " + out_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tlb;
+
+  util::Cli cli;
+  cli.add_flag("file", "BENCH_perf.json",
+               "perf trajectory file (JSON array of {label, set, report})");
+  cli.add_flag("base", "",
+               "label of the comparison baseline (default: second-to-last "
+               "entry)");
+  cli.add_flag("head", "", "label under test (default: last entry)");
+  cli.add_flag("format", "markdown", "report format: markdown | json | both");
+  cli.add_flag("out", "",
+               "write the report to this file instead of stdout "
+               "(format=both appends the JSON after the markdown)");
+  cli.add_flag("gate", "false",
+               "gate mode: exit 1 when the comparison fails (counter drift, "
+               "preset missing from head, or wall regression)");
+  cli.add_flag("wall-threshold", "0.25",
+               "allowed fractional migrations/sec drop before a wall "
+               "regression fires (0.25 = 25% slower)");
+  cli.add_flag("no-wall", "false",
+               "skip the wall-clock comparison entirely (e.g. entries "
+               "recorded on different machines)");
+  cli.add_flag("list", "false", "list the trajectory's labels and exit");
+  if (!cli.parse(argc, argv)) return 2;
+
+  try {
+    const std::vector<obs::TrajectoryEntry> entries =
+        obs::parse_trajectory(read_file(cli.get_string("file")));
+    if (cli.get_bool("list")) {
+      for (const auto& e : entries) {
+        std::printf("%-28s set=%-6s seed=%llu %s %zu preset(s)\n",
+                    e.label.c_str(), e.set.c_str(),
+                    static_cast<unsigned long long>(e.seed),
+                    e.deterministic ? "deterministic" : "timed",
+                    e.presets.size());
+      }
+      return 0;
+    }
+    if (entries.size() < 2 && (cli.get_string("base").empty() ||
+                               cli.get_string("head").empty())) {
+      throw std::runtime_error(
+          "tlb_report: need at least two trajectory entries (or explicit "
+          "--base/--head)");
+    }
+    const std::string base_label = cli.get_string("base");
+    const std::string head_label = cli.get_string("head");
+    const obs::TrajectoryEntry& base =
+        base_label.empty() ? entries[entries.size() - 2]
+                           : find_entry(entries, base_label);
+    const obs::TrajectoryEntry& head =
+        head_label.empty() ? entries.back() : find_entry(entries, head_label);
+
+    obs::GateOptions options;
+    options.wall_threshold = cli.get_double("wall-threshold");
+    options.wall = !cli.get_bool("no-wall");
+    if (options.wall_threshold < 0.0 || options.wall_threshold >= 1.0) {
+      throw std::invalid_argument(
+          "tlb_report: --wall-threshold must be in [0, 1)");
+    }
+    const obs::GateReport report = obs::evaluate_gate(base, head, options);
+
+    const std::string format = cli.get_string("format");
+    std::string text;
+    if (format == "markdown" || format == "both") {
+      text += obs::render_markdown(report);
+    }
+    if (format == "json" || format == "both") {
+      if (!text.empty()) text += "\n";
+      text += obs::render_json(report) + "\n";
+    }
+    if (text.empty()) {
+      throw std::invalid_argument("tlb_report: unknown --format '" + format +
+                                  "' (want markdown | json | both)");
+    }
+    write_or_print(cli.get_string("out"), text);
+
+    if (cli.get_bool("gate")) {
+      if (!report.ok()) {
+        std::fprintf(stderr, "tlb_report: gate FAILED (%s -> %s)\n",
+                     report.base_label.c_str(), report.head_label.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "tlb_report: gate passed (%s -> %s)\n",
+                   report.base_label.c_str(), report.head_label.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

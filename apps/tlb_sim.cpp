@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "tlb/engine/observer.hpp"
+#include "tlb/obs/analytics.hpp"
 #include "tlb/obs/registry.hpp"
 #include "tlb/obs/trace_event.hpp"
 #include "tlb/sim/report.hpp"
@@ -94,16 +95,7 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "perf suite: append {label, set, report} to this JSON array "
                "file (e.g. BENCH_perf.json)");
-  cli.add_flag("metrics", "false",
-               "collect the obs registry and append a deterministic "
-               "\"metrics\" JSON block (plus \"metrics_timing\" unless "
-               "--timings=false) to the report");
-  cli.add_flag("trace-out", "",
-               "write a chrome://tracing trace-event JSON file of the "
-               "engine's per-phase spans (load in Perfetto)");
-  cli.add_flag("round-trace", "",
-               "scenario mode: attach a per-round JSON trace to trial 0 and "
-               "write the array to this file");
+  util::ObsOptions::register_flags(cli, /*with_round_trace=*/true);
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_bool("list")) {
@@ -114,15 +106,16 @@ int main(int argc, char** argv) {
     try {
       const std::string set = cli.get_string("bench_set");
       const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-      const std::string trace_out = cli.get_string("trace-out");
+      const util::ObsOptions obs_opts =
+          util::ObsOptions::parse(cli, /*with_round_trace=*/true);
       std::optional<obs::TraceWriter> trace;
-      if (!trace_out.empty()) trace.emplace();
+      if (!obs_opts.trace_out.empty()) trace.emplace();
       const std::string report = workload::run_perf_set(
           set, /*only=*/"", seed, cli.get_bool("timings"),
-          cli.get_int("engine-threads"), cli.get_bool("metrics"),
-          trace ? &*trace : nullptr);
+          cli.get_int("engine-threads"), obs_opts.metrics,
+          trace ? &*trace : nullptr, obs_opts.analytics_every);
       std::printf("%s\n", report.c_str());
-      if (trace) trace->write(trace_out);
+      if (trace) trace->write(obs_opts.trace_out);
       workload::append_bench_entry_cli(cli.get_string("append"),
                                        cli.get_string("label"), set, seed,
                                        report, "tlb_sim");
@@ -174,24 +167,32 @@ int main(int argc, char** argv) {
 
     // Observability attachments (all optional; results are unchanged by
     // any of them — observers never draw from the RNG).
-    const std::string trace_out = cli.get_string("trace-out");
-    const std::string round_trace = cli.get_string("round-trace");
+    const util::ObsOptions obs_opts =
+        util::ObsOptions::parse(cli, /*with_round_trace=*/true);
     std::optional<obs::Registry> registry;
     std::optional<obs::TraceWriter> trace;
     std::optional<engine::JsonTraceSink> round_sink;
-    if (cli.get_bool("metrics")) registry.emplace();
-    if (!trace_out.empty()) {
+    std::optional<obs::LoadStatsObserver> analytics;
+    engine::ObserverList observers;
+    if (obs_opts.metrics) registry.emplace();
+    if (!obs_opts.trace_out.empty()) {
       // Fail on an unwritable path before the run, not after it.
-      obs::write_text_file(trace_out, "");
+      obs::write_text_file(obs_opts.trace_out, "");
       trace.emplace();
     }
-    if (!round_trace.empty()) {
-      obs::write_text_file(round_trace, "");
+    if (!obs_opts.round_trace.empty()) {
+      obs::write_text_file(obs_opts.round_trace, "");
       round_sink.emplace();
+      observers.add(&*round_sink);
+    }
+    if (obs_opts.analytics_every > 0) {
+      analytics.emplace(obs_opts.analytics_every);
+      observers.add(&*analytics);
     }
     params.registry = registry ? &*registry : nullptr;
     params.trace = trace ? &*trace : nullptr;
-    params.round_observer = round_sink ? &*round_sink : nullptr;
+    // Both per-round observers ride trial 0 through one fan-out list.
+    params.round_observer = observers.or_null();
 
     const workload::Scenario scenario(spec, params);
     util::Stopwatch timer;
@@ -199,10 +200,13 @@ int main(int argc, char** argv) {
         scenario.run(trials, seed, threads);
     const double elapsed = timer.elapsed_seconds();
 
-    if (trace) trace->write(trace_out);
-    if (round_sink) obs::write_text_file(round_trace, round_sink->json());
+    if (trace) trace->write(obs_opts.trace_out);
+    if (round_sink) {
+      obs::write_text_file(obs_opts.round_trace, round_sink->json());
+    }
     std::string metrics_raw;
     std::string metrics_timing_raw;
+    std::string analytics_raw;
     if (registry) {
       const obs::Snapshot snap = registry->snapshot();
       metrics_raw = snap.json(obs::Snapshot::Part::kDeterministic);
@@ -210,14 +214,17 @@ int main(int argc, char** argv) {
         metrics_timing_raw = snap.json(obs::Snapshot::Part::kTiming);
       }
     }
+    if (analytics) analytics_raw = analytics->json();
 
     if (cli.get_bool("json")) {
       // Wall time and thread count deliberately stay out of the JSON so the
       // bytes only depend on (scenario, params, trials, seed) — the metrics
-      // block is additive-only and itself deterministic; wall-clock metrics
-      // ride the separate "metrics_timing" key, dropped by --timings=false.
-      std::printf("%s\n",
-                  result.json(metrics_raw, metrics_timing_raw).c_str());
+      // and analytics blocks are additive-only and themselves deterministic;
+      // wall-clock metrics ride the separate "metrics_timing" key, dropped
+      // by --timings=false.
+      std::printf("%s\n", result.json(metrics_raw, metrics_timing_raw,
+                                      analytics_raw)
+                              .c_str());
       return 0;
     }
 
@@ -254,6 +261,9 @@ int main(int argc, char** argv) {
     }
     if (!metrics_timing_raw.empty()) {
       std::printf("   metrics_timing: %s\n", metrics_timing_raw.c_str());
+    }
+    if (!analytics_raw.empty()) {
+      std::printf("   analytics: %s\n", analytics_raw.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

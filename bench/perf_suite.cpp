@@ -37,27 +37,22 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "append {label, set, report} to this JSON array file "
                "(e.g. BENCH_perf.json)");
-  cli.add_flag("metrics", "false",
-               "attach a fresh obs registry per preset and append its "
-               "deterministic \"metrics\" block (plus \"metrics_timing\" "
-               "unless --timings=false) to each preset's report");
-  cli.add_flag("trace-out", "",
-               "write a chrome://tracing trace-event JSON file of per-phase "
-               "spans across the run (load in Perfetto)");
+  util::ObsOptions::register_flags(cli, /*with_round_trace=*/false);
   if (!cli.parse(argc, argv)) return 1;
 
   try {
     const std::string set = cli.get_string("set");
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    const std::string trace_out = cli.get_string("trace-out");
+    const util::ObsOptions obs_opts =
+        util::ObsOptions::parse(cli, /*with_round_trace=*/false);
     std::optional<obs::TraceWriter> trace;
-    if (!trace_out.empty()) trace.emplace();
+    if (!obs_opts.trace_out.empty()) trace.emplace();
     const std::string report = workload::run_perf_set(
         set, cli.get_string("only"), seed, cli.get_bool("timings"),
-        cli.get_int("engine-threads"), cli.get_bool("metrics"),
-        trace ? &*trace : nullptr);
+        cli.get_int("engine-threads"), obs_opts.metrics,
+        trace ? &*trace : nullptr, obs_opts.analytics_every);
     std::printf("%s\n", report.c_str());
-    if (trace) trace->write(trace_out);
+    if (trace) trace->write(obs_opts.trace_out);
     workload::append_bench_entry_cli(cli.get_string("append"),
                                      cli.get_string("label"), set, seed,
                                      report, "perf_suite");

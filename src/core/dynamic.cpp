@@ -342,11 +342,25 @@ std::size_t DynamicUserEngine::step(util::Rng& rng) {
 }
 
 double DynamicUserEngine::max_load() const {
+  const auto load = [this](graph::Node r) { return loads_[r]; };
+  if (const LoadIndex* idx = over_.query_index(load)) {
+    return idx->max_indexed_load();
+  }
   double max = 0.0;
   for (graph::Node r = 0; r < config_.n; ++r) {
     max = std::max(max, loads_[r]);
   }
   return max;
+}
+
+void DynamicUserEngine::collect_load_stats(LoadStatsCalc& calc,
+                                           LoadStats& out) const {
+  const auto load = [this](graph::Node r) { return loads_[r]; };
+  if (const LoadIndex* idx = over_.query_index(load)) {
+    out = calc.compute_indexed(*idx, config_.n, threshold_);
+  } else {
+    out = calc.compute_scan(config_.n, threshold_, load);
+  }
 }
 
 double DynamicUserEngine::potential() const {

@@ -1,5 +1,7 @@
 #include "tlb/core/load_index.hpp"
 
+#include <stdexcept>
+
 namespace tlb::core {
 
 void LoadIndex::reset(graph::Node n) {
@@ -15,6 +17,53 @@ void LoadIndex::reset(graph::Node n) {
   buckets_.clear();
   pending_.clear();
   in_pending_.clear();
+}
+
+void LoadIndex::rank_values(const std::vector<std::size_t>& ranks,
+                            std::vector<double>& out) const {
+  out.resize(ranks.size());
+  if (ranks.empty()) return;
+  for (std::size_t i = 0; i + 1 < ranks.size(); ++i) {
+    if (ranks[i] > ranks[i + 1]) {
+      throw std::out_of_range("LoadIndex::rank_values: ranks not ascending");
+    }
+  }
+  if (ranks.back() >= n_ || buckets_.empty()) {
+    throw std::out_of_range("LoadIndex::rank_values: rank past capacity");
+  }
+  std::size_t i = 0;
+  std::size_t cum = 0;  // resources in buckets below b
+  for (std::int32_t b = 0; b < kNumBuckets && i < ranks.size(); ++b) {
+    const auto& members = buckets_[static_cast<std::size_t>(b)];
+    if (members.empty()) continue;
+    const std::size_t next = cum + members.size();
+    if (ranks[i] < next) {
+      // Every load below this bucket is <= every load inside it
+      // (bucket_of is monotone), so rank k of the whole multiset is rank
+      // k - cum of this bucket's members.
+      select_scratch_.clear();
+      for (const graph::Node r : members) select_scratch_.push_back(load_[r]);
+      while (i < ranks.size() && ranks[i] < next) {
+        const auto nth = select_scratch_.begin() +
+                         static_cast<std::ptrdiff_t>(ranks[i] - cum);
+        std::nth_element(select_scratch_.begin(), nth, select_scratch_.end());
+        out[i++] = *nth;
+      }
+    }
+    cum = next;
+  }
+}
+
+double LoadIndex::max_indexed_load() const {
+  if (buckets_.empty()) return 0.0;  // dormant: nothing indexed
+  for (std::int32_t b = kNumBuckets - 1; b >= 0; --b) {
+    const auto& members = buckets_[static_cast<std::size_t>(b)];
+    if (members.empty()) continue;
+    double best = load_[members.front()];
+    for (const graph::Node r : members) best = std::max(best, load_[r]);
+    return best;
+  }
+  return 0.0;
 }
 
 void LoadIndex::move_to_bucket(graph::Node r, std::int32_t nb) {

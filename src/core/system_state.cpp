@@ -159,10 +159,24 @@ std::vector<double> SystemState::loads() const {
 }
 
 double SystemState::max_load() const {
+  const auto load = [this](Node r) { return arena_.load(r); };
+  if (const LoadIndex* idx = overloaded_.query_index(load)) {
+    return idx->max_indexed_load();
+  }
   const Node n = arena_.num_resources();
   double best = 0.0;
   for (Node r = 0; r < n; ++r) best = std::max(best, arena_.load(r));
   return best;
+}
+
+LoadStats SystemState::load_stats(double threshold,
+                                  LoadStatsCalc& calc) const {
+  const Node n = arena_.num_resources();
+  const auto load = [this](Node r) { return arena_.load(r); };
+  if (const LoadIndex* idx = overloaded_.query_index(load)) {
+    return calc.compute_indexed(*idx, n, threshold);
+  }
+  return calc.compute_scan(n, threshold, load);
 }
 
 Node SystemState::overloaded_count(double threshold) const {

@@ -509,7 +509,22 @@ std::uint32_t GroupedUserEngine::overloaded_count() const {
 }
 
 double GroupedUserEngine::max_load() const {
+  const auto load = [this](graph::Node r) { return loads_[r]; };
+  if (const LoadIndex* idx = over_.query_index(load)) {
+    return idx->max_indexed_load();
+  }
   return *std::max_element(loads_.begin(), loads_.end());
+}
+
+void GroupedUserEngine::collect_load_stats(LoadStatsCalc& calc,
+                                           LoadStats& out) const {
+  const auto load = [this](graph::Node r) { return loads_[r]; };
+  const double T = reported_threshold();
+  if (const LoadIndex* idx = over_.query_index(load)) {
+    out = calc.compute_indexed(*idx, n_, T);
+  } else {
+    out = calc.compute_scan(n_, T, load);
+  }
 }
 
 double GroupedUserEngine::reported_threshold() const {

@@ -63,6 +63,12 @@ void BinLoadBalancer::audit() const {
   }
 }
 
+void BinLoadBalancer::collect_load_stats(core::LoadStatsCalc& calc,
+                                         core::LoadStats& out) const {
+  out = calc.compute_scan(n_, threshold_,
+                          [this](graph::Node r) { return loads_[r]; });
+}
+
 void BinLoadBalancer::check_total_weight(double expected_weight,
                                          const char* who) const {
   const double total = std::accumulate(loads_.begin(), loads_.end(), 0.0);

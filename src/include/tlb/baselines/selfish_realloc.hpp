@@ -10,6 +10,7 @@
 // measures the time until the same threshold condition the paper's protocols
 // use is met, making the runs directly comparable.
 
+#include "tlb/core/load_stats.hpp"
 #include "tlb/core/metrics.hpp"
 #include "tlb/graph/graph.hpp"
 #include "tlb/tasks/placement.hpp"
@@ -56,6 +57,13 @@ class SelfishReallocEngine {
   }
   /// Paranoid-mode check: loads reconcile with the task locations.
   void audit() const;
+  /// Analytics hook: deterministic load-distribution snapshot against
+  /// stop_threshold (O(n) scan — this engine keeps no load index).
+  void collect_load_stats(core::LoadStatsCalc& calc,
+                          core::LoadStats& out) const {
+    out = calc.compute_scan(n_, config_.stop_threshold,
+                            [this](graph::Node r) { return loads_[r]; });
+  }
 
   /// Current loads (tests).
   const std::vector<double>& loads() const noexcept { return loads_; }

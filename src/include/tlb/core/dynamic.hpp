@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "tlb/core/load_stats.hpp"
 #include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/graph/graph.hpp"
@@ -122,10 +123,15 @@ class DynamicUserEngine {
   std::uint32_t overloaded_count() const {
     return static_cast<std::uint32_t>(overloaded_now().size());
   }
-  /// Heaviest resource right now.
+  /// Heaviest resource right now. Under churn the threshold moves every
+  /// round, so the tracker's load index is live and serves this in
+  /// O(#buckets + #touched) instead of the O(n) scan fallback.
   double max_load() const;
   /// User potential Φ(t) = Σ_r φ_r(t) against the current threshold.
   double potential() const;
+  /// Analytics hook: deterministic load-distribution snapshot against the
+  /// current threshold, index-served when the tracker's index is live.
+  void collect_load_stats(LoadStatsCalc& calc, LoadStats& out) const;
   /// The threshold currently in force (recomputed every round).
   double reported_threshold() const noexcept { return threshold_; }
   /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.

@@ -137,6 +137,41 @@ class LoadIndex {
     return visited;
   }
 
+  // --- Read-only distribution queries (analytics) ---------------------
+  //
+  // All three require built() and ensure() since the last touch: they read
+  // the indexed loads, which are only authoritative once reconciled. None
+  // of them mutates the index or the lifetime counters — band_size() counts
+  // threshold-shift work, not analytics reads.
+
+  /// Visit the non-empty buckets in ascending bucket-id order — ascending
+  /// load order up to the linear slice inside one bucket. `visit` receives
+  /// (bucket_id, members); member order within a bucket is maintenance
+  /// order, not load order.
+  template <class Visit>
+  void visit_buckets(Visit&& visit) const {
+    if (buckets_.empty()) return;  // dormant: nothing indexed
+    for (std::int32_t b = 0; b < kNumBuckets; ++b) {
+      const auto& members = buckets_[static_cast<std::size_t>(b)];
+      if (!members.empty()) visit(b, members);
+    }
+  }
+
+  /// Exact order statistics: out[i] = the ranks[i]-th smallest indexed load
+  /// (0-based; ranks ascending, each < capacity()). One bucket walk finds
+  /// the bucket each rank lands in; an nth_element inside that bucket picks
+  /// the exact value — the same double a full sort would put at that rank.
+  /// Cost O(#buckets + Σ |hit buckets|) versus the O(n log n) sort, the win
+  /// that makes per-round quantile snapshots affordable at n = 10^6.
+  /// Throws std::out_of_range on an unsorted or out-of-range rank list.
+  void rank_values(const std::vector<std::size_t>& ranks,
+                   std::vector<double>& out) const;
+
+  /// Largest indexed load (0.0 when empty): first member scan of the top
+  /// non-empty bucket. O(#buckets + |top bucket|) — serves max_load() in
+  /// O(#buckets) instead of an O(n) scan while the index is live.
+  double max_indexed_load() const;
+
   /// Number of resources tracked by reset().
   std::size_t capacity() const noexcept { return n_; }
   /// Resources currently queued for re-bucketing.
@@ -196,6 +231,7 @@ class LoadIndex {
   std::vector<std::vector<graph::Node>> buckets_;  // bucket id -> members
   std::vector<graph::Node> pending_;       // touched since last reconcile
   std::vector<std::uint8_t> in_pending_;   // dedup flag per resource
+  mutable std::vector<double> select_scratch_;  // rank_values nth_element buf
   std::uint64_t band_size_ = 0;            // lifetime band-visit yield
   std::uint64_t bucket_moves_ = 0;         // lifetime bucket moves
   std::uint64_t reconciled_ = 0;           // lifetime pending re-checks

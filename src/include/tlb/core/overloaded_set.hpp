@@ -188,6 +188,21 @@ class OverloadedSet {
   /// hooks export: band_size()/bucket_moves()/reconciled().
   const LoadIndex& load_index() const noexcept { return index_; }
 
+  /// The index, reconciled and ready for distribution queries
+  /// (rank_values/max_indexed_load/visit_buckets) — or nullptr while it is
+  /// dormant or stale. Never builds: engines that never shift a threshold
+  /// keep paying nothing. Reconciling here only brings forward the exact
+  /// pending-queue replay the next shift_threshold would perform (`load`
+  /// must be the same authoritative source), so which step a touch is
+  /// reconciled on changes, but every touch is still reconciled exactly
+  /// once — deterministic, RNG-free, value-neutral.
+  template <class LoadFn>
+  const LoadIndex* query_index(LoadFn&& load) {
+    if (!index_.built()) return nullptr;
+    index_.ensure(load);
+    return &index_;
+  }
+
  private:
   /// mark_dirty without the index feed — shift_threshold marks the band
   /// through this (the loads did not change, so re-bucketing would be a

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "tlb/core/load_stats.hpp"
 #include "tlb/core/overloaded_set.hpp"
 #include "tlb/core/resource_stack.hpp"
 #include "tlb/graph/graph.hpp"
@@ -132,8 +133,19 @@ class SystemState {
   /// Load vector snapshot (n entries).
   std::vector<double> loads() const;
 
-  /// Maximum load over all resources.
+  /// Maximum load over all resources. Served from the tracker's bucketed
+  /// load index in O(#buckets + |top bucket|) while it is live (armed by a
+  /// threshold shift and not invalidated since); O(n) scan otherwise. Both
+  /// paths return the identical value — the index stores the authoritative
+  /// loads once reconciled.
   double max_load() const;
+
+  /// Deterministic load-distribution snapshot (max/mean/p50/p90/p99,
+  /// overload mass, imbalance) against a scalar threshold. Quantiles are
+  /// exact order statistics, served from the tracker's load index when
+  /// live and an O(n) scan fallback otherwise — bit-identical either way.
+  /// `calc` is the caller's reusable scratch (one per observer).
+  LoadStats load_stats(double threshold, LoadStatsCalc& calc) const;
   /// Number of resources with load > threshold. O(n) full scan — ground
   /// truth for arbitrary thresholds; engines use the O(active) overload.
   Node overloaded_count(double threshold) const;

@@ -176,12 +176,16 @@ class GroupedUserEngine {
   // engine::Balancer view (driver metrics + observers).
   /// Number of resources currently above threshold.
   std::uint32_t overloaded_count() const;
-  /// Heaviest resource right now.
+  /// Heaviest resource right now. Served from the tracker's load index in
+  /// O(#buckets) while live (threshold shifts armed it); O(n) otherwise.
   double max_load() const;
   /// The threshold RunResult reports (largest configured).
   double reported_threshold() const;
   /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.
   void audit() const { check_overloaded_invariant(); }
+  /// Analytics hook: deterministic load-distribution snapshot against
+  /// reported_threshold(), index-served when the tracker's index is live.
+  void collect_load_stats(LoadStatsCalc& calc, LoadStats& out) const;
 
   /// Overloaded-list shard grain for the grouped phase-1 sampler (per-class
   /// binomials are cheap, so shards batch whole resources). Part of the

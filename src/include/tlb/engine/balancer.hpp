@@ -36,10 +36,19 @@
 //                        two.
 //   begin_measure() /    bracket the measured window of a warmup+measure
 //   end_measure()        drive (churn engines reset their aggregates here).
+//   collect_load_stats(calc, out)
+//                        fill a deterministic core::LoadStats distribution
+//                        snapshot (max/mean/quantiles/overload mass) for the
+//                        analytics observer; engines with a live LoadIndex
+//                        serve the quantiles from it. Engines exposing a
+//                        `state()` SystemState get this for free through the
+//                        view below. Must not draw from the RNG.
 
 #include <concepts>
 #include <cstdint>
 
+#include "tlb/core/load_stats.hpp"
+#include "tlb/core/system_state.hpp"
 #include "tlb/util/rng.hpp"
 
 namespace tlb::engine {
@@ -65,6 +74,16 @@ class BalancerView {
   virtual std::uint32_t overloaded_count() const = 0;
   virtual double max_load() const = 0;
   virtual bool balanced() const = 0;
+  /// Fill a deterministic load-distribution snapshot (analytics observer).
+  /// Returns false when the underlying balancer offers no way to read its
+  /// load vector; `out` is untouched then. `calc` is the caller's reusable
+  /// scratch. Never draws from the RNG.
+  virtual bool collect_load_stats(core::LoadStatsCalc& calc,
+                                  core::LoadStats& out) const {
+    (void)calc;
+    (void)out;
+    return false;
+  }
 };
 
 /// The driver's loop condition: done() where the balancer distinguishes
@@ -92,6 +111,25 @@ class ViewOf final : public BalancerView {
   }
   double max_load() const override { return b_->max_load(); }
   bool balanced() const override { return b_->balanced(); }
+  bool collect_load_stats(core::LoadStatsCalc& calc,
+                          core::LoadStats& out) const override {
+    if constexpr (requires { b_->collect_load_stats(calc, out); }) {
+      b_->collect_load_stats(calc, out);
+      return true;
+    } else if constexpr (requires {
+                           { b_->state() }
+                           -> std::convertible_to<const core::SystemState&>;
+                         }) {
+      // SystemState-backed engines (exact user, graph-user, mixed,
+      // resource) need no hook of their own: the state serves the snapshot
+      // against the engine's reported threshold, index-accelerated when the
+      // tracker's load index is live.
+      out = b_->state().load_stats(b_->reported_threshold(), calc);
+      return true;
+    } else {
+      return false;
+    }
+  }
 
  private:
   const B* b_;

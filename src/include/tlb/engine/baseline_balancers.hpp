@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tlb/core/load_stats.hpp"
 #include "tlb/graph/graph.hpp"
 #include "tlb/tasks/first_fit.hpp"
 #include "tlb/tasks/task_set.hpp"
@@ -56,6 +57,10 @@ class BinLoadBalancer {
   /// Paranoid-mode invariant check; derived classes extend it with their
   /// own placement bookkeeping (throws std::logic_error on violation).
   void audit() const;
+  /// Analytics hook: deterministic load-distribution snapshot against the
+  /// comparison threshold (O(n) scan — the bin model keeps no load index).
+  void collect_load_stats(core::LoadStatsCalc& calc,
+                          core::LoadStats& out) const;
 
   const std::vector<double>& loads() const noexcept { return loads_; }
 

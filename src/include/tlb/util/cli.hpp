@@ -52,4 +52,28 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// The observability flag set shared by apps/tlb_sim and bench/perf_suite
+/// (--metrics / --trace-out / --round-trace / --analytics[=every-k]). The
+/// two binaries used to register and parse these independently and the
+/// copies drifted; register_flags() + parse() are now the single source.
+/// Deliberately knows nothing about tlb::obs — it carries plain values the
+/// caller turns into registries/writers/observers.
+struct ObsOptions {
+  bool metrics = false;       ///< --metrics: attach an obs registry
+  std::string trace_out;      ///< --trace-out=FILE: trace-event spans
+  std::string round_trace;    ///< --round-trace=FILE (only where registered)
+  long analytics_every = 0;   ///< --analytics[=k]: 0 = off, k >= 1 = sample
+                              ///< a load-stats snapshot every k-th round
+
+  /// Register the shared flags on `cli`. `with_round_trace` additionally
+  /// registers --round-trace (tlb_sim's scenario mode only — the perf
+  /// suite has no per-trial trace file).
+  static void register_flags(Cli& cli, bool with_round_trace);
+
+  /// Read the registered flags back. --analytics accepts bare (every
+  /// round), =k for every k-th round, or =false/0 for off; anything else
+  /// throws std::invalid_argument.
+  static ObsOptions parse(const Cli& cli, bool with_round_trace);
+};
+
 }  // namespace tlb::util

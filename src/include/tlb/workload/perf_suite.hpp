@@ -72,10 +72,15 @@ struct PerfResult {
   /// Per-phase breakdown from util::Timer (first-start order).
   std::vector<std::pair<std::string, double>> phases;
 
-  // Observability (both empty unless metrics collection was requested; a
-  // fresh obs::Registry is attached per preset).
+  // Observability (all empty unless the matching collection was requested;
+  // a fresh obs::Registry / LoadStatsObserver is attached per preset).
   std::string metrics_json;         ///< deterministic counter snapshot
   std::string metrics_timing_json;  ///< wall-clock metric snapshot
+  /// Deterministic per-round load-distribution snapshots (--analytics):
+  /// one obs::LoadStatsObserver block per engine preset, an object of one
+  /// block per baseline for "baselines:suite". Empty for "arena:churn"
+  /// (a raw SystemState churn driver, not a Balancer) even when requested.
+  std::string analytics_json;
 };
 
 /// Production-scale presets (n up to 10^6, m up to 10^7; unit/zipf/bimodal/
@@ -90,11 +95,16 @@ const std::vector<PerfPreset>& perf_smoke_presets();
 /// deterministic in (preset, seed). With collect_metrics a fresh
 /// obs::Registry is attached to the preset's engine and snapshotted into
 /// PerfResult::metrics_json / metrics_timing_json; `trace` (optional, not
-/// owned) additionally records per-phase trace-event spans. Neither changes
-/// any counter field.
+/// owned) additionally records per-phase trace-event spans;
+/// `analytics_every` >= 1 attaches a fresh obs::LoadStatsObserver sampling
+/// every k-th round into PerfResult::analytics_json. None of them changes
+/// any counter field (observers never draw from the RNG), and the observer
+/// hooks run outside the per-round stopwatch so the recorded round times
+/// stay clean.
 PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
                            bool collect_metrics = false,
-                           obs::TraceWriter* trace = nullptr);
+                           obs::TraceWriter* trace = nullptr,
+                           long analytics_every = 0);
 
 /// Resolve a set name ("smoke" | "full"), run every preset in it (or just
 /// the one named by a non-empty `only`), with progress on stderr, and
@@ -104,15 +114,18 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
 /// `engine_threads` >= 0 overrides every preset's engine-level thread
 /// count (the --engine-threads flag; -1 keeps the preset values) — CI runs
 /// the smoke set with and without it and diffs the deterministic JSON.
-/// `collect_metrics`/`trace` thread through to run_perf_preset; the
-/// deterministic metrics block is emitted under a "metrics" key per preset
-/// (additive-only), the timing block under "metrics_timing" only when
-/// include_timings is also set.
+/// `collect_metrics`/`trace`/`analytics_every` thread through to
+/// run_perf_preset; the deterministic metrics block is emitted under a
+/// "metrics" key per preset (additive-only), the timing block under
+/// "metrics_timing" only when include_timings is also set, and the
+/// load-distribution snapshots under an "analytics" key (additive-only,
+/// deterministic — byte-identical across engine-thread counts).
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
                          long engine_threads = -1,
                          bool collect_metrics = false,
-                         obs::TraceWriter* trace = nullptr);
+                         obs::TraceWriter* trace = nullptr,
+                         long analytics_every = 0);
 
 /// Serialise a suite run. include_timings = false omits every wall-clock
 /// field, making the bytes a pure function of (presets, seed).

@@ -148,11 +148,14 @@ struct ScenarioResult {
   /// window, and `final_max_load` the mean max/avg load ratio.
   ///
   /// The optional raw-JSON blocks are appended as "metrics" (deterministic
-  /// counters) and "metrics_timing" (wall-clock metrics) keys when
-  /// non-empty — additive-only, so default output is byte-identical to a
-  /// run with observability detached.
+  /// counters), "metrics_timing" (wall-clock metrics) and "analytics"
+  /// (trial-0 per-round load-distribution snapshots from
+  /// obs::LoadStatsObserver — deterministic) keys when non-empty —
+  /// additive-only, so default output is byte-identical to a run with
+  /// observability detached.
   std::string json(const std::string& metrics_raw = "",
-                   const std::string& metrics_timing_raw = "") const;
+                   const std::string& metrics_timing_raw = "",
+                   const std::string& analytics_raw = "") const;
 };
 
 /// A runnable scenario. Construction validates the spec/params combination

@@ -89,6 +89,54 @@ std::vector<double> Cli::get_double_list(const std::string& name) const {
   return out;
 }
 
+void ObsOptions::register_flags(Cli& cli, bool with_round_trace) {
+  cli.add_flag("metrics", "false",
+               "collect the obs registry and append a deterministic "
+               "\"metrics\" JSON block (plus \"metrics_timing\" unless "
+               "--timings=false) to the report");
+  cli.add_flag("trace-out", "",
+               "write a chrome://tracing trace-event JSON file of the "
+               "engine's per-phase spans (load in Perfetto)");
+  cli.add_flag("analytics", "",
+               "append a deterministic \"analytics\" JSON block of per-round "
+               "load-distribution snapshots (max/mean/p50/p90/p99/overload "
+               "mass/potential); --analytics samples every round, "
+               "--analytics=k every k-th round");
+  if (with_round_trace) {
+    cli.add_flag("round-trace", "",
+                 "scenario mode: attach a per-round JSON trace to trial 0 "
+                 "and write the array to this file");
+  }
+}
+
+ObsOptions ObsOptions::parse(const Cli& cli, bool with_round_trace) {
+  ObsOptions o;
+  o.metrics = cli.get_bool("metrics");
+  o.trace_out = cli.get_string("trace-out");
+  if (with_round_trace) o.round_trace = cli.get_string("round-trace");
+  const std::string a = cli.get_string("analytics");
+  if (a.empty() || a == "false" || a == "0" || a == "off") {
+    o.analytics_every = 0;
+  } else if (a == "true" || a == "on") {
+    o.analytics_every = 1;
+  } else {
+    std::size_t used = 0;
+    long every = 0;
+    try {
+      every = std::stol(a, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != a.size() || every < 1) {
+      throw std::invalid_argument(
+          "--analytics expects a sampling stride >= 1 (or bare/true/false), "
+          "got '" + a + "'");
+    }
+    o.analytics_every = every;
+  }
+  return o;
+}
+
 std::string Cli::help(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [flags]\n";

@@ -16,6 +16,7 @@
 #include "tlb/core/user_protocol.hpp"
 #include "tlb/engine/baseline_balancers.hpp"
 #include "tlb/engine/driver.hpp"
+#include "tlb/obs/analytics.hpp"
 #include "tlb/obs/registry.hpp"
 #include "tlb/obs/trace_event.hpp"
 #include "tlb/sim/config.hpp"
@@ -41,19 +42,29 @@ constexpr double kEps = 0.25;
 
 /// Round loop shared by every batch engine: time each round, stop where
 /// engine::drive would (done() for the one-shot baselines, balanced()
-/// otherwise) or at the cap. Returns per-round wall-clock in ms.
+/// otherwise) or at the cap. Returns per-round wall-clock in ms. The
+/// optional observer gets engine::drive's hook sequence (on_round /
+/// on_round_end / on_finish), invoked outside the stopwatch so observation
+/// cost never pollutes the recorded round times.
 template <class Engine>
 std::vector<double> drive_batch(Engine& engine, long max_rounds,
-                                util::Rng& rng, PerfResult& out) {
+                                util::Rng& rng, PerfResult& out,
+                                tlb::engine::RoundObserver* observer =
+                                    nullptr) {
   std::vector<double> round_ms;
+  tlb::engine::detail::ViewOf<Engine> view(engine);
   util::Stopwatch watch;
   while (!tlb::engine::is_done(engine) && out.rounds < max_rounds) {
+    if (observer) observer->on_round(view, out.rounds);
     watch.reset();
-    out.migrations += engine.step(rng);
+    const std::size_t moved = engine.step(rng);
     round_ms.push_back(watch.elapsed_ms());
+    out.migrations += moved;
     ++out.rounds;
+    if (observer) observer->on_round_end(view, out.rounds - 1, moved);
   }
   out.balanced = engine.balanced();
+  if (observer) observer->on_finish(view);
   return round_ms;
 }
 
@@ -89,8 +100,10 @@ void finish_timing(const std::vector<double>& round_ms, PerfResult& out) {
 void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       obs::Registry* registry, obs::TraceWriter* trace,
-                      PerfResult& out) {
+                      long analytics_every, PerfResult& out) {
   timer.start("setup");
+  std::optional<obs::LoadStatsObserver> analytics;
+  if (analytics_every > 0) analytics.emplace(analytics_every);
   sim::GraphSpec gspec;
   gspec.family = spec.family;
   gspec.n = preset.n;
@@ -121,11 +134,13 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   // One timing scaffold for every engine type; `final_over` extracts the
   // end-state overloaded count (engine APIs differ).
   std::vector<double> round_ms;
+  tlb::engine::RoundObserver* const obs_ptr =
+      analytics ? &*analytics : nullptr;
   const auto timed_drive = [&](auto& engine, auto&& final_over) {
     timer.start("place");
     engine.reset(start());
     timer.start("rounds");
-    round_ms = drive_batch(engine, preset.max_rounds, rng, out);
+    round_ms = drive_batch(engine, preset.max_rounds, rng, out, obs_ptr);
     timer.start("finish");
     out.final_overloaded = final_over(engine);
   };
@@ -136,7 +151,7 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   // phase to time.
   const auto timed_alloc = [&](auto& balancer) {
     timer.start("rounds");
-    round_ms = drive_batch(balancer, preset.max_rounds, rng, out);
+    round_ms = drive_batch(balancer, preset.max_rounds, rng, out, obs_ptr);
     timer.start("finish");
     out.final_overloaded = balancer.overloaded_count();
   };
@@ -240,6 +255,7 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
     }
   }
   timer.stop();
+  if (analytics) out.analytics_json = analytics->json();
   finish_timing(round_ms, out);
 }
 
@@ -340,7 +356,8 @@ void run_arena_churn_preset(const PerfPreset& preset, std::uint64_t seed,
 /// the whole suite and are deterministic in the seed, so the preset rides
 /// the same byte-determinism CI checks as every other one.
 void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
-                                util::Timer& timer, PerfResult& out) {
+                                util::Timer& timer, long analytics_every,
+                                PerfResult& out) {
   timer.start("setup");
   const graph::Node n = preset.n;
   const std::size_t m = preset.load_factor * static_cast<std::size_t>(n);
@@ -358,16 +375,24 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
   out.balanced = true;
 
   std::vector<double> round_ms;
+  // With --analytics the suite report carries one observer block per
+  // baseline, keyed by the baseline name (a fresh observer per balancer so
+  // the per-round rows never interleave across protocols).
+  sim::Json analytics_parts;
   const auto drive_one = [&](const char* name, auto& balancer,
                              long max_rounds) {
     timer.start(name);
+    std::optional<obs::LoadStatsObserver> analytics;
+    if (analytics_every > 0) analytics.emplace(analytics_every);
     PerfResult one;
-    std::vector<double> ms = drive_batch(balancer, max_rounds, rng, one);
+    std::vector<double> ms = drive_batch(balancer, max_rounds, rng, one,
+                                         analytics ? &*analytics : nullptr);
     round_ms.insert(round_ms.end(), ms.begin(), ms.end());
     out.rounds += one.rounds;
     out.migrations += one.migrations;
     out.balanced = out.balanced && one.balanced;
     out.final_overloaded += balancer.overloaded_count();
+    if (analytics) analytics_parts.add_raw(name, analytics->json());
   };
 
   {
@@ -405,6 +430,7 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
     drive_one("firstfit", b, preset.max_rounds);
   }
   timer.stop();
+  if (analytics_every > 0) out.analytics_json = analytics_parts.str();
   for (double t : round_ms) out.run_ms += t;
   finish_timing(round_ms, out);
 }
@@ -412,8 +438,10 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
 void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       obs::Registry* registry, obs::TraceWriter* trace,
-                      PerfResult& out) {
+                      long analytics_every, PerfResult& out) {
   timer.start("setup");
+  std::optional<obs::LoadStatsObserver> analytics;
+  if (analytics_every > 0) analytics.emplace(analytics_every);
   auto model = parse_weight_model(spec.weights);
   auto process = parse_arrival_process(spec.arrivals);
   util::Rng class_rng(util::derive_seed(seed, kPerfClassesStream));
@@ -431,15 +459,24 @@ void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   for (long t = 0; t < preset.warmup; ++t) engine.step(rng);
 
   timer.start("rounds");
+  // The churn loop is hand-rolled (warmup/measure split, no stop
+  // condition), so the observer is driven directly: snapshots of the
+  // measured rounds only, taken outside the stopwatch like drive_batch.
+  tlb::engine::detail::ViewOf<core::DynamicUserEngine> view(engine);
   std::vector<double> round_ms;
   round_ms.reserve(static_cast<std::size_t>(preset.measure));
   util::Stopwatch watch;
   for (long t = 0; t < preset.measure; ++t) {
+    if (analytics) analytics->record_round(view, t);
     watch.reset();
     engine.step(rng);
     round_ms.push_back(watch.elapsed_ms());
     out.migrations += engine.last_migrations();
     ++out.rounds;
+  }
+  if (analytics) {
+    analytics->record_final(view);
+    out.analytics_json = analytics->json();
   }
 
   timer.start("finish");
@@ -526,7 +563,8 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
 }
 
 PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
-                           bool collect_metrics, obs::TraceWriter* trace) {
+                           bool collect_metrics, obs::TraceWriter* trace,
+                           long analytics_every) {
   PerfResult out;
   out.preset = preset;
   // Fresh registry per preset so the snapshots do not aggregate across
@@ -551,7 +589,7 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
   }
   if (preset.scenario.rfind("baselines:suite", 0) == 0) {
     util::Timer timer;
-    run_baselines_suite_preset(preset, seed, timer, out);
+    run_baselines_suite_preset(preset, seed, timer, analytics_every, out);
     out.phases = timer.phases();
     out.setup_ms = timer.ms("setup");
     snapshot_metrics();
@@ -560,9 +598,11 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
   const ScenarioSpec spec = resolve_scenario(preset.scenario);
   util::Timer timer;
   if (spec.is_churn()) {
-    run_churn_preset(spec, preset, seed, timer, reg, trace, out);
+    run_churn_preset(spec, preset, seed, timer, reg, trace, analytics_every,
+                     out);
   } else {
-    run_batch_preset(spec, preset, seed, timer, reg, trace, out);
+    run_batch_preset(spec, preset, seed, timer, reg, trace, analytics_every,
+                     out);
   }
   out.phases = timer.phases();
   out.setup_ms = timer.ms("setup");
@@ -574,7 +614,7 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
                          long engine_threads, bool collect_metrics,
-                         obs::TraceWriter* trace) {
+                         obs::TraceWriter* trace, long analytics_every) {
   const std::vector<PerfPreset>* presets = nullptr;
   if (set == "smoke") {
     presets = &perf_smoke_presets();
@@ -592,7 +632,8 @@ std::string run_perf_set(const std::string& set, const std::string& only,
     }
     std::fprintf(stderr, "perf_suite: running %-26s (%s) ...\n",
                  preset.name.c_str(), preset.scenario.c_str());
-    results.push_back(run_perf_preset(preset, seed, collect_metrics, trace));
+    results.push_back(run_perf_preset(preset, seed, collect_metrics, trace,
+                                      analytics_every));
     const PerfResult& r = results.back();
     std::fprintf(stderr,
                  "perf_suite:   %ld rounds, %.1fms round1, %.3fms tail "
@@ -620,8 +661,10 @@ std::string perf_suite_json(const std::vector<PerfResult>& results,
         .add("migrations", r.migrations)
         .add("balanced", r.balanced)
         .add("final_overloaded", static_cast<std::uint64_t>(r.final_overloaded));
-    // Additive-only: the key appears only when metrics were collected, and
-    // holds seed-pure counters — byte-identical across thread counts.
+    // Additive-only: these keys appear only when the matching collection
+    // was requested, and hold seed-pure values — byte-identical across
+    // thread counts.
+    if (!r.analytics_json.empty()) j.add_raw("analytics", r.analytics_json);
     if (!r.metrics_json.empty()) j.add_raw("metrics", r.metrics_json);
     if (include_timings) {
       // Reported with the wall-clock fields (and only there): the thread

@@ -446,7 +446,8 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
 }
 
 std::string ScenarioResult::json(const std::string& metrics_raw,
-                                 const std::string& metrics_timing_raw) const {
+                                 const std::string& metrics_timing_raw,
+                                 const std::string& analytics_raw) const {
   sim::Json j;
   j.add("scenario", spec.canonical())
       .add("protocol", protocol_name(spec.protocol))
@@ -476,8 +477,9 @@ std::string ScenarioResult::json(const std::string& metrics_raw,
   j.add("trials", trials)
       .add("seed", seed)
       .add_raw("results", sim::trial_stats_json(stats));
-  // Additive-only: with observability detached both strings are empty and
+  // Additive-only: with observability detached every block is empty and
   // the output is byte-identical to the pre-observability format.
+  if (!analytics_raw.empty()) j.add_raw("analytics", analytics_raw);
   if (!metrics_raw.empty()) j.add_raw("metrics", metrics_raw);
   if (!metrics_timing_raw.empty()) {
     j.add_raw("metrics_timing", metrics_timing_raw);

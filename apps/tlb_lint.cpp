@@ -1,0 +1,97 @@
+// tlb_lint — determinism-discipline linter for this repository.
+//
+// Scans src/, apps/ and bench/ (or explicit paths) for violations of the
+// repo's source-level invariants D1–D6 (see src/include/tlb/lint/lint.hpp
+// and the README's "Static analysis & determinism discipline" section).
+//
+//   tlb_lint                      lint the default tree, report, exit 0
+//   tlb_lint --gate               same, but exit 1 when findings exist
+//   tlb_lint --gate file.cpp ...  lint explicit files (fixtures use a
+//                                 `// tlb-lint: path(...)` directive to opt
+//                                 into library-scoped rules)
+//   tlb_lint --list-rules         print the rule table and exit
+//
+// Exit codes: 0 clean (or findings without --gate), 1 findings under
+// --gate, 2 usage / IO errors.
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tlb/lint/lint.hpp"
+
+namespace {
+
+void print_rules() {
+  std::printf("tlb_lint rules:\n");
+  for (std::size_t r = 0; r < tlb::lint::kRuleCount; ++r) {
+    const auto rule = static_cast<tlb::lint::Rule>(r);
+    std::printf("  %s  %s\n", tlb::lint::rule_name(rule),
+                tlb::lint::rule_summary(rule));
+  }
+  std::printf(
+      "suppressions: `// tlb-lint: allow(Dx): why` (line below),\n"
+      "              `// tlb-lint: allow-file(Dx): why` (whole file),\n"
+      "              `// tlb-lint: path(rel/path.cpp)` (fixture scoping)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate = false;
+  std::string root = ".";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tlb_lint [--gate] [--root=DIR] [--list-rules] [paths...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tlb_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  try {
+    std::vector<tlb::lint::Diagnostic> diags;
+    std::vector<std::string> scanned;
+    if (paths.empty()) {
+      diags = tlb::lint::lint_tree(root, tlb::lint::default_scan_dirs(),
+                                   &scanned);
+    } else {
+      for (const std::string& p : paths) {
+        if (std::filesystem::is_directory(p)) {
+          std::vector<tlb::lint::Diagnostic> d =
+              tlb::lint::lint_tree(".", {p}, &scanned);
+          diags.insert(diags.end(), d.begin(), d.end());
+        } else {
+          std::vector<tlb::lint::Diagnostic> d = tlb::lint::lint_file(p, p);
+          diags.insert(diags.end(), d.begin(), d.end());
+          scanned.push_back(p);
+        }
+      }
+    }
+    for (const auto& d : diags) std::printf("%s\n", d.render().c_str());
+    std::printf("tlb_lint: %zu file(s) scanned, %zu finding(s)%s\n",
+                scanned.size(), diags.size(),
+                gate ? (diags.empty() ? " — gate clean" : " — GATE FAILED")
+                     : "");
+    return (gate && !diags.empty()) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

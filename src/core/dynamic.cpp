@@ -68,19 +68,27 @@ DynamicUserEngine::DynamicUserEngine(DynamicConfig config)
   sink_.trace = config_.trace;
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
-    m_arrivals_ns_ = reg.counter("dynamic.arrivals_ns", /*timing=*/true);
-    m_completions_ns_ = reg.counter("dynamic.completions_ns", /*timing=*/true);
-    m_sample_ns_ = reg.counter("dynamic.sample_ns", /*timing=*/true);
-    m_apply_ns_ = reg.counter("dynamic.apply_ns", /*timing=*/true);
-    m_arrivals_ = reg.counter("dynamic.arrivals");
-    m_completions_ = reg.counter("dynamic.completions");
-    m_crashes_ = reg.counter("dynamic.crashes");
-    m_threshold_changes_ = reg.counter("dynamic.threshold_changes");
-    m_flush_checks_ = reg.counter("dynamic.flush_checks");
-    m_dirty_marks_ = reg.counter("dynamic.dirty_marks");
-    m_band_size_ = reg.counter("index.band_size");
-    m_bucket_moves_ = reg.counter("index.bucket_moves");
-    m_reconciled_ = reg.counter("index.reconciled");
+    using obs::MetricClass;
+    m_arrivals_ns_ = reg.counter("dynamic.arrivals_ns", MetricClass::kTiming);
+    m_completions_ns_ =
+        reg.counter("dynamic.completions_ns", MetricClass::kTiming);
+    m_sample_ns_ = reg.counter("dynamic.sample_ns", MetricClass::kTiming);
+    m_apply_ns_ = reg.counter("dynamic.apply_ns", MetricClass::kTiming);
+    m_arrivals_ = reg.counter("dynamic.arrivals", MetricClass::kDeterministic);
+    m_completions_ =
+        reg.counter("dynamic.completions", MetricClass::kDeterministic);
+    m_crashes_ = reg.counter("dynamic.crashes", MetricClass::kDeterministic);
+    m_threshold_changes_ =
+        reg.counter("dynamic.threshold_changes", MetricClass::kDeterministic);
+    m_flush_checks_ =
+        reg.counter("dynamic.flush_checks", MetricClass::kDeterministic);
+    m_dirty_marks_ =
+        reg.counter("dynamic.dirty_marks", MetricClass::kDeterministic);
+    m_band_size_ = reg.counter("index.band_size", MetricClass::kDeterministic);
+    m_bucket_moves_ =
+        reg.counter("index.bucket_moves", MetricClass::kDeterministic);
+    m_reconciled_ =
+        reg.counter("index.reconciled", MetricClass::kDeterministic);
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
     seen_band_size_ = over_.load_index().band_size();
@@ -314,6 +322,7 @@ std::size_t DynamicUserEngine::step(util::Rng& rng) {
   last_migrations_ = do_protocol_step(rng);
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
+    using obs::MetricClass;
     reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);
     reg.add(m_dirty_marks_, over_.dirty_marks() - seen_dirty_marks_);
     const LoadIndex& idx = over_.load_index();

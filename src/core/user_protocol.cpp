@@ -118,16 +118,22 @@ UserControlledEngine::UserControlledEngine(const tasks::TaskSet& ts, Node n,
   sink_.trace = config_.options.trace;
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
-    m_sample_ns_ = reg.counter("exact.sample_ns", /*timing=*/true);
-    m_merge_ns_ = reg.counter("exact.merge_ns", /*timing=*/true);
-    m_apply_ns_ = reg.counter("exact.apply_ns", /*timing=*/true);
-    m_coins_ = reg.counter("exact.coins");
-    m_departures_ = reg.counter("exact.departures");
-    m_flush_checks_ = reg.counter("exact.flush_checks");
-    m_dirty_marks_ = reg.counter("exact.dirty_marks");
-    m_band_size_ = reg.counter("index.band_size");
-    m_bucket_moves_ = reg.counter("index.bucket_moves");
-    m_reconciled_ = reg.counter("index.reconciled");
+    using obs::MetricClass;
+    m_sample_ns_ = reg.counter("exact.sample_ns", MetricClass::kTiming);
+    m_merge_ns_ = reg.counter("exact.merge_ns", MetricClass::kTiming);
+    m_apply_ns_ = reg.counter("exact.apply_ns", MetricClass::kTiming);
+    m_coins_ = reg.counter("exact.coins", MetricClass::kDeterministic);
+    m_departures_ =
+        reg.counter("exact.departures", MetricClass::kDeterministic);
+    m_flush_checks_ =
+        reg.counter("exact.flush_checks", MetricClass::kDeterministic);
+    m_dirty_marks_ =
+        reg.counter("exact.dirty_marks", MetricClass::kDeterministic);
+    m_band_size_ = reg.counter("index.band_size", MetricClass::kDeterministic);
+    m_bucket_moves_ =
+        reg.counter("index.bucket_moves", MetricClass::kDeterministic);
+    m_reconciled_ =
+        reg.counter("index.reconciled", MetricClass::kDeterministic);
     seen_flush_checks_ = state_.overloaded_tracker().flush_checks();
     seen_dirty_marks_ = state_.overloaded_tracker().dirty_marks();
     seen_band_size_ = state_.overloaded_tracker().load_index().band_size();
@@ -243,6 +249,7 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
 
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
+    using obs::MetricClass;
     reg.add(m_coins_, total);
     reg.add(m_departures_, movers_.size());
     const OverloadedSet& trk = state_.overloaded_tracker();
@@ -322,15 +329,22 @@ GroupedUserEngine::GroupedUserEngine(const tasks::TaskSet& ts, Node n,
   sink_.trace = config_.options.trace;
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
-    m_sample_ns_ = reg.counter("grouped.sample_ns", /*timing=*/true);
-    m_apply_ns_ = reg.counter("grouped.apply_ns", /*timing=*/true);
-    m_departure_groups_ = reg.counter("grouped.departure_groups");
-    m_departures_ = reg.counter("grouped.departures");
-    m_flush_checks_ = reg.counter("grouped.flush_checks");
-    m_dirty_marks_ = reg.counter("grouped.dirty_marks");
-    m_band_size_ = reg.counter("index.band_size");
-    m_bucket_moves_ = reg.counter("index.bucket_moves");
-    m_reconciled_ = reg.counter("index.reconciled");
+    using obs::MetricClass;
+    m_sample_ns_ = reg.counter("grouped.sample_ns", MetricClass::kTiming);
+    m_apply_ns_ = reg.counter("grouped.apply_ns", MetricClass::kTiming);
+    m_departure_groups_ =
+        reg.counter("grouped.departure_groups", MetricClass::kDeterministic);
+    m_departures_ =
+        reg.counter("grouped.departures", MetricClass::kDeterministic);
+    m_flush_checks_ =
+        reg.counter("grouped.flush_checks", MetricClass::kDeterministic);
+    m_dirty_marks_ =
+        reg.counter("grouped.dirty_marks", MetricClass::kDeterministic);
+    m_band_size_ = reg.counter("index.band_size", MetricClass::kDeterministic);
+    m_bucket_moves_ =
+        reg.counter("index.bucket_moves", MetricClass::kDeterministic);
+    m_reconciled_ =
+        reg.counter("index.reconciled", MetricClass::kDeterministic);
     seen_flush_checks_ = over_.flush_checks();
     seen_dirty_marks_ = over_.dirty_marks();
     seen_band_size_ = over_.load_index().band_size();
@@ -485,6 +499,7 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
 
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
+    using obs::MetricClass;
     reg.add(m_departure_groups_, departure_groups);
     reg.add(m_departures_, migrations);
     reg.add(m_flush_checks_, over_.flush_checks() - seen_flush_checks_);

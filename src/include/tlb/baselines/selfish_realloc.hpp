@@ -38,7 +38,7 @@ class SelfishReallocEngine {
   /// One synchronous round; returns migrations.
   std::size_t step(util::Rng& rng);
   /// True iff every load is <= stop_threshold.
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
   /// Run until balanced or max_rounds (engine::drive under the hood; the
   /// EngineOptions tracing bools become trace observers).
   core::RunResult run(util::Rng& rng);
@@ -47,12 +47,12 @@ class SelfishReallocEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// Threshold excess Σ_r max(0, load_r - stop_threshold).
-  double potential() const;
+  [[nodiscard]] double potential() const;
   /// Number of resources above stop_threshold (O(n); observer-only).
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest resource right now.
-  double max_load() const;
-  double reported_threshold() const noexcept {
+  [[nodiscard]] double max_load() const;
+  [[nodiscard]] double reported_threshold() const noexcept {
     return config_.stop_threshold;
   }
   /// Paranoid-mode check: loads reconcile with the task locations.

@@ -118,22 +118,24 @@ class DynamicUserEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// True iff no load exceeds the current threshold.
-  bool balanced() const { return overloaded_now().empty(); }
+  [[nodiscard]] bool balanced() const { return overloaded_now().empty(); }
   /// Number of resources above the current threshold.
-  std::uint32_t overloaded_count() const {
+  [[nodiscard]] std::uint32_t overloaded_count() const {
     return static_cast<std::uint32_t>(overloaded_now().size());
   }
   /// Heaviest resource right now. Under churn the threshold moves every
   /// round, so the tracker's load index is live and serves this in
   /// O(#buckets + #touched) instead of the O(n) scan fallback.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// User potential Φ(t) = Σ_r φ_r(t) against the current threshold.
-  double potential() const;
+  [[nodiscard]] double potential() const;
   /// Analytics hook: deterministic load-distribution snapshot against the
   /// current threshold, index-served when the tracker's index is live.
   void collect_load_stats(LoadStatsCalc& calc, LoadStats& out) const;
   /// The threshold currently in force (recomputed every round).
-  double reported_threshold() const noexcept { return threshold_; }
+  [[nodiscard]] double reported_threshold() const noexcept {
+    return threshold_;
+  }
   /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.
   void audit() const { check_overloaded_invariant(); }
   /// Measured-window brackets called by engine::drive: reset and arm the

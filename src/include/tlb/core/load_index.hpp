@@ -170,7 +170,7 @@ class LoadIndex {
   /// Largest indexed load (0.0 when empty): first member scan of the top
   /// non-empty bucket. O(#buckets + |top bucket|) — serves max_load() in
   /// O(#buckets) instead of an O(n) scan while the index is live.
-  double max_indexed_load() const;
+  [[nodiscard]] double max_indexed_load() const;
 
   /// Number of resources tracked by reset().
   std::size_t capacity() const noexcept { return n_; }

@@ -51,7 +51,7 @@ class MixedProtocolEngine {
   /// One synchronous round; returns the number of migrations.
   std::size_t step(util::Rng& rng);
   /// True iff every load is <= its resource's threshold.
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
   /// Run until balanced or max_rounds (engine::drive under the hood).
   RunResult run(util::Rng& rng);
   /// Convenience: reset + run.
@@ -59,13 +59,13 @@ class MixedProtocolEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// User potential Φ(t) = Σ_r φ_r(t) against the per-resource thresholds.
-  double potential() const;
+  [[nodiscard]] double potential() const;
   /// Number of resources currently above threshold.
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest resource right now.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// The threshold RunResult reports (largest configured).
-  double reported_threshold() const;
+  [[nodiscard]] double reported_threshold() const;
   /// Paranoid-mode invariant check (throws std::logic_error on violation).
   void audit() const;
 

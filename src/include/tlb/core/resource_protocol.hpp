@@ -48,7 +48,7 @@ class ResourceControlledEngine {
 
   /// True iff no resource is overloaded (equivalently: no active task).
   /// O(#touched since the last query) via the state's incremental set.
-  bool balanced() const { return state_.balanced(); }
+  [[nodiscard]] bool balanced() const { return state_.balanced(); }
 
   /// Run until balanced or options.max_rounds (engine::drive under the
   /// hood), collecting metrics.
@@ -59,13 +59,15 @@ class ResourceControlledEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// Resource potential Φ of eq. (1): total unaccepted weight.
-  double potential() const;
+  [[nodiscard]] double potential() const;
   /// Number of resources currently above threshold.
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest resource right now.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// The threshold RunResult reports (largest configured).
-  double reported_threshold() const noexcept { return max_threshold_; }
+  [[nodiscard]] double reported_threshold() const noexcept {
+    return max_threshold_;
+  }
   /// Paranoid-mode invariant check (throws std::logic_error on violation).
   void audit() const;
 

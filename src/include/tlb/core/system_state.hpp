@@ -113,9 +113,9 @@ class SystemState {
   /// Cost: O(#dirty + #overloaded) to reconcile, O(1) when nothing changed.
   const std::vector<Node>& overloaded() const;
   /// overloaded().size() as a Node.
-  Node overloaded_count() const;
+  [[nodiscard]] Node overloaded_count() const;
   /// True iff no resource is overloaded. O(#dirty + #overloaded).
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
 
   /// Read access to the incremental tracker itself, for observability:
   /// flush_checks()/dirty_marks() deltas per round are seed-deterministic
@@ -138,23 +138,25 @@ class SystemState {
   /// threshold shift and not invalidated since); O(n) scan otherwise. Both
   /// paths return the identical value — the index stores the authoritative
   /// loads once reconciled.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
 
   /// Deterministic load-distribution snapshot (max/mean/p50/p90/p99,
   /// overload mass, imbalance) against a scalar threshold. Quantiles are
   /// exact order statistics, served from the tracker's load index when
   /// live and an O(n) scan fallback otherwise — bit-identical either way.
   /// `calc` is the caller's reusable scratch (one per observer).
-  LoadStats load_stats(double threshold, LoadStatsCalc& calc) const;
+  [[nodiscard]] LoadStats load_stats(double threshold,
+                                     LoadStatsCalc& calc) const;
   /// Number of resources with load > threshold. O(n) full scan — ground
   /// truth for arbitrary thresholds; engines use the O(active) overload.
-  Node overloaded_count(double threshold) const;
+  [[nodiscard]] Node overloaded_count(double threshold) const;
   /// Number of resources with load > thresholds[r] (non-uniform).
-  Node overloaded_count(const std::vector<double>& thresholds) const;
+  [[nodiscard]] Node overloaded_count(
+      const std::vector<double>& thresholds) const;
   /// True iff every resource's load is <= threshold (the balanced state).
-  bool balanced(double threshold) const;
+  [[nodiscard]] bool balanced(double threshold) const;
   /// True iff every resource's load is <= thresholds[r] (non-uniform).
-  bool balanced(const std::vector<double>& thresholds) const;
+  [[nodiscard]] bool balanced(const std::vector<double>& thresholds) const;
 
   /// Sum of loads; equals the TaskSet total when every task is placed.
   double total_load() const;

@@ -85,7 +85,7 @@ class UserControlledEngine {
   std::size_t step(util::Rng& rng);
 
   /// True iff every load is <= threshold.
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
 
   /// Run until balanced or max_rounds (engine::drive under the hood; the
   /// EngineOptions tracing bools become trace observers).
@@ -95,13 +95,15 @@ class UserControlledEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// User potential Φ(t) = Σ_r φ_r(t) against the configured thresholds.
-  double potential() const;
+  [[nodiscard]] double potential() const;
   /// Number of resources currently above threshold.
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest resource right now.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// The threshold RunResult reports (largest configured).
-  double reported_threshold() const noexcept { return max_threshold_; }
+  [[nodiscard]] double reported_threshold() const noexcept {
+    return max_threshold_;
+  }
   /// Paranoid-mode invariant check (throws std::logic_error on violation).
   void audit() const;
 
@@ -166,7 +168,7 @@ class GroupedUserEngine {
   std::size_t step(util::Rng& rng);
 
   /// True iff every load is <= threshold.
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
 
   /// Run until balanced or max_rounds (engine::drive under the hood).
   RunResult run(util::Rng& rng);
@@ -175,12 +177,12 @@ class GroupedUserEngine {
 
   // engine::Balancer view (driver metrics + observers).
   /// Number of resources currently above threshold.
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest resource right now. Served from the tracker's load index in
   /// O(#buckets) while live (threshold shifts armed it); O(n) otherwise.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// The threshold RunResult reports (largest configured).
-  double reported_threshold() const;
+  [[nodiscard]] double reported_threshold() const;
   /// Paranoid-mode check: incremental overloaded set vs brute-force rescan.
   void audit() const { check_overloaded_invariant(); }
   /// Analytics hook: deterministic load-distribution snapshot against
@@ -200,7 +202,7 @@ class GroupedUserEngine {
   double threshold(Node r) const noexcept { return thresholds_[r]; }
   /// The user potential Σ φ_r under the canonical ascending-weight stacking.
   /// O(#overloaded): φ_r = 0 on every non-overloaded resource.
-  double potential() const;
+  [[nodiscard]] double potential() const;
 
  private:
   double phi_of(Node r) const;

@@ -70,10 +70,10 @@ concept Balancer = requires(B& b, const B& cb, util::Rng& rng) {
 class BalancerView {
  public:
   virtual ~BalancerView() = default;
-  virtual double potential() const = 0;
-  virtual std::uint32_t overloaded_count() const = 0;
-  virtual double max_load() const = 0;
-  virtual bool balanced() const = 0;
+  [[nodiscard]] virtual double potential() const = 0;
+  [[nodiscard]] virtual std::uint32_t overloaded_count() const = 0;
+  [[nodiscard]] virtual double max_load() const = 0;
+  [[nodiscard]] virtual bool balanced() const = 0;
   /// Fill a deterministic load-distribution snapshot (analytics observer).
   /// Returns false when the underlying balancer offers no way to read its
   /// load vector; `out` is untouched then. `calc` is the caller's reusable
@@ -105,12 +105,12 @@ template <Balancer B>
 class ViewOf final : public BalancerView {
  public:
   explicit ViewOf(const B& b) : b_(&b) {}
-  double potential() const override { return b_->potential(); }
-  std::uint32_t overloaded_count() const override {
+  [[nodiscard]] double potential() const override { return b_->potential(); }
+  [[nodiscard]] std::uint32_t overloaded_count() const override {
     return b_->overloaded_count();
   }
-  double max_load() const override { return b_->max_load(); }
-  bool balanced() const override { return b_->balanced(); }
+  [[nodiscard]] double max_load() const override { return b_->max_load(); }
+  [[nodiscard]] bool balanced() const override { return b_->balanced(); }
   bool collect_load_stats(core::LoadStatsCalc& calc,
                           core::LoadStats& out) const override {
     if constexpr (requires { b_->collect_load_stats(calc, out); }) {

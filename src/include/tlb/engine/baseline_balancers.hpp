@@ -45,15 +45,17 @@ namespace tlb::engine {
 class BinLoadBalancer {
  public:
   /// True iff every bin load is <= the comparison threshold.
-  bool balanced() const;
+  [[nodiscard]] bool balanced() const;
   /// Number of bins above the comparison threshold (O(n); observer-only).
-  std::uint32_t overloaded_count() const;
+  [[nodiscard]] std::uint32_t overloaded_count() const;
   /// Heaviest bin right now.
-  double max_load() const;
+  [[nodiscard]] double max_load() const;
   /// Threshold excess Σ_r max(0, load_r - T) — the natural potential of a
   /// threshold comparison (0 iff balanced).
-  double potential() const;
-  double reported_threshold() const noexcept { return threshold_; }
+  [[nodiscard]] double potential() const;
+  [[nodiscard]] double reported_threshold() const noexcept {
+    return threshold_;
+  }
   /// Paranoid-mode invariant check; derived classes extend it with their
   /// own placement bookkeeping (throws std::logic_error on violation).
   void audit() const;
@@ -91,10 +93,10 @@ class SequentialThresholdBalancer final : public BinLoadBalancer {
 
   /// Allocate all balls (first call only); returns balls placed.
   std::size_t step(util::Rng& rng);
-  bool done() const noexcept { return done_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
   /// A completed sequential-threshold allocation is balanced by
   /// construction; an incomplete one is not.
-  bool balanced() const noexcept { return done_ && completed_; }
+  [[nodiscard]] bool balanced() const noexcept { return done_ && completed_; }
   void audit() const;
 
   bool completed() const noexcept { return completed_; }
@@ -120,10 +122,10 @@ class ParallelThresholdBalancer final : public BinLoadBalancer {
 
   /// One proposal round; returns balls placed this round.
   std::size_t step(util::Rng& rng);
-  bool done() const noexcept { return unplaced_.empty(); }
+  [[nodiscard]] bool done() const noexcept { return unplaced_.empty(); }
   /// Placed balls respect the threshold by construction, so balance ==
   /// every ball placed.
-  bool balanced() const noexcept { return unplaced_.empty(); }
+  [[nodiscard]] bool balanced() const noexcept { return unplaced_.empty(); }
   void audit() const;
 
   std::size_t placed() const noexcept { return placed_; }
@@ -146,8 +148,10 @@ class GreedyChoiceBalancer final : public BinLoadBalancer {
                        double threshold);
 
   std::size_t step(util::Rng& rng);
-  bool done() const noexcept { return done_; }
-  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool balanced() const {
+    return done_ && BinLoadBalancer::balanced();
+  }
   void audit() const;
 
   /// max_load - W/n, the gap the multiple-choice literature tracks.
@@ -166,8 +170,10 @@ class OnePlusBetaBalancer final : public BinLoadBalancer {
                       double threshold);
 
   std::size_t step(util::Rng& rng);
-  bool done() const noexcept { return done_; }
-  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool balanced() const {
+    return done_ && BinLoadBalancer::balanced();
+  }
   void audit() const;
 
   double gap() const;
@@ -188,8 +194,10 @@ class FirstFitBalancer final : public BinLoadBalancer {
   FirstFitBalancer(const tasks::TaskSet& ts, graph::Node n, double threshold);
 
   std::size_t step(util::Rng& rng);
-  bool done() const noexcept { return done_; }
-  bool balanced() const { return done_ && BinLoadBalancer::balanced(); }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] bool balanced() const {
+    return done_ && BinLoadBalancer::balanced();
+  }
   void audit() const;
 
   /// The computed placement (valid once done()).

@@ -79,10 +79,12 @@ core::RunResult drive(B& balancer, util::Rng& rng, const DriveOptions& opt,
   const obs::Sink sink{opt.registry, opt.trace};
   obs::MetricId m_rounds, m_round_ns, h_round_us;
   if (opt.registry != nullptr) {
-    m_rounds = opt.registry->counter("drive.rounds");
-    m_round_ns = opt.registry->counter("drive.round_ns", /*timing=*/true);
+    using obs::MetricClass;
+    m_rounds = opt.registry->counter("drive.rounds",
+                                     MetricClass::kDeterministic);
+    m_round_ns = opt.registry->counter("drive.round_ns", MetricClass::kTiming);
     h_round_us = opt.registry->histogram("drive.round_us", 0.0, 50000.0, 50,
-                                         /*timing=*/true);
+                                         MetricClass::kTiming);
   }
 
   const auto measured_round = [&]() -> bool {

@@ -119,7 +119,7 @@ class JsonTraceSink final : public RoundObserver {
                     std::size_t migrations) override;
   void on_finish(const BalancerView& view) override;
   /// The rendered JSON array (valid once the drive returned).
-  std::string json() const;
+  [[nodiscard]] std::string json() const;
   /// Measured rounds recorded — excludes the trailing final-state record
   /// appended by on_finish, which is a state snapshot, not a round.
   std::size_t rounds_recorded() const noexcept { return measured_rounds_; }

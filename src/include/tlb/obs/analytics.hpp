@@ -73,7 +73,7 @@ class LoadStatsObserver final : public engine::RoundObserver {
   ///                "overloaded": ..., "imbalance": ..., "threshold": ...,
   ///                "potential": ...}, ...],
   ///    "final": {same fields minus "round"}}
-  std::string json() const;
+  [[nodiscard]] std::string json() const;
 
  private:
   void record(const engine::BalancerView& view, long round, bool final_state);

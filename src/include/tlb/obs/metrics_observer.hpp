@@ -47,7 +47,7 @@ class MetricsObserver final : public engine::RoundObserver {
 
   /// {"totals": {...}} plus, when keep_rounds, "rounds": [{"round","migrations",
   /// "metrics"}...] — restricted to `part` like Snapshot::json.
-  std::string json(Snapshot::Part part) const;
+  [[nodiscard]] std::string json(Snapshot::Part part) const;
 
  private:
   Registry* registry_;

@@ -42,6 +42,15 @@ std::uint64_t monotonic_ns() noexcept;
 /// equal-width buckets (util::Histogram's layout).
 enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 
+/// Determinism class of a metric. Every registration names one explicitly
+/// (lint rule D5) — there is deliberately no default, because a metric
+/// silently landing in the deterministic part would break the
+/// byte-determinism CI diffs the moment its value depends on scheduling.
+///   kDeterministic  a pure function of the seed (departures, rounds, ...)
+///   kTiming         wall-clock durations, pool busy/idle, anything that
+///                   varies with the thread count or machine
+enum class MetricClass : std::uint8_t { kDeterministic, kTiming };
+
 /// Handle to a registered metric. Default-constructed ids are invalid and
 /// make every hot-path call a no-op, so detached components need no
 /// branches beyond the id test.
@@ -71,18 +80,18 @@ struct Snapshot {
   std::vector<Entry> entries;
 
   /// Entry by name (nullptr when absent).
-  const Entry* find(const std::string& name) const;
+  [[nodiscard]] const Entry* find(const std::string& name) const;
   /// True iff no entry belongs to `part`.
-  bool empty(Part part) const;
+  [[nodiscard]] bool empty(Part part) const;
   /// Deterministic JSON object {"name": value, ...} restricted to `part`.
   /// Counters render as integers, gauges as shortest-round-trip doubles,
   /// histograms as {"lo","hi","total","buckets"}. Key order is registration
   /// order, so the same data always serialises to the same bytes.
-  std::string json(Part part) const;
+  [[nodiscard]] std::string json(Part part) const;
   /// Counter/histogram difference `*this - earlier` (gauges keep the later
   /// value). Entries only present here are kept as-is, so a snapshot taken
   /// before a metric existed still subtracts cleanly.
-  Snapshot delta(const Snapshot& earlier) const;
+  [[nodiscard]] Snapshot delta(const Snapshot& earlier) const;
 };
 
 /// The registry. Registration (counter/gauge/histogram) takes a mutex and
@@ -110,13 +119,13 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   /// Register (or look up) a monotonically accumulating counter.
-  MetricId counter(const std::string& name, bool timing = false);
+  MetricId counter(const std::string& name, MetricClass cls);
   /// Register (or look up) a last-write-wins gauge.
-  MetricId gauge(const std::string& name, bool timing = false);
+  MetricId gauge(const std::string& name, MetricClass cls);
   /// Register (or look up) an equal-width histogram over [lo, hi] (values
   /// outside clamp to the edge bins — util::Histogram's layout).
   MetricId histogram(const std::string& name, double lo, double hi,
-                     std::size_t bins, bool timing = false);
+                     std::size_t bins, MetricClass cls);
 
   /// Accumulate `delta` into a counter. Lock-free; no-op on an invalid id.
   void add(MetricId id, std::uint64_t delta);
@@ -128,7 +137,7 @@ class Registry {
   /// Merge every thread's shard into one Snapshot. Callers must be at a
   /// quiescent point (no concurrent add/observe) — e.g. after
   /// ThreadPool::wait_idle(), which establishes the happens-before edge.
-  Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const;
 
   /// Number of registered metrics.
   std::size_t size() const;

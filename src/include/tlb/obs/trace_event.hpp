@@ -43,7 +43,7 @@ class TraceWriter {
 
   /// Render the Trace Event Format JSON. Call only at a quiescent point
   /// (no thread mid-complete()), same discipline as Registry::snapshot().
-  std::string json() const;
+  [[nodiscard]] std::string json() const;
   /// json() + write_text_file.
   void write(const std::string& path) const;
 

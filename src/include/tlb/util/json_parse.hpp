@@ -54,13 +54,13 @@ struct JsonValue {
 
   /// Object lookup: pointer to the value for `key`, nullptr when absent
   /// (or when this is not an object). Last duplicate wins.
-  const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
 
   /// find() that throws std::out_of_range naming the key when absent.
-  const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
 };
 
 /// Parse one complete JSON document; trailing non-whitespace throws.
-JsonValue parse_json(const std::string& text);
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace tlb::util

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstddef>
 #include <string>
+// tlb-lint: allow(D3): lookup-only index (see member note); reporting walks
+// the first-start-ordered phases_ vector, never this map.
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -78,6 +80,10 @@ class Timer {
   Stopwatch watch_;
   std::string current_;
   std::vector<std::pair<std::string, double>> phases_;
+  // tlb-lint: allow(D3): name → phases_ position, queried by ms()/add()
+  // only. Output order is phases_'s first-start order, which is a pure
+  // function of the call sequence — the map's iteration order is never
+  // observed, so it cannot leak into any deterministic result.
   std::unordered_map<std::string, std::size_t> index_;
 };
 

@@ -153,7 +153,7 @@ struct ScenarioResult {
   /// obs::LoadStatsObserver — deterministic) keys when non-empty —
   /// additive-only, so default output is byte-identical to a run with
   /// observability detached.
-  std::string json(const std::string& metrics_raw = "",
+  [[nodiscard]] std::string json(const std::string& metrics_raw = "",
                    const std::string& metrics_timing_raw = "",
                    const std::string& analytics_raw = "") const;
 };

@@ -79,16 +79,19 @@ MetricId Registry::register_metric(const std::string& name, Kind kind,
                   metrics_.back().slot};
 }
 
-MetricId Registry::counter(const std::string& name, bool timing) {
-  return register_metric(name, Kind::kCounter, timing, 1, 0.0, 0.0, 0);
+MetricId Registry::counter(const std::string& name, MetricClass cls) {
+  return register_metric(name, Kind::kCounter, cls == MetricClass::kTiming, 1,
+                         0.0, 0.0, 0);
 }
 
-MetricId Registry::gauge(const std::string& name, bool timing) {
-  return register_metric(name, Kind::kGauge, timing, 0, 0.0, 0.0, 0);
+MetricId Registry::gauge(const std::string& name, MetricClass cls) {
+  return register_metric(name, Kind::kGauge, cls == MetricClass::kTiming, 0,
+                         0.0, 0.0, 0);
 }
 
 MetricId Registry::histogram(const std::string& name, double lo, double hi,
-                             std::size_t bins, bool timing) {
+                             std::size_t bins, MetricClass cls) {
+  const bool timing = cls == MetricClass::kTiming;
   if (!(lo < hi)) {
     throw std::invalid_argument("obs::Registry: histogram needs lo < hi");
   }

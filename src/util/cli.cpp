@@ -15,6 +15,7 @@ bool Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
+      // tlb-lint: allow(D4): --help prints the generated usage text.
       std::fputs(help(argv[0]).c_str(), stdout);
       return false;
     }
@@ -40,7 +41,10 @@ bool Cli::parse(int argc, char** argv) {
       }
     }
     if (!specs_.count(name)) {
+      // tlb-lint: allow(D4): typoed flags must fail loudly on stderr so
+      // sweep scripts notice; the next line reprints the usage text.
       std::fprintf(stderr, "unknown flag --%s\n\n", name.c_str());
+      // tlb-lint: allow(D4): usage text for the unknown-flag error above.
       std::fputs(help(argv[0]).c_str(), stderr);
       return false;
     }

@@ -50,9 +50,9 @@ void ThreadPool::attach_probe(obs::Registry* registry, obs::TraceWriter* trace,
   // mutex_, so this is race-free as long as the pool is quiescent.
   obs::MetricId tasks, busy, idle;
   if (registry != nullptr) {
-    tasks = registry->counter(prefix + ".tasks", /*timing=*/true);
-    busy = registry->counter(prefix + ".busy_ns", /*timing=*/true);
-    idle = registry->counter(prefix + ".idle_ns", /*timing=*/true);
+    tasks = registry->counter(prefix + ".tasks", obs::MetricClass::kTiming);
+    busy = registry->counter(prefix + ".busy_ns", obs::MetricClass::kTiming);
+    idle = registry->counter(prefix + ".idle_ns", obs::MetricClass::kTiming);
   }
   std::lock_guard lock(mutex_);
   registry_ = registry;

@@ -1,5 +1,9 @@
 #include "tlb/workload/perf_suite.hpp"
 
+// tlb-lint: allow-file(D4): progress lines and --append confirmations go to
+// stderr so they interleave with long runs; the JSON report itself is
+// returned as a string and printed by the apps/bench drivers.
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>

@@ -258,9 +258,9 @@ TEST(SystemStateLoadStatsTest, IndexLiveAndDormantAgree) {
 
   // Shift the threshold twice to arm and reconcile the index, then compare.
   state.set_thresholds(T * 1.01);
-  state.overloaded_count();
+  (void)state.overloaded_count();  // flush: arms + reconciles the index
   state.set_thresholds(T);
-  state.overloaded_count();
+  (void)state.overloaded_count();
   const double max_live = state.max_load();
   const LoadStats live = state.load_stats(T, calc);
 

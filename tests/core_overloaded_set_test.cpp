@@ -233,7 +233,7 @@ TEST(SystemStateOverloadedTest, QueriesRequireRegisteredThresholds) {
   SystemState state(ts, 2);
   state.place({0, 0, 1, 1}, -1.0);
   EXPECT_THROW(state.overloaded(), std::logic_error);
-  EXPECT_THROW(state.balanced(), std::logic_error);
+  EXPECT_THROW((void)state.balanced(), std::logic_error);
   state.set_thresholds(1.5);
   EXPECT_EQ(state.overloaded_count(), 2u);
   EXPECT_FALSE(state.balanced());

@@ -1,0 +1,14 @@
+// tlb-lint: path(src/core/planted_rng.cpp)
+// Planted D1 violation — raw randomness in a deterministic subsystem.
+// Never compiled (tests/ only globs *_test.cpp); linted by lint_test and
+// the CI lint job, both of which must FAIL on it.
+#include <random>
+
+namespace tlb::core {
+
+int planted_draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen() % 7);
+}
+
+}  // namespace tlb::core

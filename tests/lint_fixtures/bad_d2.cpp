@@ -1,0 +1,13 @@
+// tlb-lint: path(src/core/planted_clock.cpp)
+// Planted D2 violation — wall-clock read in library code outside the
+// timing whitelist. Never compiled; linted by lint_test and the CI lint
+// job, both of which must FAIL on it.
+#include <chrono>
+
+namespace tlb::core {
+
+long planted_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,15 @@
+// tlb-lint: path(src/core/planted_hash.cpp)
+// Planted D3 violation — unordered container in a deterministic subsystem
+// with no justification annotation. Never compiled; linted by lint_test
+// and the CI lint job, both of which must FAIL on it.
+#include <unordered_map>
+
+namespace tlb::core {
+
+int planted_lookup(int k) {
+  std::unordered_map<int, int> m;
+  m[k] = k;
+  return m[k];
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,12 @@
+// tlb-lint: path(src/sim/planted_print.cpp)
+// Planted D4 violation — printing from library code. Never compiled;
+// linted by lint_test and the CI lint job, both of which must FAIL on it.
+#include <iostream>
+
+namespace tlb::sim {
+
+void planted_report(int rounds) {
+  std::cout << "rounds: " << rounds << "\n";
+}
+
+}  // namespace tlb::sim

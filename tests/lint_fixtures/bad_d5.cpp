@@ -1,0 +1,14 @@
+// tlb-lint: path(src/core/planted_metrics.cpp)
+// Planted D5 violation — obs::Registry registration without an explicit
+// determinism class. Never compiled; linted by lint_test and the CI lint
+// job, both of which must FAIL on it.
+#include "tlb/obs/registry.hpp"
+
+namespace tlb::core {
+
+void planted_register(obs::Registry& reg) {
+  auto id = reg.counter("planted.unclassified");
+  reg.add(id, 1);
+}
+
+}  // namespace tlb::core

@@ -1,0 +1,12 @@
+// tlb-lint: path(src/core/planted_tls.cpp)
+// Planted D6 violation — thread_local outside the whitelisted shard
+// caches. Never compiled; linted by lint_test and the CI lint job, both
+// of which must FAIL on it.
+
+namespace tlb::core {
+
+thread_local int planted_scratch = 0;
+
+int planted_bump() { return ++planted_scratch; }
+
+}  // namespace tlb::core

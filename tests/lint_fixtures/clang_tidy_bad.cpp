@@ -1,0 +1,12 @@
+// Planted clang-tidy violation — bugprone-integer-division: the integer
+// quotient silently truncates before the widening to double. The CI lint
+// job runs clang-tidy with -warnings-as-errors over this file and must
+// FAIL. Never compiled into any target.
+
+namespace tlb::tests {
+
+double planted_ratio(int completed, int total) {
+  return completed / total;
+}
+
+}  // namespace tlb::tests

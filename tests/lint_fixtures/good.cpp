@@ -1,0 +1,27 @@
+// tlb-lint: path(src/core/planted_good.cpp)
+// Clean fixture — exercises the allowed patterns and the suppression
+// syntax; tlb_lint must report ZERO findings here. Never compiled.
+
+#include <cstdint>
+#include <string>
+// A justified, lookup-only unordered container is fine when annotated.
+// tlb-lint: allow(D3): lookup-only index in this planted fixture; the
+// iteration order is never observed.
+#include <unordered_map>
+#include <vector>
+
+namespace tlb::core {
+
+// Banned names inside strings and comments must never fire:
+// std::mt19937, std::chrono::steady_clock, std::cout, thread_local.
+inline const std::string kDoc = "std::rand() is banned; see std::chrono";
+
+// "synchronous" contains "chrono" as a substring — the token-level lexer
+// must not flag it.
+inline std::uint64_t synchronous_total(const std::vector<std::uint64_t>& v) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t x : v) sum += x;
+  return sum;
+}
+
+}  // namespace tlb::core

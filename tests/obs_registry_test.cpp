@@ -13,6 +13,7 @@
 namespace {
 
 using tlb::obs::Kind;
+using tlb::obs::MetricClass;
 using tlb::obs::MetricId;
 using tlb::obs::Registry;
 using tlb::obs::Snapshot;
@@ -30,7 +31,7 @@ TEST(ObsRegistryTest, InvalidIdIsANoOpEverywhere) {
 
 TEST(ObsRegistryTest, CounterAccumulatesAndSnapshotReads) {
   Registry reg;
-  const MetricId c = reg.counter("departures");
+  const MetricId c = reg.counter("departures", MetricClass::kDeterministic);
   ASSERT_TRUE(c.valid());
   reg.add(c, 3);
   reg.add(c, 4);
@@ -44,8 +45,8 @@ TEST(ObsRegistryTest, CounterAccumulatesAndSnapshotReads) {
 
 TEST(ObsRegistryTest, RegistrationDedupsByName) {
   Registry reg;
-  const MetricId a = reg.counter("coins");
-  const MetricId b = reg.counter("coins");
+  const MetricId a = reg.counter("coins", MetricClass::kDeterministic);
+  const MetricId b = reg.counter("coins", MetricClass::kDeterministic);
   EXPECT_EQ(a.metric, b.metric);
   EXPECT_EQ(a.slot, b.slot);
   EXPECT_EQ(reg.size(), 1u);
@@ -57,19 +58,23 @@ TEST(ObsRegistryTest, RegistrationDedupsByName) {
 
 TEST(ObsRegistryTest, ShapeMismatchThrows) {
   Registry reg;
-  reg.counter("x");
-  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
-  EXPECT_THROW(reg.histogram("x", 0, 1, 4), std::invalid_argument);
-  reg.histogram("h", 0.0, 10.0, 5);
-  EXPECT_THROW(reg.histogram("h", 0.0, 10.0, 6), std::invalid_argument);
+  reg.counter("x", MetricClass::kDeterministic);
+  EXPECT_THROW(reg.gauge("x", MetricClass::kDeterministic),
+               std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", 0, 1, 4, MetricClass::kDeterministic),
+               std::invalid_argument);
+  reg.histogram("h", 0.0, 10.0, 5, MetricClass::kDeterministic);
+  EXPECT_THROW(
+      reg.histogram("h", 0.0, 10.0, 6, MetricClass::kDeterministic),
+      std::invalid_argument);
   // Timing-class mismatch on the same name is also a shape conflict: one
   // name cannot be deterministic in one snapshot part and timing in another.
-  EXPECT_THROW(reg.counter("x", /*timing=*/true), std::invalid_argument);
+  EXPECT_THROW(reg.counter("x", MetricClass::kTiming), std::invalid_argument);
 }
 
 TEST(ObsRegistryTest, GaugeLastWriteWins) {
   Registry reg;
-  const MetricId g = reg.gauge("threshold");
+  const MetricId g = reg.gauge("threshold", MetricClass::kDeterministic);
   reg.set(g, 1.5);
   reg.set(g, 2.5);
   const Snapshot snap = reg.snapshot();
@@ -78,7 +83,8 @@ TEST(ObsRegistryTest, GaugeLastWriteWins) {
 
 TEST(ObsRegistryTest, HistogramBucketsAndClamping) {
   Registry reg;
-  const MetricId h = reg.histogram("round_us", 0.0, 10.0, 5);
+  const MetricId h =
+      reg.histogram("round_us", 0.0, 10.0, 5, MetricClass::kDeterministic);
   reg.observe(h, 0.5);    // bucket 0
   reg.observe(h, 1.9);    // bucket 0
   reg.observe(h, 2.0);    // bucket 1
@@ -95,8 +101,8 @@ TEST(ObsRegistryTest, HistogramBucketsAndClamping) {
 
 TEST(ObsRegistryTest, TimingSegregationInJson) {
   Registry reg;
-  reg.add(reg.counter("det"), 5);
-  reg.add(reg.counter("wall_ns", /*timing=*/true), 9);
+  reg.add(reg.counter("det", MetricClass::kDeterministic), 5);
+  reg.add(reg.counter("wall_ns", MetricClass::kTiming), 9);
   const Snapshot snap = reg.snapshot();
   const std::string det = snap.json(Snapshot::Part::kDeterministic);
   const std::string timing = snap.json(Snapshot::Part::kTiming);
@@ -113,8 +119,9 @@ TEST(ObsRegistryTest, TimingSegregationInJson) {
 
 TEST(ObsRegistryTest, MultiThreadShardsMergeExactly) {
   Registry reg;
-  const MetricId c = reg.counter("hits");
-  const MetricId h = reg.histogram("vals", 0.0, 8.0, 8);
+  const MetricId c = reg.counter("hits", MetricClass::kDeterministic);
+  const MetricId h =
+      reg.histogram("vals", 0.0, 8.0, 8, MetricClass::kDeterministic);
   constexpr int kThreads = 8;
   constexpr std::uint64_t kPerThread = 10000;
   std::vector<std::thread> workers;
@@ -136,9 +143,10 @@ TEST(ObsRegistryTest, MultiThreadShardsMergeExactly) {
 
 TEST(ObsRegistryTest, DeltaSubtractsCountersAndBuckets) {
   Registry reg;
-  const MetricId c = reg.counter("n");
-  const MetricId h = reg.histogram("h", 0.0, 4.0, 2);
-  const MetricId g = reg.gauge("g");
+  const MetricId c = reg.counter("n", MetricClass::kDeterministic);
+  const MetricId h =
+      reg.histogram("h", 0.0, 4.0, 2, MetricClass::kDeterministic);
+  const MetricId g = reg.gauge("g", MetricClass::kDeterministic);
   reg.add(c, 10);
   reg.observe(h, 1.0);
   reg.set(g, 1.0);
@@ -161,7 +169,8 @@ TEST(ObsRegistryTest, SlotCapacityThrows) {
   bool threw = false;
   for (int i = 0; used <= Registry::kMaxSlots; ++i) {
     try {
-      reg.histogram("h" + std::to_string(i), 0.0, 1.0, 64);
+      reg.histogram("h" + std::to_string(i), 0.0, 1.0, 64,
+                    MetricClass::kDeterministic);
       used += 64;
     } catch (const std::length_error&) {
       threw = true;
@@ -176,7 +185,7 @@ TEST(ObsRegistryTest, SnapshotJsonIsDeterministicAcrossThreadCounts) {
   // the determinism contract the engine metrics rely on.
   const auto run = [](int threads) {
     Registry reg;
-    const MetricId c = reg.counter("work");
+    const MetricId c = reg.counter("work", MetricClass::kDeterministic);
     std::vector<std::thread> workers;
     for (int t = 0; t < threads; ++t) {
       workers.emplace_back([&reg, c, threads] {

@@ -38,20 +38,20 @@ TEST(JsonParseTest, RoundTripsScalarsAndPreservesRawNumbers) {
   // Raw text survives even when the double round-trip would normalise it.
   EXPECT_EQ(v.at("e").at("nested").raw, "0.1000");
   EXPECT_EQ(v.find("missing"), nullptr);
-  EXPECT_THROW(v.at("missing"), std::out_of_range);
+  EXPECT_THROW((void)v.at("missing"), std::out_of_range);
 }
 
 TEST(JsonParseTest, RejectsMalformedInput) {
-  EXPECT_THROW(util::parse_json(""), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("{"), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("[1,]"), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("{\"a\":1} trailing"), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("01"), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("1."), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("\"unterminated"), util::JsonParseError);
-  EXPECT_THROW(util::parse_json("nul"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json(""), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("{"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("[1,]"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("{\"a\":1} trailing"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("01"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("1."), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("\"unterminated"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("nul"), util::JsonParseError);
   try {
-    util::parse_json("[1, x]");
+    (void)util::parse_json("[1, x]");
     FAIL() << "expected JsonParseError";
   } catch (const util::JsonParseError& e) {
     EXPECT_EQ(e.offset(), 4u);  // byte offset of the bad token

@@ -1,0 +1,86 @@
+// util::parse_json error-offset contract.
+//
+// The parser promises a *byte-exact* offset in every JsonParseError — the
+// same file:position discipline the lint diagnostics build on — so these
+// tests pin the offset for each truncation point and for multi-root input,
+// not just "it throws". A drifting offset means a drifting error message in
+// every tool that reports one.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tlb/util/json_parse.hpp"
+
+namespace util = tlb::util;
+
+namespace {
+
+// Parse `text`, which must fail, and return the reported byte offset.
+std::size_t fail_offset(const std::string& text) {
+  try {
+    (void)util::parse_json(text);
+  } catch (const util::JsonParseError& e) {
+    return e.offset();
+  }
+  ADD_FAILURE() << "expected parse failure for: " << text;
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(JsonParseOffsetTest, EmptyInputFailsAtByteZero) {
+  EXPECT_EQ(fail_offset(""), 0u);
+  EXPECT_EQ(fail_offset("   "), 3u);  // whitespace consumed, then EOF
+}
+
+TEST(JsonParseOffsetTest, TruncatedContainersPointPastLastToken) {
+  // "{" — object opened, EOF where a key or '}' must follow.
+  EXPECT_EQ(fail_offset("{"), 1u);
+  // "[1," — the comma promises another element; EOF right after it.
+  EXPECT_EQ(fail_offset("[1,"), 3u);
+  // "[1" — EOF where ',' or ']' must follow.
+  EXPECT_EQ(fail_offset("[1"), 2u);
+  // "{\"k\"" — EOF where the ':' must follow the key.
+  EXPECT_EQ(fail_offset("{\"k\""), 4u);
+  // "{\"k\":" — EOF where the value must start.
+  EXPECT_EQ(fail_offset("{\"k\":"), 5u);
+}
+
+TEST(JsonParseOffsetTest, TruncatedScalarsPointAtTheBreak) {
+  // Unterminated string: offset is one past the last consumed byte.
+  EXPECT_EQ(fail_offset("\"abc"), 4u);
+  // Truncated \u escape: offset points at the 'u' (pos after consuming it).
+  EXPECT_EQ(fail_offset("\"a\\u12"), 4u);
+  // Bare escape at EOF.
+  EXPECT_EQ(fail_offset("\"a\\"), 3u);
+  // "tru" / "nul": literal dispatch failed where the literal started.
+  EXPECT_EQ(fail_offset("tru"), 0u);
+  EXPECT_EQ(fail_offset("nul"), 0u);
+  // "-" — sign consumed, digit required at EOF.
+  EXPECT_EQ(fail_offset("-"), 1u);
+  // "1." — fraction dot consumed, digit required at EOF.
+  EXPECT_EQ(fail_offset("1."), 2u);
+  // "1e" — exponent marker consumed, digit required at EOF.
+  EXPECT_EQ(fail_offset("1e"), 2u);
+}
+
+TEST(JsonParseOffsetTest, MultiRootInputFailsAtSecondRoot) {
+  // One complete document, then a second: "trailing content" must point at
+  // the first byte of the *second* root, not at EOF.
+  EXPECT_EQ(fail_offset("{} {}"), 3u);
+  EXPECT_EQ(fail_offset("1 2"), 2u);
+  EXPECT_EQ(fail_offset("[] []"), 3u);
+  EXPECT_EQ(fail_offset("null null"), 5u);
+  EXPECT_EQ(fail_offset("\"a\" \"b\""), 4u);
+}
+
+TEST(JsonParseOffsetTest, WhatMessageCarriesTheByteOffset) {
+  try {
+    (void)util::parse_json("[1,");
+    FAIL() << "expected JsonParseError";
+  } catch (const util::JsonParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("at byte 3"), std::string::npos) << what;
+  }
+}
+
+}  // namespace

@@ -14,10 +14,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iterator>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "tlb/dsan/bisect.hpp"
+#include "tlb/dsan/observer.hpp"
+#include "tlb/dsan/probe.hpp"
+#include "tlb/dsan/trace.hpp"
 #include "tlb/engine/observer.hpp"
 #include "tlb/obs/analytics.hpp"
 #include "tlb/obs/registry.hpp"
@@ -51,6 +58,15 @@ void print_registry() {
               tlb::workload::weight_model_grammar().c_str());
   std::printf("  arrivals:   %s\n",
               tlb::workload::arrival_process_grammar().c_str());
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
 }
 
 }  // namespace
@@ -95,6 +111,23 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "perf suite: append {label, set, report} to this JSON array "
                "file (e.g. BENCH_perf.json)");
+  cli.add_flag("dsan-record", "",
+               "determinism sanitizer: record per-round fingerprints (trial "
+               "0 in scenario mode, every preset in bench mode) as a golden "
+               "trace at this path");
+  cli.add_flag("dsan-check", "",
+               "determinism sanitizer: re-run and compare fingerprints "
+               "against the golden trace at this path; first divergent "
+               "(section, round) fails the run");
+  cli.add_flag("dsan-bisect", "false",
+               "scenario mode: run side A (--engine-threads 1) against side "
+               "B (the --engine-threads value, plus --dsan-plant if set) and "
+               "report the first divergent round/phase/resource; exits 1 on "
+               "divergence, 0 when the sides agree");
+  cli.add_flag("dsan-plant", "-1",
+               "bisector fault injection: consume one extra RNG draw on "
+               "side B at this engine step (0-based, warmup steps included; "
+               "-1 = none)");
   util::ObsOptions::register_flags(cli, /*with_round_trace=*/true);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -113,7 +146,8 @@ int main(int argc, char** argv) {
       const std::string report = workload::run_perf_set(
           set, /*only=*/"", seed, cli.get_bool("timings"),
           cli.get_int("engine-threads"), obs_opts.metrics,
-          trace ? &*trace : nullptr, obs_opts.analytics_every);
+          trace ? &*trace : nullptr, obs_opts.analytics_every,
+          cli.get_string("dsan-record"), cli.get_string("dsan-check"));
       std::printf("%s\n", report.c_str());
       if (trace) trace->write(obs_opts.trace_out);
       workload::append_bench_entry_cli(cli.get_string("append"),
@@ -165,6 +199,60 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
 
+    if (cli.get_bool("dsan-bisect")) {
+      // Divergence bisection: side A is the single-threaded reference, side
+      // B the engine-thread count under test (plus the planted fault, if
+      // any). Both sides run one trial — the probe and observer are
+      // single-engine anyway — so the whole comparison is seed-pure.
+      const long plant = cli.get_int("dsan-plant");
+      struct SideRun {
+        std::vector<dsan::Row> rows;
+        std::vector<double> loads;
+      };
+      const auto run_side = [&](std::size_t side_threads, long plant_step,
+                                bool detail, long capture_round) {
+        workload::ScenarioParams side = params;
+        side.engine_threads = side_threads;
+        dsan::StepProbe probe;
+        if (plant_step >= 0) probe.set_plant_step(plant_step);
+        if (detail) probe.set_detail_step(dsan::StepProbe::kDetailAll);
+        dsan::FingerprintObserver fp(&probe);
+        fp.set_capture_round(capture_round);
+        side.dsan = &probe;
+        engine::ObserverList side_obs;
+        side_obs.add(&fp);
+        side.round_observer = side_obs.or_null();
+        const workload::Scenario side_scenario(spec, side);
+        (void)side_scenario.run(/*trials=*/1, seed, /*threads=*/1);
+        return SideRun{fp.rows(), fp.captured_loads()};
+      };
+
+      const SideRun a = run_side(1, -1, false, -1);
+      const SideRun b =
+          run_side(params.engine_threads, plant, false, -1);
+      const dsan::Divergence div = dsan::first_divergence(a.rows, b.rows);
+      dsan::BisectReport report;
+      if (div.found) {
+        report.diverged = true;
+        report.round = div.round;
+        report.final_state = div.final_state;
+        // Narrowing rerun: per-phase sub-digests everywhere, load vectors
+        // captured at the divergent round (final-state divergences have no
+        // in-round phases to compare).
+        const long cap = div.final_state ? -1 : div.round;
+        const SideRun a2 = run_side(1, -1, true, cap);
+        const SideRun b2 =
+            run_side(params.engine_threads, plant, true, cap);
+        if (div.index < a2.rows.size() && div.index < b2.rows.size()) {
+          report.phase = dsan::first_divergent_phase(a2.rows[div.index],
+                                                     b2.rows[div.index]);
+        }
+        report.resource = dsan::first_divergent_resource(a2.loads, b2.loads);
+      }
+      std::printf("%s", report.render().c_str());
+      return report.diverged ? 1 : 0;
+    }
+
     // Observability attachments (all optional; results are unchanged by
     // any of them — observers never draw from the RNG).
     const util::ObsOptions obs_opts =
@@ -189,9 +277,27 @@ int main(int argc, char** argv) {
       analytics.emplace(obs_opts.analytics_every);
       observers.add(&*analytics);
     }
+    // Determinism sanitizer: probe + fingerprint observer ride trial 0
+    // alongside the other observers; the trace section is keyed by the
+    // canonical spec so a golden file is self-describing.
+    const std::string dsan_record = cli.get_string("dsan-record");
+    const std::string dsan_check = cli.get_string("dsan-check");
+    std::optional<dsan::StepProbe> dsan_probe;
+    std::optional<dsan::FingerprintObserver> dsan_fp;
+    if (!dsan_record.empty() || !dsan_check.empty()) {
+      if (!dsan_record.empty()) {
+        // Fail on an unwritable path before the run, not after it.
+        obs::write_text_file(dsan_record, "");
+      }
+      dsan_probe.emplace();
+      dsan_probe->set_plant_step(cli.get_int("dsan-plant"));
+      dsan_fp.emplace(&*dsan_probe, registry ? &*registry : nullptr);
+      observers.add(&*dsan_fp);
+      params.dsan = &*dsan_probe;
+    }
     params.registry = registry ? &*registry : nullptr;
     params.trace = trace ? &*trace : nullptr;
-    // Both per-round observers ride trial 0 through one fan-out list.
+    // All per-round observers ride trial 0 through one fan-out list.
     params.round_observer = observers.or_null();
 
     const workload::Scenario scenario(spec, params);
@@ -203,6 +309,29 @@ int main(int argc, char** argv) {
     if (trace) trace->write(obs_opts.trace_out);
     if (round_sink) {
       obs::write_text_file(obs_opts.round_trace, round_sink->json());
+    }
+    if (dsan_fp) {
+      std::vector<dsan::TraceSection> sections;
+      sections.push_back(
+          dsan::make_section(spec.canonical(), dsan_fp->rows()));
+      if (!dsan_record.empty()) {
+        obs::write_text_file(dsan_record,
+                             dsan::render_trace(sections, seed));
+        std::fprintf(stderr, "tlb_sim: dsan trace recorded to %s\n",
+                     dsan_record.c_str());
+      }
+      if (!dsan_check.empty()) {
+        const std::vector<dsan::TraceSection> golden =
+            dsan::parse_trace(read_text_file(dsan_check));
+        const dsan::CheckResult check = dsan::check_trace(golden, sections);
+        if (!check.ok) {
+          std::fprintf(stderr, "tlb_sim: dsan check failed against %s: %s\n",
+                       dsan_check.c_str(), check.message.c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "tlb_sim: dsan check passed against %s\n",
+                     dsan_check.c_str());
+      }
     }
     std::string metrics_raw;
     std::string metrics_timing_raw;

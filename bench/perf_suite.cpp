@@ -37,6 +37,13 @@ int main(int argc, char** argv) {
   cli.add_flag("append", "",
                "append {label, set, report} to this JSON array file "
                "(e.g. BENCH_perf.json)");
+  cli.add_flag("dsan-record", "",
+               "determinism sanitizer: record every preset's per-round "
+               "fingerprints as a golden trace at this path");
+  cli.add_flag("dsan-check", "",
+               "determinism sanitizer: compare fingerprints against the "
+               "golden trace at this path; first divergent (preset, round) "
+               "fails the run");
   util::ObsOptions::register_flags(cli, /*with_round_trace=*/false);
   if (!cli.parse(argc, argv)) return 1;
 
@@ -50,7 +57,8 @@ int main(int argc, char** argv) {
     const std::string report = workload::run_perf_set(
         set, cli.get_string("only"), seed, cli.get_bool("timings"),
         cli.get_int("engine-threads"), obs_opts.metrics,
-        trace ? &*trace : nullptr, obs_opts.analytics_every);
+        trace ? &*trace : nullptr, obs_opts.analytics_every,
+        cli.get_string("dsan-record"), cli.get_string("dsan-check"));
     std::printf("%s\n", report.c_str());
     if (trace) trace->write(obs_opts.trace_out);
     workload::append_bench_entry_cli(cli.get_string("append"),

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "tlb/dsan/probe.hpp"
+#include "tlb/dsan/state_digest.hpp"
 #include "tlb/engine/driver.hpp"
 #include "tlb/util/binomial.hpp"
 #include "tlb/util/parallel.hpp"
@@ -226,19 +228,24 @@ std::size_t DynamicUserEngine::do_protocol_step(util::Rng& rng) {
   // only the frozen round-start counts/loads — race-free and bitwise
   // independent of config_.threads.
   const std::size_t C = class_weights_.size();
+  dsan::StepProbe* const probe = config_.dsan;
   const std::uint64_t round_seed = rng();
   const std::vector<graph::Node>& over = overloaded_now();
   const std::size_t shards = util::shard_count(over.size(), kShardGrain);
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
+  if (probe != nullptr) probe->arm_shards(shards);
   {
     const obs::PhaseSpan span(sink_, m_sample_ns_, "dynamic.sample");
     util::parallel_shard(
         over.size(), kShardGrain, pool_.get(),
-        [this, &over, C, round_seed](std::size_t shard, std::size_t lo,
-                                     std::size_t hi) {
+        [this, &over, C, round_seed,
+         probe](std::size_t shard, std::size_t lo, std::size_t hi) {
           std::vector<Departure>& buf = shard_bufs_[shard];
           buf.clear();
           util::Rng srng(util::derive_seed(round_seed, shard));
+          // Binomial inversion draws a variable count — no exact budget;
+          // the probe records the actual (deterministic) draw count.
+          if (probe != nullptr) srng.attach_probe(probe->shard_slot(shard));
           for (std::size_t i = lo; i < hi; ++i) {
             const graph::Node r = over[i];
             if (task_counts_[r] == 0) continue;
@@ -308,18 +315,42 @@ double DynamicUserEngine::phi_of(graph::Node r) const {
 }
 
 std::size_t DynamicUserEngine::step(util::Rng& rng) {
+  dsan::StepProbe* const probe = config_.dsan;
+  if (probe != nullptr) probe->begin_step(rng);
   {
     const obs::PhaseSpan span(sink_, m_arrivals_ns_, "dynamic.arrivals");
     do_arrivals(rng);
+  }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    d.u64(population_);
+    d.f64(total_weight_);
+    dsan::digest_loads(loads_, d);
+    probe->phase("arrivals", d.value());
   }
   ++round_;
   {
     const obs::PhaseSpan span(sink_, m_completions_ns_, "dynamic.completions");
     do_completions(rng);
   }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    d.u64(population_);
+    d.f64(total_weight_);
+    dsan::digest_loads(loads_, d);
+    probe->phase("completions", d.value());
+  }
   do_crash(rng);
   recompute_threshold();
   last_migrations_ = do_protocol_step(rng);
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    d.f64(threshold_);
+    d.u64(last_migrations_);
+    dsan::digest_loads(loads_, d);
+    probe->phase("protocol", d.value());
+  }
+  if (probe != nullptr) probe->end_step(rng);
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
     using obs::MetricClass;
@@ -360,6 +391,27 @@ double DynamicUserEngine::max_load() const {
     max = std::max(max, loads_[r]);
   }
   return max;
+}
+
+void DynamicUserEngine::collect_fingerprint(dsan::Digest& d) const {
+  const std::size_t C = class_weights_.size();
+  d.u64(config_.n);
+  d.u64(C);
+  d.u64(population_);
+  d.f64(total_weight_);
+  d.f64(threshold_);
+  for (graph::Node r = 0; r < config_.n; ++r) {
+    d.f64(loads_[r]);
+    d.u64(task_counts_[r]);
+    for (std::size_t c = 0; c < C; ++c) {
+      d.u64(counts_[static_cast<std::size_t>(r) * C + c]);
+    }
+  }
+  // Tracker bookkeeping: const reads only (see digest_state) — never flush.
+  for (const graph::Node r : over_.items()) d.u64(r);
+  d.u64(over_.dirty_size());
+  d.u64(over_.flush_checks());
+  d.u64(over_.dirty_marks());
 }
 
 void DynamicUserEngine::collect_load_stats(LoadStatsCalc& calc,

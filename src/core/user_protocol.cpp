@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "tlb/core/potential.hpp"
+#include "tlb/dsan/probe.hpp"
+#include "tlb/dsan/state_digest.hpp"
 #include "tlb/engine/driver.hpp"
 #include "tlb/util/binomial.hpp"
 #include "tlb/util/parallel.hpp"
@@ -152,6 +154,8 @@ void UserControlledEngine::reset(const tasks::Placement& placement) {
 std::size_t UserControlledEngine::step(util::Rng& rng) {
   const Node n = state_.num_resources();
   const double w_max = tasks_->max_weight();
+  dsan::StepProbe* const probe = config_.options.dsan;
+  if (probe != nullptr) probe->begin_step(rng);
   // Per-round base seed for the sharded sampler, drawn from the caller's
   // stream so a run is still a pure function of the initial seed. Every
   // shard below derives its private stream from (round_seed, shard).
@@ -185,10 +189,16 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
     // too. Shards only read the frozen arrays and write disjoint mask bytes,
     // so the pass is race-free and bitwise independent of the thread count.
     flat_mask_.assign(total, 0);
+    if (probe != nullptr) {
+      probe->arm_shards(util::shard_count(total, kCoinShardGrain));
+    }
     util::parallel_shard(
         total, kCoinShardGrain, pool_.get(),
-        [this, round_seed](std::size_t shard, std::size_t lo, std::size_t hi) {
+        [this, round_seed,
+         probe](std::size_t shard, std::size_t lo, std::size_t hi) {
           util::Rng srng(util::derive_seed(round_seed, shard));
+          if (probe != nullptr) srng.attach_probe(probe->shard_slot(shard));
+          std::uint64_t expected_draws = 0;
           // Resource index whose coin range contains lo.
           std::size_t i = static_cast<std::size_t>(
                               std::upper_bound(coin_prefix_.begin(),
@@ -210,13 +220,25 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
               // Integer-threshold coin: success iff the raw 64-bit draw falls
               // below p * 2^64 (p < 1 keeps the product below 2^64).
               const auto cut = static_cast<std::uint64_t>(p * 0x1.0p64);
+              // Exactly one draw per coin with 0 < p < 1 — the one shard
+              // budget the stream discipline pins exactly (dsan checks it).
+              expected_draws += end - pos;
               for (std::size_t c = pos; c < end; ++c) {
                 if (srng() < cut) flat_mask_[c] = 1;
               }
             }
             pos = end;
           }
+          if (probe != nullptr) {
+            probe->expect_shard_draws(shard, expected_draws);
+          }
         });
+    if (probe != nullptr && probe->want_phases()) {
+      dsan::Digest d;
+      d.u64(total);
+      for (std::size_t c = 0; c < total; ++c) d.u64(flat_mask_[c]);
+      probe->phase("sample", d.value());
+    }
   }
 
   // Phase 1c: apply the removals on the calling thread, in overloaded-list
@@ -236,6 +258,15 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
                            over[i]);
     }
   }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    d.u64(movers_.size());
+    for (std::size_t i = 0; i < movers_.size(); ++i) {
+      d.u64(movers_[i]);
+      d.u64(mover_origin_[i]);
+    }
+    probe->phase("merge", d.value());
+  }
 
   // Phase 2: scatter to uniformly random resources.
   {
@@ -246,6 +277,12 @@ std::size_t UserControlledEngine::step(util::Rng& rng) {
       state_.push(dst, movers_[i]);
     }
   }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    dsan::digest_loads(state_.loads(), d);
+    probe->phase("apply", d.value());
+  }
+  if (probe != nullptr) probe->end_step(rng);
 
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
@@ -424,6 +461,8 @@ double GroupedUserEngine::potential() const {
 std::size_t GroupedUserEngine::step(util::Rng& rng) {
   const std::size_t C = class_weights_.size();
   const double w_max = tasks_->max_weight();
+  dsan::StepProbe* const probe = config_.options.dsan;
+  if (probe != nullptr) probe->begin_step(rng);
   // Per-round base seed for the sharded sampler (see the header comment).
   const std::uint64_t round_seed = rng();
 
@@ -436,15 +475,20 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
   const std::vector<Node>& over = overloaded();
   const std::size_t shards = util::shard_count(over.size(), kShardGrain);
   if (shard_bufs_.size() < shards) shard_bufs_.resize(shards);
+  if (probe != nullptr) probe->arm_shards(shards);
   {
     const obs::PhaseSpan span(sink_, m_sample_ns_, "grouped.sample");
     util::parallel_shard(
         over.size(), kShardGrain, pool_.get(),
-        [this, &over, C, w_max, round_seed](std::size_t shard, std::size_t lo,
-                                            std::size_t hi) {
+        [this, &over, C, w_max, round_seed,
+         probe](std::size_t shard, std::size_t lo, std::size_t hi) {
           std::vector<Departure>& buf = shard_bufs_[shard];
           buf.clear();
           util::Rng srng(util::derive_seed(round_seed, shard));
+          // Binomial inversion draws a variable count, so no exact budget
+          // is declared — the probe records the actual (deterministic)
+          // draw count into the round fingerprint instead.
+          if (probe != nullptr) srng.attach_probe(probe->shard_slot(shard));
           for (std::size_t i = lo; i < hi; ++i) {
             const Node r = over[i];
             const double phi = phi_of(r);
@@ -463,6 +507,19 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
             }
           }
         });
+  }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    d.u64(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      d.u64(shard_bufs_[s].size());
+      for (const Departure& dep : shard_bufs_[s]) {
+        d.u64(dep.src);
+        d.u64(dep.cls);
+        d.u64(dep.count);
+      }
+    }
+    probe->phase("sample", d.value());
   }
 
   // Phase 2: apply in shard order on the calling thread — remove, then
@@ -496,6 +553,12 @@ std::size_t GroupedUserEngine::step(util::Rng& rng) {
       }
     }
   }
+  if (probe != nullptr && probe->want_phases()) {
+    dsan::Digest d;
+    dsan::digest_loads(loads_, d);
+    probe->phase("apply", d.value());
+  }
+  if (probe != nullptr) probe->end_step(rng);
 
   if (sink_.registry != nullptr) {
     obs::Registry& reg = *sink_.registry;
@@ -529,6 +592,27 @@ double GroupedUserEngine::max_load() const {
     return idx->max_indexed_load();
   }
   return *std::max_element(loads_.begin(), loads_.end());
+}
+
+void GroupedUserEngine::collect_fingerprint(dsan::Digest& d) const {
+  const std::size_t C = class_weights_.size();
+  d.u64(n_);
+  d.u64(C);
+  for (Node r = 0; r < n_; ++r) {
+    d.f64(loads_[r]);
+    d.u64(task_counts_[r]);
+    for (std::size_t c = 0; c < C; ++c) {
+      d.u64(counts_[static_cast<std::size_t>(r) * C + c]);
+    }
+  }
+  for (Node r = 0; r < n_; ++r) d.f64(thresholds_[r]);
+  // Tracker bookkeeping: const reads only, same surface as digest_state —
+  // items() as of the last flush plus the dirty/flush counters. Never
+  // flush here: that would shift the per-step counter deltas above.
+  for (const Node r : over_.items()) d.u64(r);
+  d.u64(over_.dirty_size());
+  d.u64(over_.flush_checks());
+  d.u64(over_.dirty_marks());
 }
 
 void GroupedUserEngine::collect_load_stats(LoadStatsCalc& calc,

@@ -1,0 +1,15 @@
+#include "tlb/dsan/fingerprint.hpp"
+
+namespace tlb::dsan {
+
+std::string to_hex(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xfU];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace tlb::dsan

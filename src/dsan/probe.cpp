@@ -1,0 +1,28 @@
+#include "tlb/dsan/probe.hpp"
+
+namespace tlb::dsan {
+
+std::string BudgetViolation::render() const {
+  return "step " + std::to_string(step) + " shard " + std::to_string(shard) +
+         ": expected " + std::to_string(expected) + " draws, stream consumed " +
+         std::to_string(actual);
+}
+
+void StepProbe::end_step(util::Rng& rng) {
+  rng.attach_probe(nullptr);
+  record_.rng_state = rng.state_hash();
+  Digest d;
+  d.u64(shard_draws_.size());
+  for (std::size_t s = 0; s < shard_draws_.size(); ++s) {
+    d.u64(s);
+    d.u64(shard_draws_[s]);
+    record_.shard_draws += shard_draws_[s];
+    if (shard_expect_[s] != kNoBudget && shard_expect_[s] != shard_draws_[s]) {
+      violations_.push_back({step_, s, shard_expect_[s], shard_draws_[s]});
+    }
+  }
+  record_.shard_digest = d.value();
+  fresh_ = true;
+}
+
+}  // namespace tlb::dsan

@@ -1,0 +1,44 @@
+#include "tlb/dsan/state_digest.hpp"
+
+#include "tlb/core/overloaded_set.hpp"
+#include "tlb/mem/task_arena.hpp"
+
+namespace tlb::dsan {
+
+void digest_state(const core::SystemState& state, Digest& d) {
+  const mem::TaskArena& arena = state.arena();
+  const graph::Node n = state.num_resources();
+  d.u64(n);
+  d.u64(arena.total_tasks());
+  for (graph::Node r = 0; r < n; ++r) {
+    d.f64(arena.load(r));
+    const mem::TaskSpan span = arena.tasks(r);
+    const double* w = arena.weights(r);
+    d.u64(span.size());
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      d.u64(span[i]);
+      d.f64(w[i]);
+    }
+  }
+  if (state.has_thresholds()) {
+    for (graph::Node r = 0; r < n; ++r) d.f64(state.threshold_of(r));
+  }
+  // Tracker bookkeeping: const reads only — items() is the list as of the
+  // last flush, dirty_size() the pending queue; neither reconciles.
+  const core::OverloadedSet& tracker = state.overloaded_tracker();
+  for (const graph::Node r : tracker.items()) d.u64(r);
+  d.u64(tracker.dirty_size());
+  d.u64(tracker.flush_checks());
+  d.u64(tracker.dirty_marks());
+}
+
+void digest_loads(const double* loads, std::size_t n, Digest& d) {
+  d.u64(n);
+  for (std::size_t i = 0; i < n; ++i) d.f64(loads[i]);
+}
+
+void digest_loads(const std::vector<double>& loads, Digest& d) {
+  digest_loads(loads.data(), loads.size(), d);
+}
+
+}  // namespace tlb::dsan

@@ -1,0 +1,177 @@
+#include "tlb/dsan/trace.hpp"
+
+#include <stdexcept>
+
+#include "tlb/util/json_parse.hpp"
+
+namespace tlb::dsan {
+
+TraceSection make_section(std::string name, const std::vector<Row>& rows) {
+  TraceSection section;
+  section.name = std::move(name);
+  section.rows.reserve(rows.size());
+  for (const Row& row : rows) {
+    section.rows.push_back({row.round, row.final_state, to_hex(row.fp)});
+  }
+  return section;
+}
+
+std::string render_trace(const std::vector<TraceSection>& sections,
+                         std::uint64_t seed) {
+  std::string out = "{\"dsan\":\"v1\",\"seed\":" + std::to_string(seed) +
+                    ",\"sections\":[";
+  bool first_section = true;
+  for (const TraceSection& section : sections) {
+    if (!first_section) out += ",";
+    first_section = false;
+    out += "{\"name\":\"" + section.name + "\",\"rows\":[";
+    bool first_row = true;
+    for (const TraceRow& row : section.rows) {
+      if (!first_row) out += ",";
+      first_row = false;
+      if (row.final_state) {
+        out += "{\"final\":true,\"fp\":\"" + row.fp + "\"}";
+      } else {
+        out += "{\"round\":" + std::to_string(row.round) + ",\"fp\":\"" +
+               row.fp + "\"}";
+      }
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::vector<TraceSection> parse_trace(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("dsan trace: document is not a JSON object");
+  }
+  const util::JsonValue* version = doc.find("dsan");
+  if (version == nullptr || !version->is_string() ||
+      version->string != "v1") {
+    throw std::runtime_error("dsan trace: missing or unknown \"dsan\" version");
+  }
+  const util::JsonValue* sections = doc.find("sections");
+  if (sections == nullptr || !sections->is_array()) {
+    throw std::runtime_error("dsan trace: \"sections\" is not an array");
+  }
+  std::vector<TraceSection> out;
+  out.reserve(sections->items.size());
+  for (const util::JsonValue& sec : sections->items) {
+    if (!sec.is_object()) {
+      throw std::runtime_error("dsan trace: section is not an object");
+    }
+    TraceSection section;
+    const util::JsonValue& name = sec.at("name");
+    if (!name.is_string()) {
+      throw std::runtime_error("dsan trace: section name is not a string");
+    }
+    section.name = name.string;
+    const util::JsonValue& rows = sec.at("rows");
+    if (!rows.is_array()) {
+      throw std::runtime_error("dsan trace: section rows is not an array");
+    }
+    section.rows.reserve(rows.items.size());
+    for (const util::JsonValue& row : rows.items) {
+      if (!row.is_object()) {
+        throw std::runtime_error("dsan trace: row is not an object");
+      }
+      TraceRow parsed;
+      const util::JsonValue& fp = row.at("fp");
+      if (!fp.is_string() || fp.string.size() != 16) {
+        throw std::runtime_error(
+            "dsan trace: row fp is not a 16-char hex string");
+      }
+      parsed.fp = fp.string;
+      if (const util::JsonValue* final_flag = row.find("final");
+          final_flag != nullptr) {
+        if (!final_flag->is_bool() || !final_flag->boolean) {
+          throw std::runtime_error("dsan trace: row \"final\" is not true");
+        }
+        parsed.final_state = true;
+        parsed.round = -1;
+      } else {
+        const util::JsonValue& round = row.at("round");
+        if (!round.is_number()) {
+          throw std::runtime_error("dsan trace: row round is not a number");
+        }
+        parsed.round = static_cast<long>(round.number);
+      }
+      section.rows.push_back(std::move(parsed));
+    }
+    out.push_back(std::move(section));
+  }
+  return out;
+}
+
+namespace {
+
+std::string row_label(const TraceRow& row) {
+  return row.final_state ? std::string("final state")
+                         : "round " + std::to_string(row.round);
+}
+
+}  // namespace
+
+CheckResult check_trace(const std::vector<TraceSection>& golden,
+                        const std::vector<TraceSection>& current) {
+  CheckResult result;
+  if (golden.size() != current.size()) {
+    result.ok = false;
+    result.message = "section count mismatch: golden has " +
+                     std::to_string(golden.size()) + ", current has " +
+                     std::to_string(current.size());
+    return result;
+  }
+  for (std::size_t s = 0; s < golden.size(); ++s) {
+    const TraceSection& g = golden[s];
+    const TraceSection& c = current[s];
+    if (g.name != c.name) {
+      result.ok = false;
+      result.section = g.name;
+      result.message = "section " + std::to_string(s) + " name mismatch: \"" +
+                       g.name + "\" vs \"" + c.name + "\"";
+      return result;
+    }
+    const std::size_t common = g.rows.size() < c.rows.size() ? g.rows.size()
+                                                             : c.rows.size();
+    for (std::size_t r = 0; r < common; ++r) {
+      const TraceRow& gr = g.rows[r];
+      const TraceRow& cr = c.rows[r];
+      if (gr.round != cr.round || gr.final_state != cr.final_state) {
+        result.ok = false;
+        result.section = g.name;
+        result.round = gr.round;
+        result.message = "section \"" + g.name + "\": row " +
+                         std::to_string(r) + " is " + row_label(gr) +
+                         " in golden but " + row_label(cr) + " in current";
+        return result;
+      }
+      if (gr.fp != cr.fp) {
+        result.ok = false;
+        result.section = g.name;
+        result.round = gr.round;
+        result.message = "section \"" + g.name + "\": fingerprint mismatch at " +
+                         row_label(gr) + ": golden " + gr.fp + ", current " +
+                         cr.fp;
+        return result;
+      }
+    }
+    if (g.rows.size() != c.rows.size()) {
+      result.ok = false;
+      result.section = g.name;
+      const TraceRow& edge = g.rows.size() > c.rows.size() ? g.rows[common]
+                                                           : c.rows[common];
+      result.round = edge.round;
+      result.message = "section \"" + g.name + "\": golden has " +
+                       std::to_string(g.rows.size()) + " rows, current has " +
+                       std::to_string(c.rows.size()) +
+                       " (first extra: " + row_label(edge) + ")";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace tlb::dsan

@@ -43,6 +43,11 @@ struct DriveOptions;
 class RoundObserver;
 }
 
+namespace tlb::dsan {
+class Digest;
+class StepProbe;
+}  // namespace tlb::dsan
+
 namespace tlb::core {
 
 /// Weight classes for the dynamic workload: value + arrival probability.
@@ -81,6 +86,9 @@ struct DynamicConfig {
   /// registry/trace is attached; detached it takes no timestamps.
   obs::Registry* registry = nullptr;
   obs::TraceWriter* trace = nullptr;
+  /// Determinism-sanitizer step probe (optional, not owned, stateful —
+  /// never share one across concurrent trials). See EngineOptions::dsan.
+  dsan::StepProbe* dsan = nullptr;
 };
 
 /// Aggregated steady-state metrics.
@@ -132,6 +140,11 @@ class DynamicUserEngine {
   /// Analytics hook: deterministic load-distribution snapshot against the
   /// current threshold, index-served when the tracker's index is live.
   void collect_load_stats(LoadStatsCalc& calc, LoadStats& out) const;
+  /// dsan hook: digest the churn state surface (loads, per-class counts,
+  /// population, threshold, tracker bookkeeping). Const reads only.
+  void collect_fingerprint(dsan::Digest& d) const;
+  /// dsan hook: copy the per-resource load vector (bisection report).
+  void collect_loads(std::vector<double>& out) const { out = loads_; }
   /// The threshold currently in force (recomputed every round).
   [[nodiscard]] double reported_threshold() const noexcept {
     return threshold_;

@@ -14,6 +14,10 @@ class Registry;
 class TraceWriter;
 }  // namespace tlb::obs
 
+namespace tlb::dsan {
+class StepProbe;
+}  // namespace tlb::dsan
+
 namespace tlb::core {
 
 /// Outcome of one protocol execution (one trial).
@@ -62,6 +66,11 @@ struct EngineOptions {
   /// Trace-event writer for per-phase spans (chrome://tracing). nullptr =
   /// no spans recorded.
   obs::TraceWriter* trace = nullptr;
+  /// Determinism-sanitizer step probe (RNG draw accounting + phase
+  /// sub-digests). nullptr = fully detached: the engines' probe hooks are
+  /// single pointer tests. The probe is stateful and strictly
+  /// single-engine: never share one instance across concurrent trials.
+  dsan::StepProbe* dsan = nullptr;
 };
 
 }  // namespace tlb::core

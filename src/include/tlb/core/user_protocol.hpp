@@ -45,6 +45,10 @@
 #include "tlb/util/rng.hpp"
 #include "tlb/util/thread_pool.hpp"
 
+namespace tlb::dsan {
+class Digest;
+}  // namespace tlb::dsan
+
 namespace tlb::core {
 
 /// The ascending table of distinct weights in `ts`, or std::nullopt when
@@ -188,6 +192,12 @@ class GroupedUserEngine {
   /// Analytics hook: deterministic load-distribution snapshot against
   /// reported_threshold(), index-served when the tracker's index is live.
   void collect_load_stats(LoadStatsCalc& calc, LoadStats& out) const;
+  /// dsan hook: digest the grouped state surface (loads, per-class counts,
+  /// tracker bookkeeping) — the engine has no SystemState, so the generic
+  /// digest cannot serve it. Const reads only; never reconciles the set.
+  void collect_fingerprint(dsan::Digest& d) const;
+  /// dsan hook: copy the per-resource load vector (bisection report).
+  void collect_loads(std::vector<double>& out) const { out = loads_; }
 
   /// Overloaded-list shard grain for the grouped phase-1 sampler (per-class
   /// binomials are cheap, so shards batch whole resources). Part of the

@@ -1,0 +1,72 @@
+#pragma once
+// dsan::Digest — the determinism sanitizer's fingerprint engine.
+//
+// A fingerprint is a 64-bit FNV-1a digest over the deterministic state
+// surface of a run: per-resource loads, arena span contents, overloaded-set
+// bookkeeping and the RNG cursor. Two runs of the same (scenario, seed) are
+// bitwise identical iff their per-round fingerprints agree; the first round
+// where they disagree is where the streams forked — which is the whole
+// point: a failed byte-diff says *that* two runs diverged, a fingerprint
+// trace says *where*.
+//
+// Doubles are digested by bit pattern (std::bit_cast), never by value, so
+// +0.0 vs -0.0 and NaN payload differences — exactly the kind of drift a
+// reordered reduction produces — change the fingerprint.
+//
+// This header is a leaf: nothing but <bit>/<cstdint>/<string>, so the
+// engine layer can include it without dependency cycles.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tlb::dsan {
+
+/// Incremental FNV-1a (64-bit). Order-sensitive by design: digesting the
+/// same values in a different order yields a different fingerprint.
+class Digest {
+ public:
+  /// Fold in eight bytes, little-endian byte order (host-independent for
+  /// our supported targets; the trace format never leaves one toolchain).
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xffU)) * kPrime;
+    }
+  }
+
+  /// Fold in a double by bit pattern.
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Fold in raw text (section names, phase labels).
+  void str(std::string_view s) noexcept {
+    for (const char c : s) {
+      h_ = (h_ ^ static_cast<unsigned char>(c)) * kPrime;
+    }
+    u64(s.size());
+  }
+
+  /// The digest so far.
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = kOffset;
+};
+
+/// Combine two digests into one (order-sensitive).
+[[nodiscard]] inline std::uint64_t combine(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+  Digest d;
+  d.u64(a);
+  d.u64(b);
+  return d.value();
+}
+
+/// Fixed-width lowercase hex rendering ("0123456789abcdef"). Fingerprints
+/// are serialized as strings, never JSON numbers: util::json_parse reads
+/// numbers as doubles, which cannot hold 64 bits exactly.
+[[nodiscard]] std::string to_hex(std::uint64_t v);
+
+}  // namespace tlb::dsan

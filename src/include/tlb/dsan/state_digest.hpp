@@ -1,0 +1,29 @@
+#pragma once
+// Digest helpers over the deterministic state surface.
+//
+// digest_state() is the generic fingerprint every SystemState-backed engine
+// gets for free through engine::BalancerView: per-resource loads (bit
+// patterns), the arena's span contents (task ids + mirrored weights, so a
+// same-load different-stacking divergence is still caught), the tracked
+// thresholds, and the OverloadedSet's bookkeeping. The tracker is digested
+// through its const non-reconciling surface only (items as of the last
+// flush, dirty queue size, lifetime counters) — fingerprinting must never
+// trigger a flush, or attaching the sanitizer would shift the very
+// per-round cost counters it is meant to pin down.
+
+#include <cstdint>
+#include <vector>
+
+#include "tlb/core/system_state.hpp"
+#include "tlb/dsan/fingerprint.hpp"
+
+namespace tlb::dsan {
+
+/// Fold a SystemState's deterministic surface into `d`.
+void digest_state(const core::SystemState& state, Digest& d);
+
+/// Fold a plain load vector (grouped/dynamic engines, baselines).
+void digest_loads(const std::vector<double>& loads, Digest& d);
+void digest_loads(const double* loads, std::size_t n, Digest& d);
+
+}  // namespace tlb::dsan

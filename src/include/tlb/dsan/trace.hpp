@@ -1,0 +1,69 @@
+#pragma once
+// dsan golden traces — record/check serialization for round fingerprints.
+//
+// A trace is an ordered list of named sections (one per scenario or perf
+// preset), each an ordered list of per-round fingerprint rows plus one
+// trailing final-state row. `--dsan-record=FILE` writes one; `--dsan-check`
+// re-runs the same workload, renders the same structure, and compares —
+// first mismatching row wins, reported as (section, round).
+//
+// Fingerprints travel as 16-char lowercase hex *strings*, never JSON
+// numbers: util::json_parse stores numbers as doubles, which cannot hold a
+// full uint64, and check() compares the raw hex text anyway, so a trace
+// checked against itself is trivially byte-stable.
+//
+// The rendering obeys the --timings=false discipline: no wall-clock, no
+// thread counts, no machine identity — a trace recorded at --engine-threads
+// 1 must check clean at 2, 8 and 0 by the library's core contract.
+
+#include <string>
+#include <vector>
+
+#include "tlb/dsan/observer.hpp"
+
+namespace tlb::dsan {
+
+/// One row of a parsed/parseable trace; `fp` is the hex text.
+struct TraceRow {
+  long round = -1;
+  bool final_state = false;
+  std::string fp;
+};
+
+/// One named run within a trace (a scenario, a perf preset, one baseline).
+struct TraceSection {
+  std::string name;
+  std::vector<TraceRow> rows;
+};
+
+/// Convert observer rows into a section (hex-encodes the fingerprints).
+[[nodiscard]] TraceSection make_section(std::string name,
+                                        const std::vector<Row>& rows);
+
+/// Render the whole trace:
+///   {"dsan":"v1","seed":S,"sections":[{"name":...,"rows":[...]},...]}
+/// Deterministic: fixed key order, no whitespace, trailing newline.
+[[nodiscard]] std::string render_trace(const std::vector<TraceSection>& sections,
+                                       std::uint64_t seed);
+
+/// Parse a rendered trace. Throws std::runtime_error (with a reason) on
+/// anything that is not a v1 dsan trace.
+[[nodiscard]] std::vector<TraceSection> parse_trace(const std::string& text);
+
+/// Outcome of checking a freshly produced trace against a golden one.
+/// On mismatch, `section` names the diverging section and `round` the first
+/// divergent round (-1 = the final-state row); `message` is human-readable.
+struct CheckResult {
+  bool ok = true;
+  std::string section;
+  long round = -1;
+  std::string message;
+};
+
+/// First divergence between golden and current, or ok. Structural
+/// differences (section count/name/row count) are divergences too — a run
+/// that stops one round early diverged at its first missing row.
+[[nodiscard]] CheckResult check_trace(const std::vector<TraceSection>& golden,
+                                      const std::vector<TraceSection>& current);
+
+}  // namespace tlb::dsan

@@ -46,9 +46,11 @@
 
 #include <concepts>
 #include <cstdint>
+#include <vector>
 
 #include "tlb/core/load_stats.hpp"
 #include "tlb/core/system_state.hpp"
+#include "tlb/dsan/state_digest.hpp"
 #include "tlb/util/rng.hpp"
 
 namespace tlb::engine {
@@ -81,6 +83,24 @@ class BalancerView {
   virtual bool collect_load_stats(core::LoadStatsCalc& calc,
                                   core::LoadStats& out) const {
     (void)calc;
+    (void)out;
+    return false;
+  }
+  /// Fold the balancer's deterministic state surface into `d` (dsan round
+  /// fingerprints). Engines may provide a `collect_fingerprint(Digest&)`
+  /// hook; SystemState-backed engines get the generic digest; everything
+  /// else falls back to a coarse digest of the four observables above —
+  /// weaker, but still a per-round divergence signal. Never draws.
+  virtual void collect_fingerprint(dsan::Digest& d) const {
+    d.f64(potential());
+    d.u64(overloaded_count());
+    d.f64(max_load());
+    d.u64(balanced() ? 1 : 0);
+  }
+  /// Copy the per-resource load vector into `out` (dsan bisection's
+  /// first-divergent-resource report). Returns false when the balancer
+  /// offers no per-resource load read; `out` is untouched then.
+  virtual bool collect_loads(std::vector<double>& out) const {
     (void)out;
     return false;
   }
@@ -125,6 +145,32 @@ class ViewOf final : public BalancerView {
       // against the engine's reported threshold, index-accelerated when the
       // tracker's load index is live.
       out = b_->state().load_stats(b_->reported_threshold(), calc);
+      return true;
+    } else {
+      return false;
+    }
+  }
+  void collect_fingerprint(dsan::Digest& d) const override {
+    if constexpr (requires { b_->collect_fingerprint(d); }) {
+      b_->collect_fingerprint(d);
+    } else if constexpr (requires {
+                           { b_->state() }
+                           -> std::convertible_to<const core::SystemState&>;
+                         }) {
+      dsan::digest_state(b_->state(), d);
+    } else {
+      BalancerView::collect_fingerprint(d);
+    }
+  }
+  bool collect_loads(std::vector<double>& out) const override {
+    if constexpr (requires { b_->collect_loads(out); }) {
+      b_->collect_loads(out);
+      return true;
+    } else if constexpr (requires {
+                           { b_->state() }
+                           -> std::convertible_to<const core::SystemState&>;
+                         }) {
+      out = b_->state().loads();
       return true;
     } else {
       return false;

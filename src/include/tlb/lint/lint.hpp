@@ -23,6 +23,11 @@
 //       names an explicit determinism class (kDeterministic / kTiming).
 //   D6  thread_local only in the whitelisted per-thread shard caches
 //       (obs registry / trace buffers).
+//   D7  no std::hash in the deterministic subsystems — its output is
+//       implementation-defined (and for pointers depends on the allocation
+//       addresses of the run), so any value derived from it can leak
+//       run-to-run noise into results or fingerprints; digest with
+//       dsan::Digest (FNV-1a over explicit bytes) instead.
 //
 // Suppressions are explicit and carry a justification in the source:
 //
@@ -46,12 +51,12 @@
 namespace tlb::lint {
 
 /// The rule classes, in severity-neutral declaration order.
-enum class Rule { kD1, kD2, kD3, kD4, kD5, kD6 };
+enum class Rule { kD1, kD2, kD3, kD4, kD5, kD6, kD7 };
 
 /// Number of distinct rules (for tables indexed by rule).
-inline constexpr std::size_t kRuleCount = 6;
+inline constexpr std::size_t kRuleCount = 7;
 
-/// "D1".."D6".
+/// "D1".."D7".
 [[nodiscard]] const char* rule_name(Rule rule) noexcept;
 
 /// One-line human summary of what the rule forbids.

@@ -57,8 +57,10 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Next 64 random bits.
+  /// Next 64 random bits. Every draw in the library funnels through here,
+  /// which is what makes the dsan draw accounting below exhaustive.
   result_type operator()() noexcept {
+    if (draws_ != nullptr) ++*draws_;
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -68,6 +70,25 @@ class Rng {
     s_[2] ^= t;
     s_[3] = rotl(s_[3], 45);
     return result;
+  }
+
+  /// Attach a draw counter (determinism-sanitizer probe): every subsequent
+  /// operator() call increments *counter. nullptr detaches. The counter is
+  /// not owned and must outlive the attachment; detached (the default) the
+  /// only cost is one predictable branch per draw.
+  void attach_probe(std::uint64_t* counter) noexcept { draws_ = counter; }
+
+  /// Position-sensitive hash of the generator state (the "RNG cursor").
+  /// Two generators that consumed the same stream agree; one extra draw
+  /// anywhere changes it. Never advances the state.
+  [[nodiscard]] std::uint64_t state_hash() const noexcept {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const std::uint64_t s : s_) {
+      for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((s >> (8 * i)) & 0xffU)) * 1099511628211ULL;
+      }
+    }
+    return h;
   }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
@@ -111,6 +132,8 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t s_[4];
+  // dsan draw-accounting probe; null = detached.
+  std::uint64_t* draws_ = nullptr;
   // Marsaglia polar caches one deviate between calls.
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -28,6 +28,11 @@ namespace tlb::obs {
 class TraceWriter;
 }  // namespace tlb::obs
 
+namespace tlb::dsan {
+class FingerprintObserver;
+class StepProbe;
+}  // namespace tlb::dsan
+
 namespace tlb::workload {
 
 /// One benchmark configuration. `scenario` is any spec string
@@ -101,10 +106,19 @@ const std::vector<PerfPreset>& perf_smoke_presets();
 /// any counter field (observers never draw from the RNG), and the observer
 /// hooks run outside the per-round stopwatch so the recorded round times
 /// stay clean.
+/// `dsan_probe`/`dsan_obs` (optional, not owned) attach the determinism
+/// sanitizer: the probe is wired into the preset's engine (user-protocol
+/// family; other engines ignore it) and the observer records one
+/// fingerprint row per timed round plus a final-state row. "arena:churn"
+/// is the one documented exception — it drives a raw SystemState, not a
+/// Balancer, so it contributes no rows. Both must come fresh per preset
+/// (the probe is stateful).
 PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
                            bool collect_metrics = false,
                            obs::TraceWriter* trace = nullptr,
-                           long analytics_every = 0);
+                           long analytics_every = 0,
+                           dsan::StepProbe* dsan_probe = nullptr,
+                           dsan::FingerprintObserver* dsan_obs = nullptr);
 
 /// Resolve a set name ("smoke" | "full"), run every preset in it (or just
 /// the one named by a non-empty `only`), with progress on stderr, and
@@ -120,12 +134,21 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
 /// "metrics_timing" only when include_timings is also set, and the
 /// load-distribution snapshots under an "analytics" key (additive-only,
 /// deterministic — byte-identical across engine-thread counts).
+/// `dsan_record` (non-empty) writes a dsan golden trace — one section of
+/// per-round fingerprints per preset run — to that path; `dsan_check`
+/// re-renders the same structure and compares it against the golden trace
+/// at that path, throwing std::runtime_error naming the first divergent
+/// (section, round) on mismatch. The trace obeys the same --timings=false
+/// discipline as the report, so a trace recorded at one engine-thread
+/// count must check clean at every other.
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
                          long engine_threads = -1,
                          bool collect_metrics = false,
                          obs::TraceWriter* trace = nullptr,
-                         long analytics_every = 0);
+                         long analytics_every = 0,
+                         const std::string& dsan_record = "",
+                         const std::string& dsan_check = "");
 
 /// Serialise a suite run. include_timings = false omits every wall-clock
 /// field, making the bytes a pure function of (presets, seed).

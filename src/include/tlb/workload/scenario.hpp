@@ -131,6 +131,11 @@ struct ScenarioParams {
   /// engines at once would interleave meaninglessly). Observers never draw
   /// from the RNG, so attaching one changes no results.
   engine::RoundObserver* round_observer = nullptr;
+  /// Determinism-sanitizer step probe, attached to trial 0's engine only —
+  /// the probe is stateful and trials run concurrently. Honoured by the
+  /// user-protocol family (exact / grouped / dynamic); other protocols
+  /// ignore it (their fingerprints are state-only).
+  dsan::StepProbe* dsan = nullptr;
 };
 
 /// Everything a run produced, ready for table or JSON emission.

@@ -27,15 +27,17 @@ namespace {
 }
 
 /// Directories whose iteration-order / randomness / clock discipline is
-/// load-bearing for bitwise determinism (D3 scope). src/util is included
-/// because every engine builds on it; src/obs is timing-class by design
+/// load-bearing for bitwise determinism (D3/D7 scope). src/util is included
+/// because every engine builds on it; src/dsan because fingerprints must be
+/// as stable as the state they digest; src/obs is timing-class by design
 /// and src/randomwalk, src/sim, src/workload render through sorted
 /// structures already audited by the byte-determinism CI diffs.
-constexpr std::array<std::string_view, 10> kDetDirs = {
+constexpr std::array<std::string_view, 12> kDetDirs = {
     "src/core/",         "src/engine/",         "src/tasks/",
-    "src/mem/",          "src/util/",           "src/include/tlb/core/",
-    "src/include/tlb/engine/", "src/include/tlb/tasks/",
-    "src/include/tlb/mem/",    "src/include/tlb/util/"};
+    "src/mem/",          "src/util/",           "src/dsan/",
+    "src/include/tlb/core/",   "src/include/tlb/engine/",
+    "src/include/tlb/tasks/",  "src/include/tlb/mem/",
+    "src/include/tlb/util/",   "src/include/tlb/dsan/"};
 
 /// D1: the only two components allowed to own raw randomness machinery.
 constexpr std::array<std::string_view, 4> kRngFiles = {
@@ -116,9 +118,10 @@ struct LexResult {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Parse "D1".."D6" → Rule.
+/// Parse "D1".."D<kRuleCount>" → Rule.
 [[nodiscard]] bool parse_rule(std::string_view name, Rule* out) {
-  if (name.size() != 2 || name[0] != 'D' || name[1] < '1' || name[1] > '6') {
+  if (name.size() != 2 || name[0] != 'D' || name[1] < '1' ||
+      name[1] >= static_cast<char>('1' + kRuleCount)) {
     return false;
   }
   *out = static_cast<Rule>(name[1] - '1');
@@ -625,6 +628,17 @@ void run_rules(const std::string& relpath, const LexResult& lexed,
            "'thread_local' outside the whitelisted per-thread shard caches "
            "(obs registry / trace buffers)");
     }
+
+    // D7 — std::hash in deterministic subsystems. Its output is
+    // implementation-defined (and address-dependent for pointer keys), so
+    // anything derived from it — an ordering, a shard choice, a fingerprint
+    // — can differ run to run or build to build.
+    if (scope.det_subsystem && t.text == "hash" && prev_is_std_scope(idx)) {
+      emit(Rule::kD7, t.line,
+           "'std::hash' in a deterministic subsystem — its value is "
+           "implementation-defined (address-dependent for pointers); digest "
+           "with dsan::Digest / FNV-1a over explicit bytes instead");
+    }
   }
 }
 
@@ -632,7 +646,7 @@ void run_rules(const std::string& relpath, const LexResult& lexed,
 
 const char* rule_name(Rule rule) noexcept {
   static constexpr std::array<const char*, kRuleCount> kNames = {
-      "D1", "D2", "D3", "D4", "D5", "D6"};
+      "D1", "D2", "D3", "D4", "D5", "D6", "D7"};
   return kNames[static_cast<std::size_t>(rule)];
 }
 
@@ -645,7 +659,9 @@ const char* rule_summary(Rule rule) noexcept {
       "(src/core, src/engine, src/tasks, src/mem, src/util)",
       "stdio/stream printing from library code (src/)",
       "obs::Registry registration without an explicit kDeterministic/kTiming",
-      "thread_local outside the whitelisted shard caches"};
+      "thread_local outside the whitelisted shard caches",
+      "std::hash (implementation-defined, address-dependent for pointers) "
+      "in deterministic subsystems"};
   return kSummaries[static_cast<std::size_t>(rule)];
 }
 

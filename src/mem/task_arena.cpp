@@ -417,7 +417,7 @@ void BatchPlacer::build(TaskArena& arena, const tasks::TaskSet& ts,
         h += wts[accepted];
         ++accepted;
       }
-      a.accepted_count_[r] = accepted;
+      a.accepted_count_[r] = static_cast<std::uint32_t>(accepted);
       a.accepted_load_[r] = h;
     }
     return;

@@ -71,9 +71,22 @@ const PresetRecord* TrajectoryEntry::find(const std::string& name) const {
 }
 
 std::vector<TrajectoryEntry> parse_trajectory(const std::string& text) {
+  // An empty / whitespace-only file or a bare [] means no run was ever
+  // appended — name that directly instead of failing later with a cryptic
+  // parse or indexing error.
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    throw std::runtime_error(
+        "perf_report: empty trajectory — the file has no entries (record a "
+        "run with --append first)");
+  }
   const util::JsonValue root = util::parse_json(text);
   if (!root.is_array()) {
     throw std::runtime_error("perf_report: trajectory is not a JSON array");
+  }
+  if (root.items.empty()) {
+    throw std::runtime_error(
+        "perf_report: empty trajectory — the JSON array has no entries "
+        "(record a run with --append first)");
   }
   std::vector<TrajectoryEntry> out;
   out.reserve(root.items.size());

@@ -18,8 +18,12 @@
 #include "tlb/core/resource_protocol.hpp"
 #include "tlb/core/threshold.hpp"
 #include "tlb/core/user_protocol.hpp"
+#include "tlb/dsan/observer.hpp"
+#include "tlb/dsan/probe.hpp"
+#include "tlb/dsan/trace.hpp"
 #include "tlb/engine/baseline_balancers.hpp"
 #include "tlb/engine/driver.hpp"
+#include "tlb/engine/observer.hpp"
 #include "tlb/obs/analytics.hpp"
 #include "tlb/obs/registry.hpp"
 #include "tlb/obs/trace_event.hpp"
@@ -104,7 +108,8 @@ void finish_timing(const std::vector<double>& round_ms, PerfResult& out) {
 void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       obs::Registry* registry, obs::TraceWriter* trace,
-                      long analytics_every, PerfResult& out) {
+                      long analytics_every, dsan::StepProbe* dsan_probe,
+                      dsan::FingerprintObserver* dsan_obs, PerfResult& out) {
   timer.start("setup");
   std::optional<obs::LoadStatsObserver> analytics;
   if (analytics_every > 0) analytics.emplace(analytics_every);
@@ -138,8 +143,10 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
   // One timing scaffold for every engine type; `final_over` extracts the
   // end-state overloaded count (engine APIs differ).
   std::vector<double> round_ms;
-  tlb::engine::RoundObserver* const obs_ptr =
-      analytics ? &*analytics : nullptr;
+  tlb::engine::ObserverList obs_list;
+  if (analytics) obs_list.add(&*analytics);
+  if (dsan_obs != nullptr) obs_list.add(dsan_obs);
+  tlb::engine::RoundObserver* const obs_ptr = obs_list.or_null();
   const auto timed_drive = [&](auto& engine, auto&& final_over) {
     timer.start("place");
     engine.reset(start());
@@ -168,6 +175,7 @@ void run_batch_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       cfg.options.threads = preset.threads;
       cfg.options.registry = registry;
       cfg.options.trace = trace;
+      cfg.options.dsan = dsan_probe;
       // Shared engine-selection policy (run_user_trial uses the same
       // helper), including the degrade-to-exact fallback.
       std::optional<core::GroupedUserEngine> grouped =
@@ -361,6 +369,7 @@ void run_arena_churn_preset(const PerfPreset& preset, std::uint64_t seed,
 /// the same byte-determinism CI checks as every other one.
 void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
                                 util::Timer& timer, long analytics_every,
+                                dsan::FingerprintObserver* dsan_obs,
                                 PerfResult& out) {
   timer.start("setup");
   const graph::Node n = preset.n;
@@ -389,8 +398,14 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
     std::optional<obs::LoadStatsObserver> analytics;
     if (analytics_every > 0) analytics.emplace(analytics_every);
     PerfResult one;
-    std::vector<double> ms = drive_batch(balancer, max_rounds, rng, one,
-                                         analytics ? &*analytics : nullptr);
+    // The six balancers share one fingerprint observer: their rows (each
+    // ending with a final-state row) concatenate in drive order, which is
+    // itself part of the deterministic surface the trace pins.
+    tlb::engine::ObserverList obs_list;
+    if (analytics) obs_list.add(&*analytics);
+    if (dsan_obs != nullptr) obs_list.add(dsan_obs);
+    std::vector<double> ms =
+        drive_batch(balancer, max_rounds, rng, one, obs_list.or_null());
     round_ms.insert(round_ms.end(), ms.begin(), ms.end());
     out.rounds += one.rounds;
     out.migrations += one.migrations;
@@ -442,7 +457,8 @@ void run_baselines_suite_preset(const PerfPreset& preset, std::uint64_t seed,
 void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
                       std::uint64_t seed, util::Timer& timer,
                       obs::Registry* registry, obs::TraceWriter* trace,
-                      long analytics_every, PerfResult& out) {
+                      long analytics_every, dsan::StepProbe* dsan_probe,
+                      dsan::FingerprintObserver* dsan_obs, PerfResult& out) {
   timer.start("setup");
   std::optional<obs::LoadStatsObserver> analytics;
   if (analytics_every > 0) analytics.emplace(analytics_every);
@@ -455,6 +471,7 @@ void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
       /*paranoid=*/false, preset.threads, class_rng);
   cfg.registry = registry;
   cfg.trace = trace;
+  cfg.dsan = dsan_probe;
   core::DynamicUserEngine engine(cfg);
   util::Rng rng(util::derive_seed(seed, kPerfRunStream));
   out.n = preset.n;
@@ -477,11 +494,17 @@ void run_churn_preset(const ScenarioSpec& spec, const PerfPreset& preset,
     round_ms.push_back(watch.elapsed_ms());
     out.migrations += engine.last_migrations();
     ++out.rounds;
+    // Fingerprints are round-*end* snapshots (on_round_end semantics), so
+    // the dsan observer records after the step, unlike the analytics
+    // observer's round-start snapshots; the probe record folded in is the
+    // one this step just produced.
+    if (dsan_obs != nullptr) dsan_obs->record_round(view, t);
   }
   if (analytics) {
     analytics->record_final(view);
     out.analytics_json = analytics->json();
   }
+  if (dsan_obs != nullptr) dsan_obs->record_final(view);
 
   timer.start("finish");
   out.m = engine.population();
@@ -568,7 +591,8 @@ const std::vector<PerfPreset>& perf_smoke_presets() {
 
 PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
                            bool collect_metrics, obs::TraceWriter* trace,
-                           long analytics_every) {
+                           long analytics_every, dsan::StepProbe* dsan_probe,
+                           dsan::FingerprintObserver* dsan_obs) {
   PerfResult out;
   out.preset = preset;
   // Fresh registry per preset so the snapshots do not aggregate across
@@ -583,6 +607,8 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
     out.metrics_timing_json = snap.json(obs::Snapshot::Part::kTiming);
   };
   if (preset.scenario.rfind("arena:churn", 0) == 0) {
+    // Documented dsan exception: the arena churn driver pumps a raw
+    // SystemState, not a Balancer, so it contributes no fingerprint rows.
     util::Timer timer;
     run_arena_churn_preset(preset, seed, timer, out);
     out.phases = timer.phases();
@@ -593,7 +619,8 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
   }
   if (preset.scenario.rfind("baselines:suite", 0) == 0) {
     util::Timer timer;
-    run_baselines_suite_preset(preset, seed, timer, analytics_every, out);
+    run_baselines_suite_preset(preset, seed, timer, analytics_every, dsan_obs,
+                               out);
     out.phases = timer.phases();
     out.setup_ms = timer.ms("setup");
     snapshot_metrics();
@@ -603,10 +630,10 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
   util::Timer timer;
   if (spec.is_churn()) {
     run_churn_preset(spec, preset, seed, timer, reg, trace, analytics_every,
-                     out);
+                     dsan_probe, dsan_obs, out);
   } else {
     run_batch_preset(spec, preset, seed, timer, reg, trace, analytics_every,
-                     out);
+                     dsan_probe, dsan_obs, out);
   }
   out.phases = timer.phases();
   out.setup_ms = timer.ms("setup");
@@ -618,7 +645,10 @@ PerfResult run_perf_preset(const PerfPreset& preset, std::uint64_t seed,
 std::string run_perf_set(const std::string& set, const std::string& only,
                          std::uint64_t seed, bool include_timings,
                          long engine_threads, bool collect_metrics,
-                         obs::TraceWriter* trace, long analytics_every) {
+                         obs::TraceWriter* trace, long analytics_every,
+                         const std::string& dsan_record,
+                         const std::string& dsan_check) {
+  const bool want_dsan = !dsan_record.empty() || !dsan_check.empty();
   const std::vector<PerfPreset>* presets = nullptr;
   if (set == "smoke") {
     presets = &perf_smoke_presets();
@@ -629,6 +659,7 @@ std::string run_perf_set(const std::string& set, const std::string& only,
                                 "' (want smoke | full)");
   }
   std::vector<PerfResult> results;
+  std::vector<dsan::TraceSection> sections;
   for (PerfPreset preset : *presets) {
     if (!only.empty() && preset.name != only) continue;
     if (engine_threads >= 0) {
@@ -636,8 +667,20 @@ std::string run_perf_set(const std::string& set, const std::string& only,
     }
     std::fprintf(stderr, "perf_suite: running %-26s (%s) ...\n",
                  preset.name.c_str(), preset.scenario.c_str());
+    // Fresh sanitizer pair per preset: the probe is stateful (step counter,
+    // draw slots), and a fresh observer keeps each trace section's rows
+    // scoped to exactly one preset run.
+    std::optional<dsan::StepProbe> probe;
+    std::optional<dsan::FingerprintObserver> fp;
+    if (want_dsan) {
+      probe.emplace();
+      fp.emplace(&*probe);
+    }
     results.push_back(run_perf_preset(preset, seed, collect_metrics, trace,
-                                      analytics_every));
+                                      analytics_every,
+                                      probe ? &*probe : nullptr,
+                                      fp ? &*fp : nullptr));
+    if (fp) sections.push_back(dsan::make_section(preset.name, fp->rows()));
     const PerfResult& r = results.back();
     std::fprintf(stderr,
                  "perf_suite:   %ld rounds, %.1fms round1, %.3fms tail "
@@ -647,6 +690,39 @@ std::string run_perf_set(const std::string& set, const std::string& only,
   }
   if (results.empty()) {
     throw std::invalid_argument("perf suite: no preset named '" + only + "'");
+  }
+  if (!dsan_record.empty()) {
+    std::ofstream out(dsan_record, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("dsan record: cannot write " + dsan_record);
+    }
+    out << dsan::render_trace(sections, seed);
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("dsan record: write failed for " + dsan_record);
+    }
+    std::fprintf(stderr, "perf_suite: dsan trace recorded to %s\n",
+                 dsan_record.c_str());
+  }
+  if (!dsan_check.empty()) {
+    std::string golden_text;
+    {
+      std::ifstream in(dsan_check, std::ios::binary);
+      if (!in) {
+        throw std::runtime_error("dsan check: cannot read " + dsan_check);
+      }
+      golden_text.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    }
+    const std::vector<dsan::TraceSection> golden =
+        dsan::parse_trace(golden_text);
+    const dsan::CheckResult check = dsan::check_trace(golden, sections);
+    if (!check.ok) {
+      throw std::runtime_error("dsan check failed against " + dsan_check +
+                               ": " + check.message);
+    }
+    std::fprintf(stderr, "perf_suite: dsan check passed against %s\n",
+                 dsan_check.c_str());
   }
   return perf_suite_json(results, seed, include_timings);
 }

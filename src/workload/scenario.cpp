@@ -285,12 +285,16 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
     drive_opt.registry = params_.registry;
     drive_opt.trace = params_.trace;
     engine::RoundObserver* const round_observer = params_.round_observer;
+    dsan::StepProbe* const dsan_probe = params_.dsan;
     result.stats = sim::run_trials(
         trials, seed,
-        sim::IndexedTrialFn([&cfg, drive_opt,
-                             round_observer](std::size_t trial,
-                                             util::Rng& rng) {
-          core::DynamicUserEngine engine(cfg);
+        sim::IndexedTrialFn([&cfg, drive_opt, round_observer,
+                             dsan_probe](std::size_t trial, util::Rng& rng) {
+          // The probe is stateful and strictly single-engine: trial 0 only,
+          // like the round observer (trials may run concurrently).
+          core::DynamicConfig trial_cfg = cfg;
+          trial_cfg.dsan = trial == 0 ? dsan_probe : nullptr;
+          core::DynamicUserEngine engine(trial_cfg);
           const core::DynamicMetrics metrics = engine.run(
               drive_opt, rng, trial == 0 ? round_observer : nullptr);
           core::RunResult r;
@@ -366,6 +370,8 @@ ScenarioResult Scenario::run(std::size_t trials, std::uint64_t seed,
             cfg.options.registry = p.registry;
             cfg.options.trace = p.trace;
             cfg.options.observer = observer;
+            // Stateful probe: trial 0 only, like the round observer.
+            cfg.options.dsan = trial == 0 ? p.dsan : nullptr;
             return run_user_trial(ts, n, cfg, start(), rng);
           }
           case ProtocolKind::kResource: {

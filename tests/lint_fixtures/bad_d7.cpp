@@ -1,0 +1,16 @@
+// tlb-lint: path(src/core/planted_std_hash.cpp)
+// Planted D7 violation — std::hash in a deterministic subsystem, the
+// classic way a "stable" fingerprint silently becomes build- or
+// address-dependent. Never compiled; linted by lint_test and the CI lint
+// job, both of which must FAIL on it.
+#include <functional>
+
+namespace tlb::core {
+
+unsigned long planted_fingerprint(const int* state) {
+  // Pointer-keyed hashing: the value depends on the allocation address of
+  // this run, so two identical runs disagree.
+  return std::hash<const int*>{}(state);
+}
+
+}  // namespace tlb::core

@@ -136,6 +136,27 @@ TEST(LintTest, D5FiresOnUnclassifiedRegistryRegistrations) {
                      lint::Rule::kD5));
 }
 
+TEST(LintTest, D7FiresOnStdHashInDeterministicSubsystems) {
+  const std::string src =
+      "std::size_t h = std::hash<int>{}(42); (void)h;\n";
+  EXPECT_TRUE(fires(run("src/core/x.cpp", src), lint::Rule::kD7));
+  EXPECT_TRUE(fires(run("src/engine/x.cpp", src), lint::Rule::kD7));
+  // The sanitizer itself must obey its own discipline.
+  EXPECT_TRUE(fires(run("src/dsan/x.cpp", src), lint::Rule::kD7));
+  EXPECT_TRUE(fires(run("src/include/tlb/dsan/x.hpp", src),
+                    lint::Rule::kD7));
+  // Rendering/buffering layers and apps may hash freely.
+  EXPECT_FALSE(fires(run("src/sim/x.cpp", src), lint::Rule::kD7));
+  EXPECT_FALSE(fires(run("apps/x.cpp", src), lint::Rule::kD7));
+  // An unqualified `hash` identifier (a member, a local) is not std::hash.
+  EXPECT_FALSE(fires(run("src/core/x.cpp",
+                         "int hash = 3; (void)hash;\n"),
+                     lint::Rule::kD7));
+  EXPECT_FALSE(fires(run("src/core/x.cpp",
+                         "auto h = d.hash(); (void)h;\n"),
+                     lint::Rule::kD7));
+}
+
 TEST(LintTest, D6FiresOutsideShardCacheWhitelist) {
   const std::string src = "thread_local int scratch = 0;\n";
   EXPECT_TRUE(fires(run("src/core/x.cpp", src), lint::Rule::kD6));
@@ -223,6 +244,7 @@ TEST(LintTest, BadFixturesEachProduceTheirRule) {
       {"bad_d1.cpp", lint::Rule::kD1}, {"bad_d2.cpp", lint::Rule::kD2},
       {"bad_d3.cpp", lint::Rule::kD3}, {"bad_d4.cpp", lint::Rule::kD4},
       {"bad_d5.cpp", lint::Rule::kD5}, {"bad_d6.cpp", lint::Rule::kD6},
+      {"bad_d7.cpp", lint::Rule::kD7},
   };
   for (const auto& c : kCases) {
     const auto diags = lint::lint_file(

@@ -101,6 +101,23 @@ TEST(TrajectoryParseTest, RejectsStructurallyWrongDocuments) {
   EXPECT_THROW(obs::parse_trajectory("[}"), util::JsonParseError);
 }
 
+TEST(TrajectoryParseTest, EmptyTrajectoryIsNamedDirectly) {
+  // A never-appended file ("" / whitespace) and a bare [] both get the
+  // explicit "empty trajectory" diagnostic, not a downstream parse or
+  // indexing error.
+  for (const char* text : {"", "  \n\t\r\n", "[]", " [ ] \n"}) {
+    try {
+      (void)obs::parse_trajectory(text);
+      ADD_FAILURE() << "expected empty-trajectory throw for: '" << text
+                    << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("empty trajectory"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(GateTest, PassesOnIdenticalCountersAndHealthyWall) {
   const auto entries = obs::parse_trajectory(trajectory_json());
   const GateReport report =
